@@ -1,0 +1,101 @@
+// E2 — Fast communication architecture exploration (paper §3).
+//
+// One benchmark iteration = a complete exploration: the synthetic SoC is
+// mapped onto every architecture in the CAM library and simulated to
+// completion. The benchmark time is the *exploration cost on the host* —
+// the paper's "fast yet timing-accurate exploration" claim. The
+// per-architecture simulated results (the designer-facing table) are
+// printed once at the end.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "explore/explore.hpp"
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+expl::Explorer::GraphFactory soc_factory() {
+  return [](core::SystemGraph& g,
+            std::vector<std::unique_ptr<core::ProcessingElement>>& o) {
+    auto video = std::make_unique<expl::ProducerPe>("video", 16, 512, 50);
+    auto audio = std::make_unique<expl::ProducerPe>("audio", 16, 64, 200);
+    auto v_sink = std::make_unique<expl::SinkPe>("v_sink", 16);
+    auto a_sink = std::make_unique<expl::SinkPe>("a_sink", 16);
+    auto client = std::make_unique<expl::RequesterPe>("client", 8, 32, 100);
+    auto server = std::make_unique<expl::EchoServerPe>("server", 8, 50);
+    g.add_pe(*video);
+    g.add_pe(*audio);
+    g.add_pe(*v_sink);
+    g.add_pe(*a_sink);
+    g.add_pe(*client);
+    g.add_pe(*server);
+    g.connect("video_ch", *video, "out", *v_sink, "in", 2);
+    g.connect("audio_ch", *audio, "out", *a_sink, "in", 2);
+    g.connect("rpc", *client, "out", *server, "in", 1);
+    o.push_back(std::move(video));
+    o.push_back(std::move(audio));
+    o.push_back(std::move(v_sink));
+    o.push_back(std::move(a_sink));
+    o.push_back(std::move(client));
+    o.push_back(std::move(server));
+  };
+}
+
+std::vector<expl::ExplorationRow> g_last_rows;
+
+void BM_ExploreCamLibrary(benchmark::State& state) {
+  expl::Explorer explorer(soc_factory());
+  const auto candidates = expl::default_candidates();
+  for (auto _ : state) {
+    g_last_rows = explorer.sweep(candidates, 200_ms);
+    for (const auto& r : g_last_rows) {
+      if (!r.completed) state.SkipWithError("candidate did not complete");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates.size()));
+  state.counters["architectures"] = static_cast<double>(candidates.size());
+}
+
+// Exploring at CCATB instead (no CAM structure, SHIP annotation only):
+// even faster, less detailed — the level above in Figure 1.
+void BM_ExploreAtCcatbLevel(benchmark::State& state) {
+  const auto factory = soc_factory();
+  const auto candidates = expl::default_candidates();
+  for (auto _ : state) {
+    for (const auto& p : candidates) {
+      std::vector<std::unique_ptr<core::ProcessingElement>> owned;
+      core::SystemGraph g;
+      factory(g, owned);
+      g.discover_roles();
+      Simulator sim;
+      auto ms = core::Mapper::map(sim, g, p, core::AbstractionLevel::Ccatb);
+      if (!ms->run_until_done(200_ms)) {
+        state.SkipWithError("ccatb candidate did not complete");
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExploreCamLibrary)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExploreAtCcatbLevel)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!g_last_rows.empty()) {
+    std::cout << "\nExploration table (simulated, CAM level):\n";
+    expl::Explorer::print_table(std::cout, g_last_rows);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E4 — Transaction-based HW/SW communication (paper §4).
+//
+// A SW task (RTOS on the CPU model) does SHIP request/reply round trips
+// to a HW PE through the generic HW/SW interface, swept over payload
+// size. Reported: simulated round-trip latency and simulated goodput.
+// Expected shape: latency flat for small payloads (driver + IRQ + ISR
+// overhead dominates), then linear once chunked mailbox copies dominate;
+// goodput saturates toward the bus limit.
+
+#include <benchmark/benchmark.h>
+
+#include "cam/cam.hpp"
+#include "cpu/cpu.hpp"
+#include "cpu/irq.hpp"
+#include "hwsw/hwsw.hpp"
+#include "kernel/kernel.hpp"
+#include "rtos/rtos.hpp"
+#include "ship/ship.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+constexpr int kRoundTrips = 24;
+
+void BM_HwSwRoundTrip(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  double rt_latency_us = 0.0, goodput_mbps = 0.0;
+  double irqs = 0.0, cpu_txns = 0.0;
+
+  for (auto _ : state) {
+    Simulator sim;
+    Clock clk(sim, "clk", 10_ns);
+    cam::PlbCam bus(sim, "plb", 10_ns,
+                    std::make_unique<cam::PriorityArbiter>());
+    cam::MailboxLayout layout{0x8000, 256};
+    hwsw::HwAdapter adapter(sim, "hwacc", layout, 10_ns);
+    bus.attach_slave(adapter, layout.range(), "hwacc");
+    cpu::CpuModel cpu(sim, "cpu", clk);
+    cpu.bus().bind(bus.master_port(bus.add_master("cpu")));
+    cpu::IrqController ic(sim, "ic");
+    ic.attach(adapter.irq(), 0);
+    rtos::Rtos os(sim, "os", cpu, {1_us, 20});
+    hwsw::ShipDriver drv("drv", os, cpu, layout);
+    os.attach_isr(ic, [&](int line) {
+      if (line == 0) drv.on_irq();
+    });
+
+    Time total_rt = Time::zero();
+    os.create_task("app", 1, [&] {
+      ship::VectorMsg<> req(payload, 0x22), resp;
+      for (int i = 0; i < kRoundTrips; ++i) {
+        const Time s = sim.now();
+        drv.request(req, resp);
+        total_rt += sim.now() - s;
+      }
+    });
+    sim.spawn_thread("hw_pe", [&] {
+      ship::VectorMsg<> msg;
+      for (int i = 0; i < kRoundTrips; ++i) {
+        adapter.recv(msg);
+        adapter.reply(msg);
+      }
+    });
+    sim.spawn_thread("watch", [&] {
+      while (!os.all_tasks_terminated()) wait(10_us);
+      sim.stop();
+    });
+    sim.run();
+
+    rt_latency_us = total_rt.to_seconds() * 1e6 / kRoundTrips;
+    const double sim_s = sim.now().to_seconds();
+    goodput_mbps = sim_s > 0
+                       ? 2.0 * kRoundTrips * static_cast<double>(payload) /
+                             sim_s / 1e6
+                       : 0.0;
+    irqs = static_cast<double>(adapter.irq_count());
+    cpu_txns = static_cast<double>(cpu.bus_transactions());
+  }
+
+  state.SetItemsProcessed(state.iterations() * kRoundTrips);
+  state.counters["rt_latency_us_sim"] = rt_latency_us;
+  state.counters["goodput_MBps_sim"] = goodput_mbps;
+  state.counters["irqs"] = irqs;
+  state.counters["cpu_bus_txns"] = cpu_txns;
+}
+
+}  // namespace
+
+BENCHMARK(BM_HwSwRoundTrip)
+    ->Arg(4)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Ablation — mailbox window size and reply-poll interval (design choices
+// called out in DESIGN.md §5 for the SHIP->OCP wrappers).
+//
+// A request/reply workload runs over wrapper-refined channels while one
+// parameter varies:
+//   * window size: smaller windows -> more chunks -> more bus
+//     transactions per message (sim time up);
+//   * poll interval: shorter polling -> lower reply latency but more
+//     status-read bus traffic; longer polling -> the opposite.
+// Reported: simulated completion time and the wrapper's bus transaction
+// count per configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "cam/cam.hpp"
+#include "kernel/kernel.hpp"
+#include "ship/ship.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+constexpr int kRoundTrips = 32;
+constexpr std::size_t kPayload = 600;  // > typical window: forces chunking
+
+void run_config(benchmark::State& state, std::uint32_t window,
+                Time poll_interval) {
+  double sim_us = 0.0, bus_txns = 0.0, polls = 0.0;
+  for (auto _ : state) {
+    Simulator sim;
+    cam::PlbCam bus(sim, "plb", 10_ns,
+                    std::make_unique<cam::PriorityArbiter>());
+    cam::MailboxLayout layout{0x4000, window};
+    cam::ShipSlaveWrapper slave(sim, "ch.slave", layout);
+    bus.attach_slave(slave, layout.range(), "ch");
+    cam::ShipMasterWrapper master(sim, "ch.master", bus,
+                                  bus.add_master("pe"), layout,
+                                  poll_interval);
+    sim.spawn_thread("m", [&] {
+      ship::VectorMsg<> req(kPayload, 0x7e), resp;
+      for (int i = 0; i < kRoundTrips; ++i) master.request(req, resp);
+    });
+    sim.spawn_thread("s", [&] {
+      ship::VectorMsg<> msg;
+      for (int i = 0; i < kRoundTrips; ++i) {
+        slave.recv(msg);
+        wait(3_us);  // service time: the master has to poll for the reply
+        slave.reply(msg);
+      }
+    });
+    sim.run();
+    sim_us = sim.now().to_seconds() * 1e6;
+    bus_txns = static_cast<double>(master.bus_transactions());
+    polls = static_cast<double>(master.poll_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kRoundTrips);
+  state.counters["sim_us"] = sim_us;
+  state.counters["bus_txns"] = bus_txns;
+  state.counters["status_polls"] = polls;
+}
+
+void BM_WindowSize(benchmark::State& state) {
+  run_config(state, static_cast<std::uint32_t>(state.range(0)), 100_ns);
+}
+
+void BM_PollInterval(benchmark::State& state) {
+  run_config(state, 256, Time::ns(static_cast<std::uint64_t>(state.range(0))));
+}
+
+}  // namespace
+
+BENCHMARK(BM_WindowSize)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PollInterval)->Arg(20)->Arg(100)->Arg(500)->Arg(2000)->Arg(10000);
+
+BENCHMARK_MAIN();

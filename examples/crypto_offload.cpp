@@ -1,0 +1,127 @@
+// Crypto offload: transaction-based HW/SW communication (paper §4).
+//
+// A software application (an RTOS task on the embedded CPU) encrypts data
+// by offloading XTEA block encryption to a hardware accelerator. The
+// SHIP request/reply pair crosses the HW/SW boundary through the generic
+// interface: device driver + communication library on the SW side, OCP
+// mailbox + shared-memory window + sideband interrupt on the HW side —
+// and the application code is the same code that worked in the untimed
+// model.
+//
+// Build & run:  ./example_crypto_offload
+
+#include <cstdio>
+#include <vector>
+
+#include "core/core.hpp"
+#include "kernel/kernel.hpp"
+#include "ship/ship.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+constexpr int kBlocksToEncrypt = 12;
+constexpr std::uint32_t kKey[4] = {0x01234567, 0x89abcdef, 0xfedcba98,
+                                   0x76543210};
+
+// XTEA, 32 rounds — the reference implementation both partitions share.
+void xtea_encrypt(std::uint32_t v[2], const std::uint32_t key[4]) {
+  std::uint32_t v0 = v[0], v1 = v[1], sum = 0;
+  for (int i = 0; i < 32; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += 0x9E3779B9;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  v[0] = v0;
+  v[1] = v1;
+}
+
+struct CryptoResult {
+  int verified = 0;
+  int mismatches = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== XTEA offload over the HW/SW interface ==\n");
+  CryptoResult result;
+
+  // SW application: runs as an eSW task after mapping.
+  core::LambdaPe app("app", [&result](core::ExecContext& ctx) {
+    ship::ship_if& accel = ctx.channel("accel");
+    for (int blk = 0; blk < kBlocksToEncrypt; ++blk) {
+      ship::PodMsg<std::array<std::uint32_t, 2>> plain, cipher;
+      plain.value = {static_cast<std::uint32_t>(blk * 2654435761u),
+                     static_cast<std::uint32_t>(blk * 40503u + 7)};
+      ctx.consume(200);  // prepare the block
+      accel.request(plain, cipher);
+
+      // Verify against a local software XTEA.
+      std::uint32_t ref[2] = {plain.value[0], plain.value[1]};
+      xtea_encrypt(ref, kKey);
+      if (ref[0] == cipher.value[0] && ref[1] == cipher.value[1]) {
+        ++result.verified;
+      } else {
+        ++result.mismatches;
+      }
+    }
+  });
+
+  // HW accelerator: one XTEA block per request.
+  core::LambdaPe accel("xtea_accel", [](core::ExecContext& ctx) {
+    ship::ship_if& port = ctx.channel("port");
+    for (int blk = 0; blk < kBlocksToEncrypt; ++blk) {
+      ship::PodMsg<std::array<std::uint32_t, 2>> msg;
+      port.recv(msg);
+      std::uint32_t v[2] = {msg.value[0], msg.value[1]};
+      xtea_encrypt(v, kKey);
+      msg.value = {v[0], v[1]};
+      ctx.consume(64);  // 2 rounds/cycle pipeline
+      port.reply(msg);
+    }
+  });
+
+  core::SystemGraph graph;
+  graph.add_pe(app, core::Partition::Software);
+  graph.add_pe(accel, core::Partition::Hardware);
+  graph.connect("offload", app, "accel", accel, "port");
+  graph.discover_roles();
+  result = CryptoResult{};  // the discovery probe run also counted
+  std::printf("detected: app is %s, accel is %s\n",
+              ship::role_name(graph.channels()[0].role_a),
+              ship::role_name(graph.channels()[0].role_a) ==
+                      std::string("master")
+                  ? "slave"
+                  : "master");
+
+  core::Platform plat;
+  plat.name = "plb-coreconnect";
+  Simulator sim;
+  auto ms = core::Mapper::map(sim, graph, plat, core::AbstractionLevel::Cam);
+  const bool done = ms->run_until_done(500_ms);
+
+  std::printf("workload done: %s at %s\n", done ? "yes" : "NO",
+              sim.now().to_string().c_str());
+  std::printf("blocks verified: %d, mismatches: %d\n", result.verified,
+              result.mismatches);
+  if (ms->cpu_model()) {
+    std::printf("cpu: %llu cycles, %llu bus transactions\n",
+                static_cast<unsigned long long>(
+                    ms->cpu_model()->cycles_consumed()),
+                static_cast<unsigned long long>(
+                    ms->cpu_model()->bus_transactions()));
+  }
+  if (ms->os()) {
+    std::printf("rtos context switches: %llu\n",
+                static_cast<unsigned long long>(ms->os()->context_switches()));
+  }
+  const double us = sim.now().to_seconds() * 1e6;
+  if (us > 0) {
+    std::printf("throughput: %.2f blocks/ms (simulated)\n",
+                result.verified / us * 1000.0);
+  }
+  return result.mismatches == 0 && done ? 0 : 1;
+}

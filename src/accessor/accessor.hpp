@@ -1,0 +1,7 @@
+#pragma once
+// Umbrella header for the accessor (RTL prototyping) library.
+
+#include "accessor/bus_pins.hpp"
+#include "accessor/master_accessor.hpp"
+#include "accessor/rtl_arbiter.hpp"
+#include "accessor/slave_accessor.hpp"

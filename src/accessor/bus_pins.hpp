@@ -1,0 +1,60 @@
+#pragma once
+// Pin-level bus signal bundle used by the accessors (PLB-like).
+//
+// Accessors are the paper's prototyping vehicle: fully synthesizable RTL
+// bridges between a PE's pin-level OCP interface and a target bus. This
+// bundle models the shared wires of a CoreConnect-style processor local
+// bus: a central arbiter grant, one address group, separate write/read
+// data groups with per-beat handshakes, and a completion pulse.
+//
+// Synthesizable discipline: structure is built in constructors, each FSM
+// is a single clocked process, all cross-module state lives in signals,
+// and nothing is allocated after elaboration.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/signal.hpp"
+#include "kernel/simulator.hpp"
+
+namespace stlm::accessor {
+
+inline constexpr std::uint8_t kNoGrant = 0xff;
+
+struct BusPins {
+  BusPins(Simulator& sim, const std::string& name)
+      : Grant(sim, name + ".Grant", kNoGrant),
+        PAValid(sim, name + ".PAValid", false),
+        ABus(sim, name + ".ABus", 0),
+        MCmd(sim, name + ".MCmd", 0),
+        BurstLen(sim, name + ".BurstLen", 1),
+        ByteCnt(sim, name + ".ByteCnt", 0),
+        MId(sim, name + ".MId", 0),
+        WrDBus(sim, name + ".WrDBus", 0),
+        WrValid(sim, name + ".WrValid", false),
+        WrAck(sim, name + ".WrAck", false),
+        RdDBus(sim, name + ".RdDBus", 0),
+        RdAck(sim, name + ".RdAck", false),
+        Comp(sim, name + ".Comp", false),
+        CompErr(sim, name + ".CompErr", false) {}
+
+  BusPins(const BusPins&) = delete;
+  BusPins& operator=(const BusPins&) = delete;
+
+  Signal<std::uint8_t> Grant;    // arbiter: granted master id (kNoGrant = idle)
+  Signal<bool> PAValid;          // address phase valid
+  Signal<std::uint32_t> ABus;
+  Signal<std::uint8_t> MCmd;     // ocp::Cmd encoding
+  Signal<std::uint8_t> BurstLen;
+  Signal<std::uint32_t> ByteCnt;
+  Signal<std::uint8_t> MId;
+  Signal<std::uint32_t> WrDBus;  // write data group
+  Signal<bool> WrValid;
+  Signal<bool> WrAck;
+  Signal<std::uint32_t> RdDBus;  // read data group
+  Signal<bool> RdAck;
+  Signal<bool> Comp;             // completion pulse
+  Signal<bool> CompErr;
+};
+
+}  // namespace stlm::accessor

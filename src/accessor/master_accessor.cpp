@@ -1,0 +1,90 @@
+#include "accessor/master_accessor.hpp"
+
+namespace stlm::accessor {
+
+MasterAccessor::MasterAccessor(Simulator& sim, std::string name,
+                               ocp::OcpPins& pe_pins, BusPins& bus,
+                               RtlArbiter& arbiter, Clock& clk)
+    : Module(sim, std::move(name)),
+      bus_(bus),
+      clk_(clk),
+      req_line_(sim, full_name() + ".req", false),
+      my_id_(arbiter.add_request_line(req_line_)),
+      pe_side_(sim, full_name() + ".pe_side", pe_pins, clk, engine_, 0, this) {
+  engine_.self = this;
+}
+
+ocp::Response MasterAccessor::BusEngine::handle(const ocp::Request& req) {
+  MasterAccessor& a = *self;
+  Event& edge = a.clk_.posedge_event();
+  const std::uint32_t beats = req.beats();
+
+  // Request and wait for grant.
+  a.req_line_.write(true);
+  do {
+    wait(edge);
+  } while (a.bus_.Grant.read() != a.my_id_);
+
+  // Address phase (one cycle).
+  a.bus_.PAValid.write(true);
+  a.bus_.ABus.write(static_cast<std::uint32_t>(req.addr));
+  a.bus_.MCmd.write(static_cast<std::uint8_t>(req.cmd));
+  a.bus_.BurstLen.write(static_cast<std::uint8_t>(beats));
+  a.bus_.ByteCnt.write(static_cast<std::uint32_t>(req.payload_bytes()));
+  a.bus_.MId.write(a.my_id_);
+  wait(edge);
+  a.bus_.PAValid.write(false);
+
+  bool error = false;
+  std::vector<std::uint8_t> rd_bytes;
+
+  if (req.cmd == ocp::Cmd::Write) {
+    // Write data phase: advance one beat per acknowledged edge.
+    for (std::uint32_t beat = 0; beat < beats;) {
+      std::uint32_t w = 0;
+      for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
+        const std::size_t idx = beat * ocp::kWordBytes + i;
+        if (idx < req.data.size()) {
+          w |= static_cast<std::uint32_t>(req.data[idx]) << (8 * i);
+        }
+      }
+      a.bus_.WrDBus.write(w);
+      a.bus_.WrValid.write(true);
+      wait(edge);
+      if (a.bus_.WrAck.read()) ++beat;
+    }
+    a.bus_.WrValid.write(false);
+    // Completion.
+    for (;;) {
+      wait(edge);
+      if (a.bus_.Comp.read()) {
+        error = a.bus_.CompErr.read();
+        break;
+      }
+    }
+  } else {
+    // Read data phase: capture words on RdAck until the completion pulse.
+    for (;;) {
+      wait(edge);
+      if (a.bus_.RdAck.read()) {
+        const std::uint32_t w = a.bus_.RdDBus.read();
+        for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
+          rd_bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+      }
+      if (a.bus_.Comp.read()) {
+        error = a.bus_.CompErr.read();
+        break;
+      }
+    }
+    rd_bytes.resize(req.read_bytes);
+  }
+
+  a.req_line_.write(false);
+  ++transactions;
+  if (error) return ocp::Response::error();
+  if (req.cmd == ocp::Cmd::Read) return ocp::Response::ok_with(std::move(rd_bytes));
+  return ocp::Response::ok();
+}
+
+}  // namespace stlm::accessor

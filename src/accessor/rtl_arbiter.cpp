@@ -1,0 +1,39 @@
+#include "accessor/rtl_arbiter.hpp"
+
+namespace stlm::accessor {
+
+RtlArbiter::RtlArbiter(Simulator& sim, std::string name, BusPins& bus,
+                       Clock& clk)
+    : Module(sim, std::move(name)), bus_(bus) {
+  spawn_method("arb", [this] { on_edge(); }, {&clk.posedge_event()},
+               /*run_at_start=*/false);
+}
+
+std::uint8_t RtlArbiter::add_request_line(Signal<bool>& req) {
+  STLM_ASSERT(!sim().initialized(),
+              "request lines must be registered before simulation: " +
+                  full_name());
+  STLM_ASSERT(requests_.size() < kNoGrant, "too many masters: " + full_name());
+  requests_.push_back(&req);
+  return static_cast<std::uint8_t>(requests_.size() - 1);
+}
+
+void RtlArbiter::on_edge() {
+  if (owner_ != kNoGrant) {
+    if (bus_.Comp.read()) {
+      owner_ = kNoGrant;
+      bus_.Grant.write(kNoGrant);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    if (requests_[i]->read()) {
+      owner_ = static_cast<std::uint8_t>(i);
+      bus_.Grant.write(owner_);
+      ++grants_;
+      return;
+    }
+  }
+}
+
+}  // namespace stlm::accessor

@@ -1,0 +1,38 @@
+#pragma once
+// RTL bus arbiter for the accessor-level (pin-accurate) bus.
+//
+// One clocked process: while the bus is idle it grants the
+// highest-priority requesting master; ownership is released on the
+// completion pulse. Request lines are registered at construction — one
+// Signal<bool> per master accessor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accessor/bus_pins.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/module.hpp"
+
+namespace stlm::accessor {
+
+class RtlArbiter final : public Module {
+public:
+  RtlArbiter(Simulator& sim, std::string name, BusPins& bus, Clock& clk);
+
+  // Register a master's request line; returns the master id. Must be
+  // called before the simulation starts.
+  std::uint8_t add_request_line(Signal<bool>& req);
+
+  std::uint64_t grants() const { return grants_; }
+
+private:
+  void on_edge();
+
+  BusPins& bus_;
+  std::vector<Signal<bool>*> requests_;
+  std::uint8_t owner_ = kNoGrant;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace stlm::accessor

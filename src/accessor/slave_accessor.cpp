@@ -1,0 +1,82 @@
+#include "accessor/slave_accessor.hpp"
+
+namespace stlm::accessor {
+
+SlaveAccessor::SlaveAccessor(Simulator& sim, std::string name,
+                             ocp::OcpPins& pe_pins, BusPins& bus, Clock& clk,
+                             cam::AddressRange decode)
+    : Module(sim, std::move(name)),
+      bus_(bus),
+      clk_(clk),
+      decode_(decode),
+      pe_side_(sim, full_name() + ".pe_side", pe_pins, clk, this) {
+  spawn_thread("fsm", [this] { fsm(); });
+}
+
+void SlaveAccessor::fsm() {
+  Event& edge = clk_.posedge_event();
+  for (;;) {
+    wait(edge);
+    if (!bus_.PAValid.read()) continue;
+    const std::uint64_t addr = bus_.ABus.read();
+    if (!decode_.contains(addr)) continue;
+
+    const auto cmd = static_cast<ocp::Cmd>(bus_.MCmd.read());
+    const std::uint32_t beats = bus_.BurstLen.read();
+    const std::uint32_t byte_cnt = bus_.ByteCnt.read();
+
+    bool error = false;
+    if (cmd == ocp::Cmd::Write) {
+      // Capture the write burst from the bus.
+      std::vector<std::uint8_t> bytes;
+      bytes.reserve(static_cast<std::size_t>(beats) * ocp::kWordBytes);
+      bus_.WrAck.write(true);
+      for (std::uint32_t got = 0; got < beats;) {
+        wait(edge);
+        if (!bus_.WrValid.read()) continue;
+        const std::uint32_t w = bus_.WrDBus.read();
+        for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+        ++got;
+      }
+      bus_.WrAck.write(false);
+      bytes.resize(byte_cnt);
+      // Forward to the PE over its own pin-level OCP interface.
+      const ocp::Response r =
+          pe_side_.transport(ocp::Request::write(addr, std::move(bytes)));
+      error = !r.good();
+    } else if (cmd == ocp::Cmd::Read) {
+      const ocp::Response r =
+          pe_side_.transport(ocp::Request::read(addr, byte_cnt));
+      error = !r.good();
+      if (!error) {
+        for (std::uint32_t beat = 0; beat < beats; ++beat) {
+          std::uint32_t w = 0;
+          for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
+            const std::size_t idx = beat * ocp::kWordBytes + i;
+            if (idx < r.data.size()) {
+              w |= static_cast<std::uint32_t>(r.data[idx]) << (8 * i);
+            }
+          }
+          bus_.RdDBus.write(w);
+          bus_.RdAck.write(true);
+          wait(edge);
+        }
+        bus_.RdAck.write(false);
+      }
+    } else {
+      continue;  // idle or illegal: not ours to answer
+    }
+
+    // Completion pulse (one cycle).
+    bus_.Comp.write(true);
+    bus_.CompErr.write(error);
+    wait(edge);
+    bus_.Comp.write(false);
+    bus_.CompErr.write(false);
+    ++transactions_;
+  }
+}
+
+}  // namespace stlm::accessor

@@ -1,0 +1,57 @@
+#include "cam/address_map.hpp"
+
+#include <algorithm>
+
+namespace stlm::cam {
+
+std::string AddressRange::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[0x%llx, 0x%llx)",
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(end()));
+  return buf;
+}
+
+std::size_t AddressMap::add(const AddressRange& r, std::string label) {
+  STLM_ASSERT(r.size > 0, "empty address range: " + label);
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].overlaps(r)) {
+      throw ElaborationError("address range " + label + " " + r.to_string() +
+                             " overlaps " + labels_[i] + " " +
+                             ranges_[i].to_string());
+    }
+  }
+  ranges_.push_back(r);
+  labels_.push_back(std::move(label));
+  return ranges_.size() - 1;
+}
+
+std::optional<std::size_t> AddressMap::decode(std::uint64_t addr,
+                                              std::uint64_t len) const {
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].contains(addr, len)) return i;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t AddressMap::find_free(std::uint64_t size, std::uint64_t align,
+                                    std::uint64_t from) const {
+  STLM_ASSERT(align > 0, "alignment must be positive");
+  auto aligned = [align](std::uint64_t a) {
+    return (a + align - 1) / align * align;
+  };
+  // Sort range ends; walk candidate gaps.
+  std::vector<AddressRange> sorted = ranges_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AddressRange& a, const AddressRange& b) {
+              return a.base < b.base;
+            });
+  std::uint64_t candidate = aligned(from);
+  for (const auto& r : sorted) {
+    if (candidate + size <= r.base) return candidate;
+    if (r.end() > candidate) candidate = aligned(r.end());
+  }
+  return candidate;
+}
+
+}  // namespace stlm::cam

@@ -1,0 +1,51 @@
+#pragma once
+// Address ranges and decode map for communication architecture models.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace stlm::cam {
+
+struct AddressRange {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+
+  std::uint64_t end() const { return base + size; }
+  bool contains(std::uint64_t addr, std::uint64_t len = 1) const {
+    return addr >= base && addr + len <= end();
+  }
+  bool overlaps(const AddressRange& o) const {
+    return base < o.end() && o.base < end();
+  }
+  std::string to_string() const;
+};
+
+// Maps addresses to slave indices; rejects overlapping ranges.
+class AddressMap {
+public:
+  // Returns the index assigned to the new range.
+  std::size_t add(const AddressRange& r, std::string label = "");
+
+  // Index of the range containing [addr, addr+len), or nullopt.
+  std::optional<std::size_t> decode(std::uint64_t addr,
+                                    std::uint64_t len = 1) const;
+
+  std::size_t size() const { return ranges_.size(); }
+  const AddressRange& range(std::size_t i) const { return ranges_.at(i); }
+  const std::string& label(std::size_t i) const { return labels_.at(i); }
+
+  // First gap of at least `size` bytes aligned to `align`, at or after
+  // `from`. Used by the mapper to allocate mailbox windows.
+  std::uint64_t find_free(std::uint64_t size, std::uint64_t align,
+                          std::uint64_t from = 0) const;
+
+private:
+  std::vector<AddressRange> ranges_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace stlm::cam

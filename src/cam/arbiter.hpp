@@ -1,0 +1,85 @@
+#pragma once
+// Bus arbitration policies for the CAM library.
+//
+// An arbiter picks the next master among those with pending requests.
+// Policies are interchangeable per bus instance, which is one axis of the
+// paper's communication architecture exploration.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace stlm::cam {
+
+class Arbiter {
+public:
+  virtual ~Arbiter() = default;
+  // `requesting[i]` is true if master i has a pending transaction;
+  // `cycle` is the current bus cycle (used by time-sliced policies).
+  // Returns the granted master index, or -1 if none requesting.
+  virtual int pick(const std::vector<bool>& requesting, std::uint64_t cycle) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Static priority: lowest index wins (index order = priority order).
+class PriorityArbiter final : public Arbiter {
+public:
+  int pick(const std::vector<bool>& requesting, std::uint64_t) override {
+    for (std::size_t i = 0; i < requesting.size(); ++i) {
+      if (requesting[i]) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  std::string name() const override { return "priority"; }
+};
+
+// Round robin: rotate the highest priority after each grant.
+class RoundRobinArbiter final : public Arbiter {
+public:
+  int pick(const std::vector<bool>& requesting, std::uint64_t) override {
+    const std::size_t n = requesting.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t i = (last_ + k) % n;
+      if (requesting[i]) {
+        last_ = i;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  std::string name() const override { return "round-robin"; }
+
+private:
+  std::size_t last_ = 0;
+};
+
+// TDMA: a repeating slot table of master ids; the slot owner wins its
+// slot, otherwise round robin among the others (slot reclamation).
+class TdmaArbiter final : public Arbiter {
+public:
+  TdmaArbiter(std::vector<std::size_t> slot_table, std::uint64_t slot_cycles)
+      : table_(std::move(slot_table)), slot_cycles_(slot_cycles) {
+    STLM_ASSERT(!table_.empty(), "TDMA slot table must not be empty");
+    STLM_ASSERT(slot_cycles_ > 0, "TDMA slot length must be positive");
+  }
+
+  int pick(const std::vector<bool>& requesting, std::uint64_t cycle) override {
+    const std::size_t slot = (cycle / slot_cycles_) % table_.size();
+    const std::size_t owner = table_[slot];
+    if (owner < requesting.size() && requesting[owner]) {
+      return static_cast<int>(owner);
+    }
+    return fallback_.pick(requesting, cycle);
+  }
+  std::string name() const override { return "tdma"; }
+
+private:
+  std::vector<std::size_t> table_;
+  std::uint64_t slot_cycles_;
+  RoundRobinArbiter fallback_;
+};
+
+}  // namespace stlm::cam

@@ -1,0 +1,18 @@
+#include "cam/bridge.hpp"
+
+namespace stlm::cam {
+
+BusBridge::BusBridge(Simulator& sim, std::string name, CamIf& downstream,
+                     std::uint32_t crossing_cycles)
+    : Module(sim, std::move(name)),
+      down_(downstream),
+      down_master_(downstream.add_master(full_name())),
+      crossing_cycles_(crossing_cycles) {}
+
+ocp::Response BusBridge::handle(const ocp::Request& req) {
+  if (crossing_cycles_) wait(down_.cycle() * crossing_cycles_);
+  ++forwarded_;
+  return down_.master_port(down_master_).transport(req);
+}
+
+}  // namespace stlm::cam

@@ -1,0 +1,77 @@
+#include "cam/buses.hpp"
+
+namespace stlm::cam {
+
+CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle)
+    : Module(sim, std::move(name)), cycle_(cycle) {
+  STLM_ASSERT(!cycle_.is_zero(), "crossbar cycle must be positive: " + full_name());
+}
+
+std::size_t CrossbarCam::add_master(const std::string& name) {
+  auto mp = std::make_unique<MasterPort>();
+  mp->xbar = this;
+  mp->index = masters_.size();
+  mp->label = name;
+  masters_.push_back(std::move(mp));
+  return masters_.size() - 1;
+}
+
+ocp::ocp_tl_master_if& CrossbarCam::master_port(std::size_t i) {
+  STLM_ASSERT(i < masters_.size(), "master index out of range on " + full_name());
+  return *masters_[i];
+}
+
+void CrossbarCam::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
+                               const std::string& label) {
+  map_.add(range, label);
+  slaves_.push_back(&slave);
+  lanes_.push_back(
+      std::make_unique<Mutex>(sim(), full_name() + ".lane" + label));
+}
+
+double CrossbarCam::utilization() const {
+  const Time elapsed = sim().now();
+  if (elapsed.is_zero() || lanes_.empty()) return 0.0;
+  // Aggregate lane busy time normalized by lanes (parallel resource).
+  return busy_time_.to_seconds() /
+         (elapsed.to_seconds() * static_cast<double>(lanes_.size()));
+}
+
+ocp::Response CrossbarCam::MasterPort::transport(const ocp::Request& req) {
+  return xbar->route(index, req);
+}
+
+ocp::Response CrossbarCam::route(std::size_t master, const ocp::Request& req) {
+  STLM_ASSERT(req.cmd != ocp::Cmd::Idle,
+              "transport of IDLE request on " + full_name());
+  const Time start = sim().now();
+  const auto slave = map_.decode(
+      req.addr, req.payload_bytes() ? req.payload_bytes() : 1);
+  if (!slave) {
+    stats_.count("decode_errors");
+    return ocp::Response::error();
+  }
+  LockGuard lane(*lanes_[*slave]);
+  const std::size_t bytes = req.payload_bytes();
+  const std::uint64_t beats =
+      bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
+  const Time occupancy = cycle_ * (1 + beats);  // route setup + data
+  wait(occupancy);
+  busy_time_ += occupancy;
+  ocp::Response resp = slaves_[*slave]->handle(req);
+
+  stats_.count("transactions");
+  stats_.count("bytes", bytes);
+  stats_.acc("latency_ns").add((sim().now() - start).to_ns());
+  stats_.acc("master_" + masters_[master]->label + "_latency_ns")
+      .add((sim().now() - start).to_ns());
+  if (log_) {
+    log_->record(full_name(),
+                 req.cmd == ocp::Cmd::Read ? trace::TxnKind::Read
+                                           : trace::TxnKind::Write,
+                 bytes, start, sim().now());
+  }
+  return resp;
+}
+
+}  // namespace stlm::cam

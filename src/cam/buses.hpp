@@ -1,0 +1,109 @@
+#pragma once
+// Concrete CCATB bus models.
+//
+// The paper's flow assumes "a library of CAMs (e.g. of the CoreConnect
+// architecture)". We provide:
+//   * SharedBusCam — generic 32-bit single-stage shared bus (baseline);
+//   * PlbCam       — CoreConnect PLB-like: 64-bit, pipelined arbitration
+//                    and address phases (hidden when back-to-back);
+//   * OpbCam       — CoreConnect OPB-like: 32-bit peripheral bus, two
+//                    cycles per data beat, no pipelining;
+//   * CrossbarCam  — per-slave parallel lanes (contention only per target).
+//
+// Cycle counts are parameterized; defaults follow CoreConnect-class
+// documentation (PLB @100 MHz, OPB @50 MHz in the examples).
+
+#include <memory>
+
+#include "cam/cam_base.hpp"
+#include "kernel/channels.hpp"
+
+namespace stlm::cam {
+
+class SharedBusCam final : public CamBase {
+public:
+  SharedBusCam(Simulator& sim, std::string name, Time cycle,
+               std::unique_ptr<Arbiter> arbiter)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+
+protected:
+  std::uint64_t txn_cycles(const ocp::Request& req, bool) const override {
+    // arbitration + address + one cycle per 32-bit beat + response.
+    return 2 + req.beats() + 1;
+  }
+};
+
+class PlbCam final : public CamBase {
+public:
+  PlbCam(Simulator& sim, std::string name, Time cycle,
+         std::unique_ptr<Arbiter> arbiter)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+
+  static constexpr std::size_t kWidthBytes = 8;
+
+protected:
+  std::uint64_t txn_cycles(const ocp::Request& req,
+                           bool back_to_back) const override {
+    const std::size_t bytes = req.payload_bytes();
+    const std::uint64_t beats =
+        bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
+    // Pipelined: request/address overlap the previous data phase.
+    const std::uint64_t setup = back_to_back ? 0 : 2;
+    return setup + beats;
+  }
+};
+
+class OpbCam final : public CamBase {
+public:
+  OpbCam(Simulator& sim, std::string name, Time cycle,
+         std::unique_ptr<Arbiter> arbiter)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+
+protected:
+  std::uint64_t txn_cycles(const ocp::Request& req, bool) const override {
+    // Single master/slave handshake per word: 2 cycles per beat.
+    return 2 + 2ull * req.beats();
+  }
+};
+
+// Parallel crossbar: one lane (and one arbiter-free FIFO queue) per
+// slave. Transactions to different targets proceed concurrently.
+class CrossbarCam final : public Module, public CamIf {
+public:
+  CrossbarCam(Simulator& sim, std::string name, Time cycle);
+
+  std::size_t add_master(const std::string& name) override;
+  ocp::ocp_tl_master_if& master_port(std::size_t i) override;
+  std::size_t master_count() const override { return masters_.size(); }
+  void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
+                    const std::string& label) override;
+  const std::string& name() const override { return Module::name(); }
+  Time cycle() const override { return cycle_; }
+  const AddressMap& address_map() const override { return map_; }
+  trace::StatSet& stats() override { return stats_; }
+  void set_txn_logger(trace::TxnLogger* log) override { log_ = log; }
+  double utilization() const override;
+
+  static constexpr std::size_t kWidthBytes = 8;
+
+private:
+  struct MasterPort final : ocp::ocp_tl_master_if {
+    ocp::Response transport(const ocp::Request& req) override;
+    CrossbarCam* xbar = nullptr;
+    std::size_t index = 0;
+    std::string label;
+  };
+
+  ocp::Response route(std::size_t master, const ocp::Request& req);
+
+  Time cycle_;
+  std::vector<std::unique_ptr<MasterPort>> masters_;
+  std::vector<ocp::ocp_tl_slave_if*> slaves_;
+  std::vector<std::unique_ptr<Mutex>> lanes_;
+  AddressMap map_;
+  Time busy_time_ = Time::zero();
+  trace::StatSet stats_;
+  trace::TxnLogger* log_ = nullptr;
+};
+
+}  // namespace stlm::cam

@@ -1,0 +1,120 @@
+#include "cam/cam_base.hpp"
+
+namespace stlm::cam {
+
+CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
+                 std::unique_ptr<Arbiter> arbiter)
+    : Module(sim, std::move(name)),
+      cycle_(cycle),
+      arbiter_(std::move(arbiter)),
+      new_request_(sim, full_name() + ".new_request") {
+  STLM_ASSERT(!cycle_.is_zero(), "CAM cycle must be positive: " + full_name());
+  STLM_ASSERT(arbiter_ != nullptr, "CAM needs an arbiter: " + full_name());
+  spawn_thread("engine", [this] { engine(); });
+}
+
+std::size_t CamBase::add_master(const std::string& name) {
+  auto mp = std::make_unique<MasterPort>();
+  mp->cam = this;
+  mp->index = masters_.size();
+  mp->label = name;
+  masters_.push_back(std::move(mp));
+  queues_.emplace_back();
+  return masters_.size() - 1;
+}
+
+ocp::ocp_tl_master_if& CamBase::master_port(std::size_t i) {
+  STLM_ASSERT(i < masters_.size(), "master index out of range on " + full_name());
+  return *masters_[i];
+}
+
+void CamBase::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
+                           const std::string& label) {
+  map_.add(range, label);
+  slaves_.push_back(&slave);
+}
+
+double CamBase::utilization() const {
+  const Time elapsed = sim().now();
+  if (elapsed.is_zero()) return 0.0;
+  return busy_time_.to_seconds() / elapsed.to_seconds();
+}
+
+ocp::Response CamBase::MasterPort::transport(const ocp::Request& req) {
+  STLM_ASSERT(req.cmd != ocp::Cmd::Idle,
+              "transport of IDLE request on " + cam->full_name());
+  Pending p(cam->sim(), req);
+  cam->queues_[index].push_back(&p);
+  cam->new_request_.notify_delta();
+  while (!p.complete) wait(p.done);
+  return std::move(p.resp);
+}
+
+void CamBase::engine() {
+  std::vector<bool> requesting;
+  for (;;) {
+    requesting.assign(queues_.size(), false);
+    bool any = false;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      requesting[i] = !queues_[i].empty();
+      any = any || requesting[i];
+    }
+    if (!any) {
+      engine_busy_ = false;
+      wait(new_request_);
+      continue;
+    }
+
+    const int granted = arbiter_->pick(requesting, now_cycle());
+    STLM_ASSERT(granted >= 0, "arbiter returned no grant with pending masters");
+    Pending* p = queues_[static_cast<std::size_t>(granted)].front();
+    queues_[static_cast<std::size_t>(granted)].pop_front();
+
+    const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
+    const std::uint64_t cycles = txn_cycles(*p->req, back_to_back);
+    const Time occupancy = cycle_ * cycles;
+
+    stats_.acc("grant_wait_ns").add((sim().now() - p->enqueued).to_ns());
+    wait(occupancy);
+    busy_time_ += occupancy;
+
+    const auto slave = map_.decode(p->req->addr, p->req->payload_bytes()
+                                                      ? p->req->payload_bytes()
+                                                      : 1);
+    if (!slave) {
+      p->resp = ocp::Response::error();
+      stats_.count("decode_errors");
+    } else {
+      p->resp = slaves_[*slave]->handle(*p->req);
+    }
+
+    last_txn_end_ = sim().now();
+    engine_busy_ = true;
+
+    stats_.count("transactions");
+    stats_.count(p->req->cmd == ocp::Cmd::Read ? "reads" : "writes");
+    stats_.count("bytes", p->req->payload_bytes());
+    stats_.acc("txn_cycles").add(static_cast<double>(cycles));
+    stats_.acc("latency_ns").add((sim().now() - p->enqueued).to_ns());
+    stats_.acc("master_" + masters_[static_cast<std::size_t>(granted)]->label +
+               "_latency_ns")
+        .add((sim().now() - p->enqueued).to_ns());
+    if (log_) {
+      log_->record(full_name(),
+                   p->req->cmd == ocp::Cmd::Read ? trace::TxnKind::Read
+                                                 : trace::TxnKind::Write,
+                   p->req->payload_bytes(), p->enqueued, sim().now());
+    }
+
+    p->complete = true;
+    p->done.notify();  // immediate: master resumes within this delta
+
+    // Yield one delta so just-completed masters can re-enqueue before the
+    // next arbitration — otherwise a saturating high-priority master
+    // could never actually exercise its priority.
+    new_request_.notify_delta();
+    wait(new_request_);
+  }
+}
+
+}  // namespace stlm::cam

@@ -1,0 +1,85 @@
+#pragma once
+// Shared implementation of single-resource (bus-style) CAMs.
+//
+// A single grant engine serializes transactions: masters enqueue pending
+// descriptors at their access points; the engine arbitrates, charges the
+// protocol's cycle count in one wait() (CCATB), delivers the request to
+// the decoded slave, and completes the descriptor. Derived classes only
+// describe their protocol timing via txn_cycles().
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cam/arbiter.hpp"
+#include "cam/cam_if.hpp"
+#include "kernel/module.hpp"
+
+namespace stlm::cam {
+
+class CamBase : public Module, public CamIf {
+public:
+  CamBase(Simulator& sim, std::string name, Time cycle,
+          std::unique_ptr<Arbiter> arbiter);
+
+  // --- CamIf ---------------------------------------------------------
+  std::size_t add_master(const std::string& name) override;
+  ocp::ocp_tl_master_if& master_port(std::size_t i) override;
+  std::size_t master_count() const override { return masters_.size(); }
+  void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
+                    const std::string& label) override;
+  const std::string& name() const override { return Module::name(); }
+  Time cycle() const override { return cycle_; }
+  const AddressMap& address_map() const override { return map_; }
+  trace::StatSet& stats() override { return stats_; }
+  void set_txn_logger(trace::TxnLogger* log) override { log_ = log; }
+  double utilization() const override;
+
+  const Arbiter& arbiter() const { return *arbiter_; }
+
+protected:
+  // Bus cycles a transaction occupies. `back_to_back` is true when the
+  // bus was still busy when this transaction was granted — pipelined
+  // protocols (PLB) hide arbitration/address cycles in that case.
+  virtual std::uint64_t txn_cycles(const ocp::Request& req,
+                                   bool back_to_back) const = 0;
+
+private:
+  struct Pending {
+    const ocp::Request* req;
+    ocp::Response resp;
+    Event done;
+    bool complete = false;
+    Time enqueued;
+    explicit Pending(Simulator& sim, const ocp::Request& r)
+        : req(&r), done(sim, "cam.pending"), enqueued(sim.now()) {}
+  };
+
+  // Access point given to each master.
+  struct MasterPort final : ocp::ocp_tl_master_if {
+    ocp::Response transport(const ocp::Request& req) override;
+    CamBase* cam = nullptr;
+    std::size_t index = 0;
+    std::string label;
+  };
+
+  void engine();
+  std::uint64_t now_cycle() const { return sim().now() / cycle_; }
+
+  Time cycle_;
+  std::unique_ptr<Arbiter> arbiter_;
+  std::vector<std::unique_ptr<MasterPort>> masters_;
+  std::vector<std::deque<Pending*>> queues_;
+  std::vector<ocp::ocp_tl_slave_if*> slaves_;
+  AddressMap map_;
+  Event new_request_;
+  Time busy_time_ = Time::zero();
+  Time last_txn_end_ = Time::zero();
+  bool engine_busy_ = false;
+  trace::StatSet stats_;
+  trace::TxnLogger* log_ = nullptr;
+};
+
+}  // namespace stlm::cam

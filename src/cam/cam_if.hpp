@@ -1,0 +1,50 @@
+#pragma once
+// Common interface of every communication architecture model.
+//
+// A CAM is a simulation model of a bus or network that is cycle-count
+// accurate at transaction boundaries (CCATB): externally each transaction
+// completes after the exact number of bus cycles the modeled protocol
+// needs; internally only timed method calls are used — no per-cycle
+// activity — which is where the simulation speed comes from.
+//
+// PEs attach through OCP TL master ports; targets attach as OCP TL slaves
+// with an address range. Wrappers (ship<->ocp, pin<->tl) let "virtually
+// any PE" connect regardless of its native interface (paper §3).
+
+#include <cstdint>
+#include <string>
+
+#include "cam/address_map.hpp"
+#include "kernel/time.hpp"
+#include "ocp/tl_if.hpp"
+#include "trace/stats.hpp"
+#include "trace/txn_log.hpp"
+
+namespace stlm::cam {
+
+class CamIf {
+public:
+  virtual ~CamIf() = default;
+
+  // Register a new master; returns its index.
+  virtual std::size_t add_master(const std::string& name) = 0;
+  // Access point for master `i` (bind a PE's OcpMasterPort to this).
+  virtual ocp::ocp_tl_master_if& master_port(std::size_t i) = 0;
+  virtual std::size_t master_count() const = 0;
+
+  // Attach a slave device at an address range.
+  virtual void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
+                            const std::string& label) = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual Time cycle() const = 0;
+  virtual const AddressMap& address_map() const = 0;
+
+  virtual trace::StatSet& stats() = 0;
+  virtual void set_txn_logger(trace::TxnLogger* log) = 0;
+
+  // Fraction of elapsed bus cycles spent moving transactions.
+  virtual double utilization() const = 0;
+};
+
+}  // namespace stlm::cam

@@ -1,0 +1,218 @@
+#include "cam/wrappers.hpp"
+
+#include <algorithm>
+
+namespace stlm::cam {
+
+// ------------------------------------------------------------- slave ----
+
+ShipSlaveWrapper::ShipSlaveWrapper(Simulator& sim, std::string name,
+                                   MailboxLayout layout)
+    : Module(sim, std::move(name)),
+      layout_(layout),
+      chunk_buf_(layout.window_bytes, 0),
+      rx_available_(sim, full_name() + ".rx"),
+      reply_consumed_(sim, full_name() + ".rack") {
+  STLM_ASSERT(layout_.window_bytes >= ocp::kWordBytes,
+              "mailbox window too small: " + full_name());
+}
+
+ocp::Response ShipSlaveWrapper::handle(const ocp::Request& req) {
+  const std::uint64_t a = req.addr;
+
+  if (req.cmd == ocp::Cmd::Write) {
+    // DATA_IN window: stage chunk bytes.
+    if (a >= layout_.data_in() &&
+        a + req.data.size() <= layout_.data_in() + layout_.window_bytes) {
+      const std::size_t off = static_cast<std::size_t>(a - layout_.data_in());
+      std::copy(req.data.begin(), req.data.end(), chunk_buf_.begin() + off);
+      return ocp::Response::ok();
+    }
+    // CTRL: commit the staged chunk.
+    if (a == layout_.ctrl() && req.data.size() >= ocp::kWordBytes) {
+      std::uint32_t ctrl = 0;
+      for (int i = 3; i >= 0; --i) ctrl = (ctrl << 8) | req.data[static_cast<std::size_t>(i)];
+      const std::uint32_t len = ctrl & MailboxLayout::kLenMask;
+      if (len > layout_.window_bytes) return ocp::Response::error();
+      rx_accum_.insert(rx_accum_.end(), chunk_buf_.begin(),
+                       chunk_buf_.begin() + len);
+      if (ctrl & MailboxLayout::kLastFlag) {
+        rx_queue_.push_back(
+            Message{std::move(rx_accum_),
+                    (ctrl & MailboxLayout::kRequestFlag) != 0});
+        rx_accum_.clear();
+        ++messages_rx_;
+        rx_available_.notify_delta();
+      }
+      return ocp::Response::ok();
+    }
+    // RACK: current reply chunk consumed.
+    if (a == layout_.rack()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(reply_buf_.size(), layout_.window_bytes);
+      reply_buf_.erase(reply_buf_.begin(),
+                       reply_buf_.begin() + static_cast<std::ptrdiff_t>(chunk));
+      reply_consumed_.notify_delta();
+      return ocp::Response::ok();
+    }
+    return ocp::Response::error();
+  }
+
+  if (req.cmd == ocp::Cmd::Read) {
+    // RSTATUS: remaining reply bytes.
+    if (a == layout_.rstatus()) {
+      const auto len = static_cast<std::uint32_t>(reply_buf_.size());
+      std::vector<std::uint8_t> bytes(4);
+      for (int i = 0; i < 4; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(len >> (8 * i));
+      }
+      return ocp::Response::ok_with(std::move(bytes));
+    }
+    // DATA_OUT window: serve reply bytes from the current chunk.
+    if (a >= layout_.data_out() &&
+        a + req.read_bytes <= layout_.data_out() + layout_.window_bytes) {
+      const std::size_t off = static_cast<std::size_t>(a - layout_.data_out());
+      std::vector<std::uint8_t> bytes(req.read_bytes, 0);
+      for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (off + i < reply_buf_.size()) bytes[i] = reply_buf_[off + i];
+      }
+      return ocp::Response::ok_with(std::move(bytes));
+    }
+    return ocp::Response::error();
+  }
+  return ocp::Response::error();
+}
+
+void ShipSlaveWrapper::send(const ship::ship_serializable_if&) {
+  throw ProtocolError("SHIP slave wrapper " + full_name() +
+                      " cannot send (master call on slave terminal)");
+}
+
+void ShipSlaveWrapper::request(const ship::ship_serializable_if&,
+                               ship::ship_serializable_if&) {
+  throw ProtocolError("SHIP slave wrapper " + full_name() +
+                      " cannot request (master call on slave terminal)");
+}
+
+void ShipSlaveWrapper::recv(ship::ship_serializable_if& msg) {
+  while (rx_queue_.empty()) wait(rx_available_);
+  Message m = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  if (m.is_request) ++pending_replies_;
+  ship::from_bytes(msg, m.payload);
+}
+
+void ShipSlaveWrapper::reply(const ship::ship_serializable_if& resp) {
+  if (pending_replies_ == 0) {
+    throw ProtocolError("SHIP wrapper " + full_name() +
+                        ": reply without outstanding request");
+  }
+  --pending_replies_;
+  // Wait until the previous reply was fully drained by the master.
+  while (!reply_buf_.empty()) wait(reply_consumed_);
+  reply_buf_ = ship::to_bytes(resp);
+  // Ensure even empty replies are observable via RSTATUS.
+  if (reply_buf_.empty()) reply_buf_.push_back(0);
+}
+
+// ------------------------------------------------------------ master ----
+
+ShipMasterWrapper::ShipMasterWrapper(Simulator& sim, std::string name,
+                                     CamIf& cam, std::size_t master_index,
+                                     MailboxLayout remote, Time poll_interval)
+    : Module(sim, std::move(name)),
+      cam_(cam),
+      master_(master_index),
+      remote_(remote),
+      poll_interval_(poll_interval) {}
+
+ocp::Response ShipMasterWrapper::transport_checked(const ocp::Request& req) {
+  ++bus_txns_;
+  ocp::Response r = cam_.master_port(master_).transport(req);
+  if (!r.good()) {
+    throw ProtocolError("SHIP master wrapper " + full_name() +
+                        ": bus error at mailbox access");
+  }
+  return r;
+}
+
+void ShipMasterWrapper::push_message(const ship::ship_serializable_if& msg,
+                                     bool is_request) {
+  const std::vector<std::uint8_t> bytes = ship::to_bytes(msg);
+  const std::size_t w = remote_.window_bytes;
+  std::size_t sent = 0;
+  do {
+    const std::size_t chunk = std::min(w, bytes.size() - sent);
+    if (chunk > 0) {
+      transport_checked(ocp::Request::write(
+          remote_.data_in(),
+          std::vector<std::uint8_t>(bytes.begin() + static_cast<std::ptrdiff_t>(sent),
+                                    bytes.begin() + static_cast<std::ptrdiff_t>(sent + chunk)),
+          static_cast<std::uint32_t>(master_)));
+    }
+    sent += chunk;
+    std::uint32_t ctrl = static_cast<std::uint32_t>(chunk);
+    if (sent == bytes.size()) ctrl |= MailboxLayout::kLastFlag;
+    if (is_request) ctrl |= MailboxLayout::kRequestFlag;
+    std::vector<std::uint8_t> cw(4);
+    for (int i = 0; i < 4; ++i) {
+      cw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(ctrl >> (8 * i));
+    }
+    transport_checked(ocp::Request::write(remote_.ctrl(), std::move(cw),
+                                          static_cast<std::uint32_t>(master_)));
+  } while (sent < bytes.size());
+}
+
+std::vector<std::uint8_t> ShipMasterWrapper::pull_reply() {
+  std::vector<std::uint8_t> reply;
+  for (;;) {
+    const ocp::Response st = transport_checked(
+        ocp::Request::read(remote_.rstatus(), 4, static_cast<std::uint32_t>(master_)));
+    std::uint32_t remaining = 0;
+    for (int i = 3; i >= 0; --i) {
+      remaining = (remaining << 8) | st.data[static_cast<std::size_t>(i)];
+    }
+    if (remaining == 0) {
+      if (!reply.empty()) break;  // fully drained
+      ++polls_;
+      wait(poll_interval_);
+      continue;
+    }
+    const std::uint32_t chunk =
+        std::min<std::uint32_t>(remaining, remote_.window_bytes);
+    const ocp::Response data = transport_checked(ocp::Request::read(
+        remote_.data_out(), chunk, static_cast<std::uint32_t>(master_)));
+    reply.insert(reply.end(), data.data.begin(), data.data.end());
+    transport_checked(ocp::Request::write(
+        remote_.rack(), std::vector<std::uint8_t>(4, 0),
+        static_cast<std::uint32_t>(master_)));
+    if (chunk == remaining) break;
+  }
+  return reply;
+}
+
+void ShipMasterWrapper::send(const ship::ship_serializable_if& msg) {
+  push_message(msg, /*is_request=*/false);
+}
+
+void ShipMasterWrapper::request(const ship::ship_serializable_if& req,
+                                ship::ship_serializable_if& resp) {
+  push_message(req, /*is_request=*/true);
+  std::vector<std::uint8_t> bytes = pull_reply();
+  // Empty replies are padded with one marker byte by the slave wrapper.
+  if (bytes.size() == 1 && ship::serialized_size(resp) == 0) bytes.clear();
+  ship::from_bytes(resp, bytes);
+}
+
+void ShipMasterWrapper::recv(ship::ship_serializable_if&) {
+  throw ProtocolError("SHIP master wrapper " + full_name() +
+                      " cannot recv (slave call on master terminal)");
+}
+
+void ShipMasterWrapper::reply(const ship::ship_serializable_if&) {
+  throw ProtocolError("SHIP master wrapper " + full_name() +
+                      " cannot reply (slave call on master terminal)");
+}
+
+}  // namespace stlm::cam

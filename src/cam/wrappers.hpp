@@ -1,0 +1,138 @@
+#pragma once
+// SHIP <-> OCP wrappers: refine a SHIP channel onto a communication
+// architecture model without touching PE code (paper §3).
+//
+// A mapped channel becomes a pair:
+//   * ShipSlaveWrapper  — sits at the slave PE; it is an OCP TL slave on
+//     the CAM (a mailbox with a data window, control/status registers and
+//     chunked flow control) and presents the SHIP slave calls
+//     (recv/reply) to its PE.
+//   * ShipMasterWrapper — sits at the master PE; it presents the SHIP
+//     master calls (send/request) and converts them into burst write
+//     transactions into the remote mailbox, polling the status register
+//     for replies.
+//
+// Mailbox register map (word offsets from the wrapper's base address):
+//   +0x00  CTRL     W  chunk descriptor: len[23:0] | last[24] | request[25]
+//   +0x04  RSTATUS  R  remaining reply bytes (0 = no reply pending)
+//   +0x08  RACK     W  master consumed the current reply chunk
+//   +0x10  DATA_IN  W  inbound chunk window  (window_bytes wide)
+//   +0x10+W DATA_OUT R outbound (reply) chunk window (window_bytes wide)
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cam/cam_if.hpp"
+#include "kernel/module.hpp"
+#include "ship/channel.hpp"
+
+namespace stlm::cam {
+
+struct MailboxLayout {
+  std::uint64_t base = 0;
+  std::uint32_t window_bytes = 256;
+
+  std::uint64_t ctrl() const { return base + 0x00; }
+  std::uint64_t rstatus() const { return base + 0x04; }
+  std::uint64_t rack() const { return base + 0x08; }
+  std::uint64_t data_in() const { return base + 0x10; }
+  std::uint64_t data_out() const { return base + 0x10 + window_bytes; }
+  std::uint64_t span() const { return 0x10 + 2ull * window_bytes; }
+  AddressRange range() const { return AddressRange{base, span()}; }
+
+  static constexpr std::uint32_t kLenMask = 0x00ffffff;
+  static constexpr std::uint32_t kLastFlag = 1u << 24;
+  static constexpr std::uint32_t kRequestFlag = 1u << 25;
+};
+
+class ShipSlaveWrapper final : public Module,
+                               public ocp::ocp_tl_slave_if,
+                               public ship::ship_if {
+public:
+  // Caller must attach this wrapper to the CAM: cam.attach_slave(w,
+  // layout.range(), name). (The mapper does this automatically.)
+  ShipSlaveWrapper(Simulator& sim, std::string name, MailboxLayout layout);
+
+  // --- OCP slave side (bus-facing) ------------------------------------
+  ocp::Response handle(const ocp::Request& req) override;
+
+  // --- SHIP slave side (PE-facing) ------------------------------------
+  void send(const ship::ship_serializable_if&) override;
+  void recv(ship::ship_serializable_if& msg) override;
+  void request(const ship::ship_serializable_if&,
+               ship::ship_serializable_if&) override;
+  void reply(const ship::ship_serializable_if& resp) override;
+  bool message_available() const override { return !rx_queue_.empty(); }
+  ship::Role role() const override { return ship::Role::Slave; }
+  const std::string& channel_name() const override { return Module::name(); }
+
+  const MailboxLayout& layout() const { return layout_; }
+  std::uint64_t messages_received() const { return messages_rx_; }
+
+private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    bool is_request;
+  };
+
+  MailboxLayout layout_;
+  std::vector<std::uint8_t> chunk_buf_;   // DATA_IN staging
+  std::vector<std::uint8_t> rx_accum_;    // chunks of the current message
+  std::deque<Message> rx_queue_;
+  Event rx_available_;
+  std::vector<std::uint8_t> reply_buf_;   // remaining reply bytes
+  Event reply_consumed_;
+  std::uint64_t pending_replies_ = 0;
+  std::uint64_t messages_rx_ = 0;
+};
+
+class ShipMasterWrapper final : public Module, public ship::ship_if {
+public:
+  // `poll_interval` is the simulated gap between RSTATUS polls while
+  // waiting for a reply (models a real master's polling loop).
+  ShipMasterWrapper(Simulator& sim, std::string name, CamIf& cam,
+                    std::size_t master_index, MailboxLayout remote,
+                    Time poll_interval);
+
+  void send(const ship::ship_serializable_if& msg) override;
+  void recv(ship::ship_serializable_if&) override;
+  void request(const ship::ship_serializable_if& req,
+               ship::ship_serializable_if& resp) override;
+  void reply(const ship::ship_serializable_if&) override;
+  bool message_available() const override { return false; }
+  ship::Role role() const override { return ship::Role::Master; }
+  const std::string& channel_name() const override { return Module::name(); }
+
+  std::uint64_t bus_transactions() const { return bus_txns_; }
+  std::uint64_t poll_count() const { return polls_; }
+
+private:
+  void push_message(const ship::ship_serializable_if& msg, bool is_request);
+  std::vector<std::uint8_t> pull_reply();
+  ocp::Response transport_checked(const ocp::Request& req);
+
+  CamIf& cam_;
+  std::size_t master_;
+  MailboxLayout remote_;
+  Time poll_interval_;
+  std::uint64_t bus_txns_ = 0;
+  std::uint64_t polls_ = 0;
+};
+
+// Adapter: exposes an OCP TL slave that forwards every request into a TL
+// master interface. Used to hang a pin-level PE (through OcpPinSlave) or
+// a bridge-like component in front of a CAM master port.
+class TlForwarder final : public ocp::ocp_tl_slave_if {
+public:
+  explicit TlForwarder(ocp::ocp_tl_master_if& down) : down_(down) {}
+  ocp::Response handle(const ocp::Request& req) override {
+    return down_.transport(req);
+  }
+
+private:
+  ocp::ocp_tl_master_if& down_;
+};
+
+}  // namespace stlm::cam

@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the shiptlm design flow (paper's primary
+// contribution): PEs, system graph, platform, automatic mapper, and the
+// eSW-synthesis execution bindings.
+
+#include "core/esw.hpp"
+#include "core/mapper.hpp"
+#include "core/pe.hpp"
+#include "core/platform.hpp"
+#include "core/system_graph.hpp"

@@ -1,0 +1,111 @@
+#pragma once
+// Execution-context bindings (the eSW synthesis substitution) and the
+// SW-local SHIP channel.
+//
+//   * HwExecContext    — PE behaviour on kernel primitives: consume() is a
+//     timed wait at the PE clock, channels are whatever SHIP endpoint the
+//     mapper chose (abstract channel, CAM wrapper, or HW adapter).
+//   * SwExecContext    — the same behaviour as an RTOS task: consume()
+//     charges CPU cycles, idle() rounds to RTOS ticks, channels resolve
+//     to the device driver or to SW-local channels.
+//   * SwLocalChannel   — a SHIP channel whose two ends are both RTOS
+//     tasks: message queues on RTOS semaphores (no bus traffic), the
+//     substitution Herrera et al. prescribe for channel objects.
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "core/pe.hpp"
+#include "cpu/cpu.hpp"
+#include "rtos/rtos.hpp"
+#include "ship/channel.hpp"
+
+namespace stlm::core {
+
+class HwExecContext final : public ExecContext {
+public:
+  HwExecContext(Simulator& sim, Time pe_cycle)
+      : sim_(sim), cycle_(pe_cycle) {}
+
+  void add_channel(const std::string& name, ship::ship_if& endpoint) {
+    endpoints_[name] = &endpoint;
+  }
+
+  ship::ship_if& channel(const std::string& name) override;
+  void consume(std::uint64_t cycles) override { wait(cycle_ * cycles); }
+  void idle(Time t) override { wait(t); }
+  Simulator& sim() override { return sim_; }
+
+private:
+  Simulator& sim_;
+  Time cycle_;
+  std::map<std::string, ship::ship_if*> endpoints_;
+};
+
+class SwExecContext final : public ExecContext {
+public:
+  SwExecContext(rtos::Rtos& os, cpu::CpuModel& cpu) : os_(os), cpu_(cpu) {}
+
+  void add_channel(const std::string& name, ship::ship_if& endpoint) {
+    endpoints_[name] = &endpoint;
+  }
+
+  ship::ship_if& channel(const std::string& name) override;
+  void consume(std::uint64_t cycles) override { cpu_.consume(cycles); }
+  void idle(Time t) override;
+  Simulator& sim() override { return os_.sim(); }
+
+private:
+  rtos::Rtos& os_;
+  cpu::CpuModel& cpu_;
+  std::map<std::string, ship::ship_if*> endpoints_;
+};
+
+// SHIP channel between two SW tasks on the same CPU.
+class SwLocalChannel {
+public:
+  SwLocalChannel(rtos::Rtos& os, std::string name, std::size_t depth = 1);
+
+  ship::ship_if& a() { return term_[0]; }
+  ship::ship_if& b() { return term_[1]; }
+  const std::string& name() const { return name_; }
+
+private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    bool is_request;
+  };
+
+  struct Direction {
+    std::unique_ptr<rtos::Semaphore> items;
+    std::unique_ptr<rtos::Semaphore> space;
+    std::deque<Message> queue;
+  };
+
+  struct Terminal final : ship::ship_if {
+    void send(const ship::ship_serializable_if& msg) override;
+    void recv(ship::ship_serializable_if& msg) override;
+    void request(const ship::ship_serializable_if& req,
+                 ship::ship_serializable_if& resp) override;
+    void reply(const ship::ship_serializable_if& resp) override;
+    bool message_available() const override;
+    ship::Role role() const override { return role_; }
+    const std::string& channel_name() const override;
+
+    SwLocalChannel* ch = nullptr;
+    int index = 0;
+    ship::Role role_ = ship::Role::Unknown;
+    std::uint64_t pending_replies = 0;
+  };
+
+  void mark(Terminal& t, ship::Role r, const char* call);
+  void push(Direction& d, Message m);
+  Message pop(Direction& d);
+
+  std::string name_;
+  Terminal term_[2];
+  Direction dir_[2];
+};
+
+}  // namespace stlm::core

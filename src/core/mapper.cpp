@@ -1,0 +1,338 @@
+#include "core/mapper.hpp"
+
+#include <map>
+
+namespace stlm::core {
+
+const char* level_name(AbstractionLevel l) {
+  switch (l) {
+    case AbstractionLevel::ComponentAssembly: return "component-assembly";
+    case AbstractionLevel::Ccatb: return "ccatb";
+    case AbstractionLevel::Cam: return "cam";
+  }
+  return "?";
+}
+
+const char* bus_kind_name(BusKind b) {
+  switch (b) {
+    case BusKind::SharedBus: return "shared-bus";
+    case BusKind::Plb: return "plb";
+    case BusKind::Opb: return "opb";
+    case BusKind::Crossbar: return "crossbar";
+  }
+  return "?";
+}
+
+const char* arb_kind_name(ArbKind a) {
+  switch (a) {
+    case ArbKind::Priority: return "priority";
+    case ArbKind::RoundRobin: return "round-robin";
+    case ArbKind::Tdma: return "tdma";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------- MappedSystem --
+
+bool MappedSystem::workload_done() const {
+  for (const Process* p : hw_procs_) {
+    if (!p->terminated()) return false;
+  }
+  if (rtos_ && !rtos_->all_tasks_terminated()) return false;
+  return true;
+}
+
+bool MappedSystem::run_until_done(Time max_time, Time slice) {
+  const Time deadline = sim_.now() + max_time;
+  while (!workload_done() && sim_.now() < deadline) {
+    const Time before = sim_.now();
+    const Time remaining = deadline - sim_.now();
+    sim_.run_for(remaining < slice ? remaining : slice);
+    if (sim_.now() == before) {
+      // Event starvation before the deadline (e.g. PEs deadlocked on a
+      // channel): no further slice can make progress.
+      break;
+    }
+  }
+  return workload_done();
+}
+
+void MappedSystem::report(std::ostream& out) const {
+  out << "=== mapped system: level=" << level_name(level_)
+      << " platform=" << plat_.name << " ===\n";
+  for (const auto& note : mapping_notes_) out << "  " << note << "\n";
+  const auto s = log_.summarize();
+  out << "  simulated time                   " << sim_.now().to_string()
+      << "\n"
+      << "  logged transactions              " << s.count << "\n"
+      << "  logged bytes                     " << s.bytes << "\n"
+      << "  mean txn latency                 " << s.mean_latency_ns << " ns\n";
+  if (cam_) {
+    out << "  bus utilization                  "
+        << const_cast<cam::CamIf*>(cam_.get())->utilization() << "\n";
+    const_cast<cam::CamIf*>(cam_.get())->stats().report(out, "bus statistics");
+  }
+  if (cpu_) {
+    out << "  cpu cycles consumed              " << cpu_->cycles_consumed()
+        << "\n"
+        << "  cpu bus transactions             " << cpu_->bus_transactions()
+        << "\n";
+  }
+  if (rtos_) {
+    out << "  rtos context switches            " << rtos_->context_switches()
+        << "\n";
+  }
+}
+
+// --------------------------------------------------------------- Mapper --
+
+std::unique_ptr<cam::Arbiter> Mapper::make_arbiter(const Platform& p) {
+  switch (p.arb) {
+    case ArbKind::Priority:
+      return std::make_unique<cam::PriorityArbiter>();
+    case ArbKind::RoundRobin:
+      return std::make_unique<cam::RoundRobinArbiter>();
+    case ArbKind::Tdma: {
+      // One slot per expected master; the table is resized generously —
+      // slots of unknown masters fall back to round robin.
+      std::vector<std::size_t> table{0, 1, 2, 3};
+      return std::make_unique<cam::TdmaArbiter>(table, p.tdma_slot_cycles);
+    }
+  }
+  return std::make_unique<cam::PriorityArbiter>();
+}
+
+std::unique_ptr<cam::CamIf> Mapper::make_bus(Simulator& sim,
+                                             const Platform& p) {
+  switch (p.bus) {
+    case BusKind::SharedBus:
+      return std::make_unique<cam::SharedBusCam>(sim, "bus", p.bus_cycle,
+                                                 make_arbiter(p));
+    case BusKind::Plb:
+      return std::make_unique<cam::PlbCam>(sim, "plb", p.bus_cycle,
+                                           make_arbiter(p));
+    case BusKind::Opb:
+      return std::make_unique<cam::OpbCam>(sim, "opb", p.bus_cycle,
+                                           make_arbiter(p));
+    case BusKind::Crossbar:
+      return std::make_unique<cam::CrossbarCam>(sim, "xbar", p.bus_cycle);
+  }
+  throw ElaborationError("unknown bus kind");
+}
+
+std::unique_ptr<MappedSystem> Mapper::map(Simulator& sim, SystemGraph& graph,
+                                          const Platform& platform,
+                                          AbstractionLevel level) {
+  std::unique_ptr<MappedSystem> ms(
+      new MappedSystem(sim, platform, level));
+  switch (level) {
+    case AbstractionLevel::ComponentAssembly:
+      build_abstract(*ms, graph, /*timed=*/false);
+      break;
+    case AbstractionLevel::Ccatb:
+      build_abstract(*ms, graph, /*timed=*/true);
+      break;
+    case AbstractionLevel::Cam:
+      build_cam(*ms, graph);
+      break;
+  }
+  return ms;
+}
+
+void Mapper::build_abstract(MappedSystem& ms, SystemGraph& g, bool timed) {
+  const Platform& p = ms.plat_;
+  // One execution context per PE; all PEs run as kernel threads at these
+  // levels (the partition decision only binds below CCATB).
+  std::map<const ProcessingElement*, HwExecContext*> ctx_of;
+  for (ProcessingElement* pe : g.pes()) {
+    ms.hw_ctx_.push_back(std::make_unique<HwExecContext>(ms.sim_, p.pe_clock));
+    ctx_of[pe] = ms.hw_ctx_.back().get();
+  }
+
+  for (const ChannelSpec& spec : g.channels()) {
+    std::unique_ptr<ship::TimingModel> timing;
+    if (timed) {
+      timing = std::make_unique<ship::CcatbModel>(
+          p.bus_cycle, p.bus_width_bytes(), p.ccatb_setup_cycles);
+    }
+    ms.channels_.push_back(std::make_unique<ship::ShipChannel>(
+        ms.sim_, spec.name, spec.queue_depth, std::move(timing)));
+    ship::ShipChannel& ch = *ms.channels_.back();
+    ch.set_txn_logger(&ms.log_);
+    ctx_of[spec.a]->add_channel(spec.port_a, ch.a());
+    ctx_of[spec.b]->add_channel(spec.port_b, ch.b());
+    ms.mapping_notes_.push_back("channel " + spec.name + " -> SHIP (" +
+                                (timed ? "ccatb" : "untimed") + ")");
+  }
+
+  for (ProcessingElement* pe : g.pes()) {
+    HwExecContext* ctx = ctx_of[pe];
+    ms.hw_procs_.push_back(&ms.sim_.spawn_thread(
+        "pe." + pe->name(), [pe, ctx] { pe->run(*ctx); }));
+  }
+}
+
+void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
+  const Platform& p = ms.plat_;
+  if (!g.roles_known()) {
+    throw ElaborationError(
+        "CAM mapping needs channel roles: declare them in connect() or run "
+        "SystemGraph::discover_roles() first");
+  }
+
+  ms.cam_ = make_bus(ms.sim_, p);
+  ms.cam_->set_txn_logger(&ms.log_);
+
+  const bool any_sw = [&] {
+    for (ProcessingElement* pe : g.pes()) {
+      if (g.partition(*pe) == Partition::Software) return true;
+    }
+    return false;
+  }();
+
+  if (any_sw) {
+    ms.clock_ = std::make_unique<Clock>(ms.sim_, "cpu_clk", p.cpu_clock);
+    ms.cpu_ = std::make_unique<cpu::CpuModel>(ms.sim_, "cpu", *ms.clock_);
+    ms.irq_ = std::make_unique<cpu::IrqController>(ms.sim_, "irq_ctrl");
+    ms.rtos_ = std::make_unique<rtos::Rtos>(ms.sim_, "rtos", *ms.cpu_,
+                                            p.rtos_cfg);
+    ms.cpu_->bus().bind(ms.cam_->master_port(ms.cam_->add_master("cpu")));
+  }
+
+  // Execution contexts.
+  std::map<const ProcessingElement*, HwExecContext*> hw_ctx_of;
+  std::map<const ProcessingElement*, SwExecContext*> sw_ctx_of;
+  for (ProcessingElement* pe : g.pes()) {
+    if (g.partition(*pe) == Partition::Hardware) {
+      ms.hw_ctx_.push_back(
+          std::make_unique<HwExecContext>(ms.sim_, p.pe_clock));
+      hw_ctx_of[pe] = ms.hw_ctx_.back().get();
+    } else {
+      ms.sw_ctx_.push_back(std::make_unique<SwExecContext>(*ms.rtos_, *ms.cpu_));
+      sw_ctx_of[pe] = ms.sw_ctx_.back().get();
+    }
+  }
+
+  auto endpoint_binder = [&](ProcessingElement* pe, const std::string& name,
+                             ship::ship_if& ep) {
+    if (auto it = hw_ctx_of.find(pe); it != hw_ctx_of.end()) {
+      it->second->add_channel(name, ep);
+    } else {
+      sw_ctx_of.at(pe)->add_channel(name, ep);
+    }
+  };
+  auto port_of = [](const ChannelSpec& spec, const ProcessingElement* pe) {
+    return pe == spec.a ? spec.port_a : spec.port_b;
+  };
+
+  // Mailbox address allocation: sequential 4 KiB-aligned windows.
+  std::uint64_t next_base = p.mailbox_base;
+  auto alloc_layout = [&]() {
+    cam::MailboxLayout l;
+    l.base = next_base;
+    l.window_bytes = p.mailbox_window;
+    next_base += (l.span() + 0xfffull) & ~0xfffull;
+    return l;
+  };
+
+  std::uint32_t next_irq_line = 0;
+  std::map<int, hwsw::ShipDriver*> isr_routes;
+
+  for (const ChannelSpec& spec : g.channels()) {
+    const Partition part_a = g.partition(*spec.a);
+    const Partition part_b = g.partition(*spec.b);
+    // Terminal roles: role_a is known; master PE is a iff role_a==Master.
+    ProcessingElement* master_pe =
+        spec.role_a == ship::Role::Master ? spec.a : spec.b;
+    ProcessingElement* slave_pe = master_pe == spec.a ? spec.b : spec.a;
+    const Partition master_part = g.partition(*master_pe);
+    const Partition slave_part = g.partition(*slave_pe);
+
+    if (part_a == Partition::Software && part_b == Partition::Software) {
+      ms.sw_channels_.push_back(
+          std::make_unique<SwLocalChannel>(*ms.rtos_, spec.name,
+                                           spec.queue_depth));
+      SwLocalChannel& ch = *ms.sw_channels_.back();
+      endpoint_binder(spec.a, spec.port_a, ch.a());
+      endpoint_binder(spec.b, spec.port_b, ch.b());
+      ms.mapping_notes_.push_back("channel " + spec.name +
+                                  " -> RTOS-local queue (SW/SW)");
+      continue;
+    }
+
+    if (part_a != part_b) {
+      // HW/SW crossing: adapter + driver.
+      const cam::MailboxLayout layout = alloc_layout();
+      ms.adapters_.push_back(std::make_unique<hwsw::HwAdapter>(
+          ms.sim_, spec.name + ".hwadapter", layout, p.bus_cycle));
+      hwsw::HwAdapter& ad = *ms.adapters_.back();
+      ms.cam_->attach_slave(ad, layout.range(), spec.name);
+      const std::uint32_t line = next_irq_line++;
+      STLM_ASSERT(line < 32, "too many HW/SW channels (IRQ lines exhausted)");
+      ms.irq_->attach(ad.irq(), line);
+      ms.drivers_.push_back(std::make_unique<hwsw::ShipDriver>(
+          spec.name + ".driver", *ms.rtos_, *ms.cpu_, layout, p.driver_cfg));
+      hwsw::ShipDriver& drv = *ms.drivers_.back();
+      isr_routes[static_cast<int>(line)] = &drv;
+
+      ProcessingElement* hw_pe =
+          g.partition(*spec.a) == Partition::Hardware ? spec.a : spec.b;
+      ProcessingElement* sw_pe = hw_pe == spec.a ? spec.b : spec.a;
+      endpoint_binder(hw_pe, port_of(spec, hw_pe), ad);
+      endpoint_binder(sw_pe, port_of(spec, sw_pe), drv);
+      ms.mapping_notes_.push_back(
+          "channel " + spec.name + " -> HW/SW interface (mailbox @0x" +
+          [&] {
+            char buf[20];
+            std::snprintf(buf, sizeof buf, "%llx",
+                          static_cast<unsigned long long>(layout.base));
+            return std::string(buf);
+          }() +
+          ", irq " + std::to_string(line) + ")");
+      continue;
+    }
+
+    // HW/HW: wrapper pair over the CAM.
+    (void)master_part;
+    (void)slave_part;
+    const cam::MailboxLayout layout = alloc_layout();
+    ms.slave_wraps_.push_back(std::make_unique<cam::ShipSlaveWrapper>(
+        ms.sim_, spec.name + ".slave", layout));
+    cam::ShipSlaveWrapper& sw = *ms.slave_wraps_.back();
+    ms.cam_->attach_slave(sw, layout.range(), spec.name);
+    const std::size_t midx = ms.cam_->add_master(spec.name + ".m");
+    ms.master_wraps_.push_back(std::make_unique<cam::ShipMasterWrapper>(
+        ms.sim_, spec.name + ".master", *ms.cam_, midx, layout,
+        p.poll_interval));
+    cam::ShipMasterWrapper& mw = *ms.master_wraps_.back();
+    endpoint_binder(master_pe, port_of(spec, master_pe), mw);
+    endpoint_binder(slave_pe, port_of(spec, slave_pe), sw);
+    ms.mapping_notes_.push_back("channel " + spec.name +
+                                " -> SHIP/OCP wrappers on " +
+                                std::string(bus_kind_name(p.bus)));
+  }
+
+  if (ms.rtos_ && !isr_routes.empty()) {
+    ms.rtos_->attach_isr(*ms.irq_, [isr_routes](int line) {
+      auto it = isr_routes.find(line);
+      if (it != isr_routes.end()) it->second->on_irq();
+    });
+  }
+
+  // Spawn PE execution.
+  for (ProcessingElement* pe : g.pes()) {
+    if (g.partition(*pe) == Partition::Hardware) {
+      HwExecContext* ctx = hw_ctx_of.at(pe);
+      ms.hw_procs_.push_back(&ms.sim_.spawn_thread(
+          "pe." + pe->name(), [pe, ctx] { pe->run(*ctx); }));
+    } else {
+      SwExecContext* ctx = sw_ctx_of.at(pe);
+      ms.rtos_->create_task(pe->name(), /*priority=*/1,
+                            [pe, ctx] { pe->run(*ctx); });
+      ms.mapping_notes_.push_back("pe " + pe->name() +
+                                  " -> eSW task on RTOS (synthesized)");
+    }
+  }
+}
+
+}  // namespace stlm::core

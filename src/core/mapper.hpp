@@ -1,0 +1,106 @@
+#pragma once
+// Automatic mapping of the communication part of a system onto a given
+// architecture (the paper's central flow step).
+//
+// Mapper::map() consumes a SystemGraph (PEs + SHIP channels + roles) and
+// a Platform, and emits a MappedSystem at the requested abstraction
+// level:
+//
+//   * ComponentAssembly — PEs as kernel threads, untimed SHIP channels;
+//   * Ccatb             — same structure, SHIP channels annotated with
+//                         cycle-count-accurate boundary timing derived
+//                         from the platform's bus;
+//   * Cam               — the communication architecture model is
+//                         instantiated; every channel is refined by kind:
+//       HW <-> HW  : SHIP master/slave wrapper pair over the CAM, with an
+//                    automatically allocated mailbox address window;
+//       HW <-> SW  : HW adapter (mailbox + sideband IRQ) on the CAM plus
+//                    device driver / communication library on the RTOS;
+//       SW <-> SW  : RTOS-local SHIP channel (no bus traffic).
+//
+// PE code is untouched across all three levels — only the binding of its
+// ExecContext changes.
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cam/cam.hpp"
+#include "core/esw.hpp"
+#include "core/platform.hpp"
+#include "core/system_graph.hpp"
+#include "cpu/irq.hpp"
+#include "hwsw/hwsw.hpp"
+#include "kernel/clock.hpp"
+
+namespace stlm::core {
+
+enum class AbstractionLevel : std::uint8_t { ComponentAssembly, Ccatb, Cam };
+const char* level_name(AbstractionLevel l);
+
+class MappedSystem {
+public:
+  Simulator& sim() { return sim_; }
+  const Platform& platform() const { return plat_; }
+  AbstractionLevel level() const { return level_; }
+
+  void run_for(Time d) { sim_.run_for(d); }
+  // Run in slices until every PE finished (HW threads terminated, RTOS
+  // tasks terminated) or `max_time` of simulated time passed. Returns
+  // true if the workload completed.
+  bool run_until_done(Time max_time, Time slice = Time::us(50));
+  bool workload_done() const;
+
+  trace::TxnLogger& txn_log() { return log_; }
+  cam::CamIf* bus() { return cam_.get(); }
+  cpu::CpuModel* cpu_model() { return cpu_.get(); }
+  rtos::Rtos* os() { return rtos_.get(); }
+
+  // Human-readable mapping + statistics report.
+  void report(std::ostream& os_out) const;
+
+private:
+  friend class Mapper;
+  MappedSystem(Simulator& sim, const Platform& p, AbstractionLevel l)
+      : sim_(sim), plat_(p), level_(l) {}
+
+  Simulator& sim_;
+  Platform plat_;
+  AbstractionLevel level_;
+  trace::TxnLogger log_;
+
+  std::vector<std::unique_ptr<ship::ShipChannel>> channels_;
+  std::unique_ptr<Clock> clock_;
+  std::unique_ptr<cam::CamIf> cam_;
+  std::vector<std::unique_ptr<cam::ShipSlaveWrapper>> slave_wraps_;
+  std::vector<std::unique_ptr<cam::ShipMasterWrapper>> master_wraps_;
+  std::vector<std::unique_ptr<hwsw::HwAdapter>> adapters_;
+  std::unique_ptr<cpu::CpuModel> cpu_;
+  std::unique_ptr<cpu::IrqController> irq_;
+  std::unique_ptr<rtos::Rtos> rtos_;
+  std::vector<std::unique_ptr<hwsw::ShipDriver>> drivers_;
+  std::vector<std::unique_ptr<SwLocalChannel>> sw_channels_;
+  std::vector<std::unique_ptr<HwExecContext>> hw_ctx_;
+  std::vector<std::unique_ptr<SwExecContext>> sw_ctx_;
+  std::vector<Process*> hw_procs_;
+  std::vector<std::string> mapping_notes_;
+};
+
+class Mapper {
+public:
+  // Build `graph` on `platform` at `level` inside `sim`. For the Cam
+  // level, every channel's roles must be known (declared in connect() or
+  // found via SystemGraph::discover_roles()).
+  static std::unique_ptr<MappedSystem> map(Simulator& sim, SystemGraph& graph,
+                                           const Platform& platform,
+                                           AbstractionLevel level);
+
+private:
+  static void build_abstract(MappedSystem& ms, SystemGraph& g, bool timed);
+  static void build_cam(MappedSystem& ms, SystemGraph& g);
+  static std::unique_ptr<cam::Arbiter> make_arbiter(const Platform& p);
+  static std::unique_ptr<cam::CamIf> make_bus(Simulator& sim,
+                                              const Platform& p);
+};
+
+}  // namespace stlm::core

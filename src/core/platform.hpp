@@ -1,0 +1,50 @@
+#pragma once
+// Platform description: the target a system graph is mapped onto.
+//
+// One Platform = one communication architecture choice + its parameters.
+// The exploration engine sweeps vectors of these.
+
+#include <cstdint>
+#include <string>
+
+#include "hwsw/driver.hpp"
+#include "kernel/time.hpp"
+#include "rtos/rtos.hpp"
+
+namespace stlm::core {
+
+enum class BusKind : std::uint8_t { SharedBus, Plb, Opb, Crossbar };
+enum class ArbKind : std::uint8_t { Priority, RoundRobin, Tdma };
+
+const char* bus_kind_name(BusKind b);
+const char* arb_kind_name(ArbKind a);
+
+struct Platform {
+  std::string name = "plb-priority";
+  BusKind bus = BusKind::Plb;
+  ArbKind arb = ArbKind::Priority;
+  Time bus_cycle = Time::ns(10);          // 100 MHz PLB-class default
+  Time pe_clock = Time::ns(10);           // HW PE clock
+  Time cpu_clock = Time::ns(10);          // embedded CPU clock
+
+  // Mailbox placement for mapped SHIP channels.
+  std::uint64_t mailbox_base = 0x40000000;
+  std::uint32_t mailbox_window = 256;     // bytes
+  Time poll_interval = Time::ns(200);     // master wrapper RSTATUS polling
+
+  // TDMA parameters (used when arb == Tdma).
+  std::uint64_t tdma_slot_cycles = 16;
+
+  // SW partition runtime.
+  rtos::RtosConfig rtos_cfg{};
+  hwsw::DriverConfig driver_cfg{};
+
+  // CCATB approximation used at the mid level: per-message setup cycles.
+  std::uint64_t ccatb_setup_cycles = 2;
+
+  std::size_t bus_width_bytes() const {
+    return bus == BusKind::Plb || bus == BusKind::Crossbar ? 8 : 4;
+  }
+};
+
+}  // namespace stlm::core

@@ -1,0 +1,106 @@
+#include "core/system_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/esw.hpp"
+#include "ship/timing.hpp"
+
+namespace stlm::core {
+
+void SystemGraph::add_pe(ProcessingElement& pe, Partition part) {
+  STLM_ASSERT(std::find(pes_.begin(), pes_.end(), &pe) == pes_.end(),
+              "PE registered twice: " + pe.name());
+  pes_.push_back(&pe);
+  partitions_[&pe] = part;
+}
+
+void SystemGraph::set_partition(ProcessingElement& pe, Partition part) {
+  STLM_ASSERT(partitions_.contains(&pe), "unknown PE: " + pe.name());
+  partitions_[&pe] = part;
+}
+
+Partition SystemGraph::partition(const ProcessingElement& pe) const {
+  auto it = partitions_.find(&pe);
+  STLM_ASSERT(it != partitions_.end(), "unknown PE: " + pe.name());
+  return it->second;
+}
+
+void SystemGraph::connect(const std::string& channel, ProcessingElement& a,
+                          const std::string& port_a, ProcessingElement& b,
+                          const std::string& port_b, std::size_t queue_depth,
+                          ship::Role role_a) {
+  STLM_ASSERT(partitions_.contains(&a), "connect: unknown PE " + a.name());
+  STLM_ASSERT(partitions_.contains(&b), "connect: unknown PE " + b.name());
+  STLM_ASSERT(&a != &b, "channel endpoints must differ: " + channel);
+  for (const auto& c : channels_) {
+    STLM_ASSERT(c.name != channel, "duplicate channel name: " + channel);
+  }
+  channels_.push_back(ChannelSpec{channel, &a, &b,
+                                  port_a.empty() ? channel : port_a,
+                                  port_b.empty() ? channel : port_b,
+                                  queue_depth, role_a});
+}
+
+void SystemGraph::connect(const std::string& channel, ProcessingElement& a,
+                          ProcessingElement& b, std::size_t queue_depth,
+                          ship::Role role_a) {
+  connect(channel, a, channel, b, channel, queue_depth, role_a);
+}
+
+bool SystemGraph::roles_known() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const ChannelSpec& c) {
+                       return c.role_a != ship::Role::Unknown;
+                     });
+}
+
+void SystemGraph::discover_roles(Time budget) {
+  if (roles_known()) return;
+
+  // Scratch component-assembly run. A minimal CCATB timing (one cycle per
+  // message) guarantees simulated time advances, so the budget bounds the
+  // run even for PEs that never wait.
+  Simulator scratch;
+  std::vector<std::unique_ptr<ship::ShipChannel>> chans;
+  std::vector<std::unique_ptr<HwExecContext>> ctxs;
+  std::map<const ProcessingElement*, HwExecContext*> ctx_of;
+
+  for (ProcessingElement* pe : pes_) {
+    ctxs.push_back(std::make_unique<HwExecContext>(scratch, Time::ns(1)));
+    ctx_of[pe] = ctxs.back().get();
+  }
+  for (const ChannelSpec& spec : channels_) {
+    chans.push_back(std::make_unique<ship::ShipChannel>(
+        scratch, spec.name, spec.queue_depth,
+        std::make_unique<ship::CcatbModel>(Time::ns(1), 4, 1)));
+    ctx_of[spec.a]->add_channel(spec.port_a, chans.back()->a());
+    ctx_of[spec.b]->add_channel(spec.port_b, chans.back()->b());
+  }
+  for (ProcessingElement* pe : pes_) {
+    HwExecContext* ctx = ctx_of[pe];
+    scratch.spawn_thread("probe." + pe->name(), [pe, ctx] { pe->run(*ctx); });
+  }
+  scratch.run_for(budget);
+
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    ChannelSpec& spec = channels_[i];
+    if (spec.role_a != ship::Role::Unknown) continue;
+    const ship::Role a = chans[i]->role_a();
+    const ship::Role b = chans[i]->role_b();
+    if (a != ship::Role::Unknown) {
+      spec.role_a = a;
+    } else if (b != ship::Role::Unknown) {
+      spec.role_a = b == ship::Role::Master ? ship::Role::Slave
+                                            : ship::Role::Master;
+    } else {
+      throw ElaborationError(
+          "role discovery: channel '" + spec.name +
+          "' saw no traffic within the budget; declare its roles in "
+          "connect()");
+    }
+  }
+}
+
+}  // namespace stlm::core

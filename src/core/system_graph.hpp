@@ -1,0 +1,76 @@
+#pragma once
+// System graph: the abstract system the flow maps.
+//
+// Nodes are processing elements (with a HW/SW partition attribute);
+// edges are named SHIP channels. Channel master/slave roles are either
+// declared up front or *discovered automatically* by executing the
+// component-assembly model and reading the roles the SHIP channels
+// recorded (paper §2's automatic master/slave detection feeding §3/§4's
+// mapping).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pe.hpp"
+#include "kernel/time.hpp"
+#include "ship/channel.hpp"
+
+namespace stlm::core {
+
+struct ChannelSpec {
+  std::string name;
+  ProcessingElement* a = nullptr;
+  ProcessingElement* b = nullptr;
+  // PE-local port names: what each endpoint passes to
+  // ExecContext::channel(). Default to the channel name.
+  std::string port_a;
+  std::string port_b;
+  std::size_t queue_depth = 1;
+  // Role of terminal a (terminal b has the complement). Unknown until
+  // declared or discovered.
+  ship::Role role_a = ship::Role::Unknown;
+};
+
+class SystemGraph {
+public:
+  // Register a PE (default partition: hardware).
+  void add_pe(ProcessingElement& pe, Partition part = Partition::Hardware);
+  void set_partition(ProcessingElement& pe, Partition part);
+  Partition partition(const ProcessingElement& pe) const;
+
+  // Connect two registered PEs with a named SHIP channel. `port_a`/
+  // `port_b` are the PE-local names the endpoints use in
+  // ExecContext::channel() (empty = use the channel name). `role_a`
+  // may be declared here; otherwise run discover_roles() before mapping
+  // to a communication architecture.
+  void connect(const std::string& channel, ProcessingElement& a,
+               const std::string& port_a, ProcessingElement& b,
+               const std::string& port_b, std::size_t queue_depth = 1,
+               ship::Role role_a = ship::Role::Unknown);
+  // Shorthand: both PEs use the channel's own name as port name.
+  void connect(const std::string& channel, ProcessingElement& a,
+               ProcessingElement& b, std::size_t queue_depth = 1,
+               ship::Role role_a = ship::Role::Unknown);
+
+  const std::vector<ProcessingElement*>& pes() const { return pes_; }
+  const std::vector<ChannelSpec>& channels() const { return channels_; }
+  std::vector<ChannelSpec>& channels() { return channels_; }
+
+  // Execute the component-assembly model in a scratch simulator for
+  // `budget` of simulated activity and record each channel's detected
+  // roles. Throws ElaborationError if any channel's roles remain unknown
+  // afterwards (e.g. a PE that never communicated within the budget).
+  void discover_roles(Time budget = Time::us(100));
+
+  // True once every channel has known roles.
+  bool roles_known() const;
+
+private:
+  std::vector<ProcessingElement*> pes_;
+  std::map<const ProcessingElement*, Partition> partitions_;
+  std::vector<ChannelSpec> channels_;
+};
+
+}  // namespace stlm::core

@@ -1,0 +1,60 @@
+#include "cpu/cpu.hpp"
+
+namespace stlm::cpu {
+
+CpuModel::CpuModel(Simulator& sim, std::string name, Clock& clk,
+                   Module* parent)
+    : Module(sim, std::move(name), parent),
+      clk_(clk),
+      bus_(*this, "bus") {}
+
+void CpuModel::consume(std::uint64_t cycles) {
+  if (cycles == 0) return;
+  cycles_ += cycles;
+  wait(clk_.period() * cycles);
+}
+
+std::uint32_t CpuModel::mmio_read32(std::uint64_t addr) {
+  ++bus_txns_;
+  const ocp::Response r = bus_->transport(ocp::Request::read(addr, 4));
+  if (!r.good()) {
+    throw ProtocolError(full_name() + ": bus error reading 0x" +
+                        std::to_string(addr));
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | r.data[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+void CpuModel::mmio_write32(std::uint64_t addr, std::uint32_t value) {
+  std::vector<std::uint8_t> bytes(4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  mmio_write(addr, std::move(bytes));
+}
+
+std::vector<std::uint8_t> CpuModel::mmio_read(std::uint64_t addr,
+                                              std::uint32_t bytes) {
+  ++bus_txns_;
+  const ocp::Response r = bus_->transport(ocp::Request::read(addr, bytes));
+  if (!r.good()) {
+    throw ProtocolError(full_name() + ": bus error reading block at 0x" +
+                        std::to_string(addr));
+  }
+  return r.data;
+}
+
+void CpuModel::mmio_write(std::uint64_t addr, std::vector<std::uint8_t> bytes) {
+  ++bus_txns_;
+  const ocp::Response r =
+      bus_->transport(ocp::Request::write(addr, std::move(bytes)));
+  if (!r.good()) {
+    throw ProtocolError(full_name() + ": bus error writing 0x" +
+                        std::to_string(addr));
+  }
+}
+
+}  // namespace stlm::cpu

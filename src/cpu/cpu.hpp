@@ -1,0 +1,47 @@
+#pragma once
+// Embedded processor model.
+//
+// The SW partition of a mapped system executes on this model: an
+// instruction-budget CPU (computation is charged as cycle counts, the
+// Herrera-style timing annotation) with one OCP TL master port into the
+// communication architecture and a set of interrupt inputs.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/clock.hpp"
+#include "kernel/module.hpp"
+#include "ocp/tl_if.hpp"
+
+namespace stlm::cpu {
+
+class CpuModel final : public Module {
+public:
+  CpuModel(Simulator& sim, std::string name, Clock& clk,
+           Module* parent = nullptr);
+
+  // Bind to a CAM master port (or any OCP TL target).
+  ocp::OcpMasterPort& bus() { return bus_; }
+
+  Clock& clock() const { return clk_; }
+
+  // Charge `cycles` of computation time (callable from task context).
+  void consume(std::uint64_t cycles);
+
+  // Memory-mapped I/O helpers; each is one bus transaction.
+  std::uint32_t mmio_read32(std::uint64_t addr);
+  void mmio_write32(std::uint64_t addr, std::uint32_t value);
+  std::vector<std::uint8_t> mmio_read(std::uint64_t addr, std::uint32_t bytes);
+  void mmio_write(std::uint64_t addr, std::vector<std::uint8_t> bytes);
+
+  std::uint64_t cycles_consumed() const { return cycles_; }
+  std::uint64_t bus_transactions() const { return bus_txns_; }
+
+private:
+  Clock& clk_;
+  ocp::OcpMasterPort bus_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t bus_txns_ = 0;
+};
+
+}  // namespace stlm::cpu

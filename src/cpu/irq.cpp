@@ -1,0 +1,32 @@
+#include "cpu/irq.hpp"
+
+namespace stlm::cpu {
+
+IrqController::IrqController(Simulator& sim, std::string name, Module* parent)
+    : Module(sim, std::move(name), parent),
+      irq_event_(sim, full_name() + ".irq") {}
+
+void IrqController::attach(Signal<bool>& sig, std::uint32_t line) {
+  STLM_ASSERT(line < 32, "IRQ line out of range on " + full_name());
+  spawn_method(
+      "line" + std::to_string(line),
+      [this, line] {
+        pending_ |= (1u << line);
+        irq_event_.notify_delta();
+      },
+      {&sig.posedge_event()}, /*run_at_start=*/false);
+}
+
+int IrqController::claim() {
+  if (pending_ == 0) return -1;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if (pending_ & (1u << i)) {
+      pending_ &= ~(1u << i);
+      ++taken_;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace stlm::cpu

@@ -1,0 +1,5 @@
+#pragma once
+// Umbrella header for the exploration engine.
+
+#include "explore/explorer.hpp"
+#include "explore/workload.hpp"

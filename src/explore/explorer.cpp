@@ -1,0 +1,109 @@
+#include "explore/explorer.hpp"
+
+#include <chrono>
+#include <iomanip>
+
+namespace stlm::expl {
+
+ExplorationRow Explorer::evaluate(const core::Platform& platform,
+                                  Time max_time) {
+  ExplorationRow row;
+  row.platform = platform.name;
+
+  std::vector<std::unique_ptr<core::ProcessingElement>> owned;
+  core::SystemGraph graph;
+  factory_(graph, owned);
+  graph.discover_roles();
+
+  Simulator sim;
+  auto ms = core::Mapper::map(sim, graph, platform,
+                              core::AbstractionLevel::Cam);
+  const auto wall_start = std::chrono::steady_clock::now();
+  row.completed = ms->run_until_done(max_time);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  row.sim_time_us = sim.now().to_seconds() * 1e6;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  const auto s = ms->txn_log().summarize();
+  row.mean_latency_ns = s.mean_latency_ns;
+  row.transactions = s.count;
+  row.bytes = s.bytes;
+  if (ms->bus()) row.bus_utilization = ms->bus()->utilization();
+  return row;
+}
+
+std::vector<ExplorationRow> Explorer::sweep(
+    const std::vector<core::Platform>& cands, Time max_time) {
+  std::vector<ExplorationRow> rows;
+  rows.reserve(cands.size());
+  for (const auto& p : cands) rows.push_back(evaluate(p, max_time));
+  return rows;
+}
+
+void Explorer::print_table(std::ostream& os,
+                           const std::vector<ExplorationRow>& rows) {
+  os << std::left << std::setw(24) << "platform" << std::right << std::setw(6)
+     << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
+     << std::setw(14) << "mean_lat_ns" << std::setw(10) << "bus_util"
+     << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
+  os << std::string(102, '-') << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(24) << r.platform << std::right
+       << std::setw(6) << (r.completed ? "yes" : "NO") << std::setw(14)
+       << std::fixed << std::setprecision(2) << r.sim_time_us << std::setw(12)
+       << std::setprecision(2) << r.wall_ms << std::setw(14)
+       << std::setprecision(1) << r.mean_latency_ns << std::setw(10)
+       << std::setprecision(3) << r.bus_utilization << std::setw(10)
+       << r.transactions << std::setw(12) << r.bytes << "\n";
+  }
+}
+
+std::vector<core::Platform> default_candidates() {
+  std::vector<core::Platform> cands;
+  {
+    core::Platform p;
+    p.name = "shared-bus-priority";
+    p.bus = core::BusKind::SharedBus;
+    p.arb = core::ArbKind::Priority;
+    cands.push_back(p);
+  }
+  {
+    core::Platform p;
+    p.name = "plb-priority";
+    p.bus = core::BusKind::Plb;
+    p.arb = core::ArbKind::Priority;
+    cands.push_back(p);
+  }
+  {
+    core::Platform p;
+    p.name = "plb-round-robin";
+    p.bus = core::BusKind::Plb;
+    p.arb = core::ArbKind::RoundRobin;
+    cands.push_back(p);
+  }
+  {
+    core::Platform p;
+    p.name = "plb-tdma";
+    p.bus = core::BusKind::Plb;
+    p.arb = core::ArbKind::Tdma;
+    cands.push_back(p);
+  }
+  {
+    core::Platform p;
+    p.name = "opb-round-robin";
+    p.bus = core::BusKind::Opb;
+    p.arb = core::ArbKind::RoundRobin;
+    p.bus_cycle = Time::ns(20);  // OPB-class clock
+    cands.push_back(p);
+  }
+  {
+    core::Platform p;
+    p.name = "crossbar";
+    p.bus = core::BusKind::Crossbar;
+    cands.push_back(p);
+  }
+  return cands;
+}
+
+}  // namespace stlm::expl

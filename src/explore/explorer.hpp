@@ -1,0 +1,60 @@
+#pragma once
+// Communication architecture exploration engine (paper §3).
+//
+// Given a factory that builds the *same* abstract system each time, the
+// explorer maps it onto each candidate platform at the CAM level, runs
+// the workload to completion, and tabulates: simulated completion time,
+// transaction latency, bus utilization, traffic — plus the host wall
+// clock it took, which is the "fast yet timing-accurate exploration"
+// claim made measurable.
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+
+namespace stlm::expl {
+
+struct ExplorationRow {
+  std::string platform;
+  bool completed = false;
+  double sim_time_us = 0.0;       // simulated completion time
+  double wall_ms = 0.0;           // host time spent simulating
+  double mean_latency_ns = 0.0;   // mean logged transaction latency
+  double bus_utilization = 0.0;
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Explorer {
+public:
+  // The factory fills `graph` (PE registration, partitions, connections)
+  // and parks PE ownership in `owned`. It is invoked once per candidate
+  // platform so every run starts from fresh state.
+  using GraphFactory = std::function<void(
+      core::SystemGraph& graph,
+      std::vector<std::unique_ptr<core::ProcessingElement>>& owned)>;
+
+  explicit Explorer(GraphFactory factory) : factory_(std::move(factory)) {}
+
+  // Map + simulate one candidate.
+  ExplorationRow evaluate(const core::Platform& platform, Time max_time);
+
+  // Sweep a candidate list.
+  std::vector<ExplorationRow> sweep(const std::vector<core::Platform>& cands,
+                                    Time max_time);
+
+  static void print_table(std::ostream& os,
+                          const std::vector<ExplorationRow>& rows);
+
+private:
+  GraphFactory factory_;
+};
+
+// Canonical candidate list covering the CAM library.
+std::vector<core::Platform> default_candidates();
+
+}  // namespace stlm::expl

@@ -1,0 +1,124 @@
+#include "hwsw/driver.hpp"
+
+#include <algorithm>
+
+namespace stlm::hwsw {
+
+ShipDriver::ShipDriver(std::string name, rtos::Rtos& os, cpu::CpuModel& cpu,
+                       cam::MailboxLayout mailbox, DriverConfig cfg)
+    : name_(std::move(name)),
+      os_(os),
+      cpu_(cpu),
+      mb_(mailbox),
+      cfg_(cfg),
+      rx_normal_sem_(os, name_ + ".rx_normal", 0),
+      rx_reply_sem_(os, name_ + ".rx_reply", 0) {}
+
+std::vector<std::uint8_t> ShipDriver::ctrl_word(std::uint32_t v) {
+  std::vector<std::uint8_t> bytes(4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return bytes;
+}
+
+void ShipDriver::mark_sw(ship::Role r, const char* call) {
+  if (sw_role_ != ship::Role::Unknown && sw_role_ != r) {
+    throw ProtocolError("SHIP role conflict on driver " + name_ +
+                        ": SW task called " + call);
+  }
+  sw_role_ = r;
+}
+
+void ShipDriver::push_to_hw(const ship::ship_serializable_if& msg,
+                            std::uint32_t flags) {
+  cpu_.consume(cfg_.call_overhead_cycles);
+  const std::vector<std::uint8_t> bytes = ship::to_bytes(msg);
+  const std::size_t w = mb_.window_bytes;
+  std::size_t sent = 0;
+  do {
+    const std::size_t chunk = std::min(w, bytes.size() - sent);
+    if (chunk > 0) {
+      cpu_.mmio_write(mb_.data_in(),
+                      std::vector<std::uint8_t>(
+                          bytes.begin() + static_cast<std::ptrdiff_t>(sent),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(sent + chunk)));
+    }
+    sent += chunk;
+    std::uint32_t ctrl = static_cast<std::uint32_t>(chunk) | flags;
+    if (sent == bytes.size()) ctrl |= HwSwFlags::kLastFlag;
+    cpu_.mmio_write(mb_.ctrl(), ctrl_word(ctrl));
+  } while (sent < bytes.size());
+}
+
+void ShipDriver::send(const ship::ship_serializable_if& msg) {
+  os_.require_task("ShipDriver::send");
+  mark_sw(ship::Role::Master, "send");
+  push_to_hw(msg, 0);
+}
+
+void ShipDriver::request(const ship::ship_serializable_if& req,
+                         ship::ship_serializable_if& resp) {
+  os_.require_task("ShipDriver::request");
+  mark_sw(ship::Role::Master, "request");
+  push_to_hw(req, HwSwFlags::kRequestFlag);
+  rx_reply_sem_.wait();  // blocks the task; the ISR posts on reply
+  std::vector<std::uint8_t> bytes = std::move(rx_replies_.front());
+  rx_replies_.pop_front();
+  if (bytes.size() == 1 && ship::serialized_size(resp) == 0) bytes.clear();
+  ship::from_bytes(resp, bytes);
+}
+
+void ShipDriver::recv(ship::ship_serializable_if& msg) {
+  os_.require_task("ShipDriver::recv");
+  mark_sw(ship::Role::Slave, "recv");
+  rx_normal_sem_.wait();
+  std::vector<std::uint8_t> bytes = std::move(rx_normal_.front());
+  rx_normal_.pop_front();
+  if (bytes.size() == 1 && ship::serialized_size(msg) == 0) bytes.clear();
+  ship::from_bytes(msg, bytes);
+}
+
+void ShipDriver::reply(const ship::ship_serializable_if& resp) {
+  os_.require_task("ShipDriver::reply");
+  mark_sw(ship::Role::Slave, "reply");
+  if (pending_replies_ == 0) {
+    throw ProtocolError("driver " + name_ + ": reply without outstanding request");
+  }
+  --pending_replies_;
+  push_to_hw(resp, HwSwFlags::kReplyFlag);
+}
+
+void ShipDriver::on_irq() {
+  ++isrs_;
+  cpu_.consume(cfg_.isr_overhead_cycles);
+  // Drain every complete outbound message the adapter currently holds.
+  for (;;) {
+    const std::uint32_t status = cpu_.mmio_read32(mb_.rstatus());
+    std::uint32_t remaining = status & HwSwFlags::kLenMask;
+    if (remaining == 0) break;
+    const std::uint32_t flags = status & ~HwSwFlags::kLenMask;
+    std::vector<std::uint8_t> bytes;
+    // `remaining` covers exactly this message; the adapter pops its head
+    // only once the final chunk is acknowledged.
+    while (remaining > 0) {
+      const std::uint32_t chunk =
+          std::min<std::uint32_t>(remaining, mb_.window_bytes);
+      std::vector<std::uint8_t> part = cpu_.mmio_read(mb_.data_out(), chunk);
+      bytes.insert(bytes.end(), part.begin(), part.end());
+      cpu_.mmio_write(mb_.rack(), ctrl_word(0));
+      remaining -= chunk;
+    }
+    ++rx_count_;
+    if (flags & HwSwFlags::kReplyFlag) {
+      rx_replies_.push_back(std::move(bytes));
+      rx_reply_sem_.post_from_isr();
+    } else {
+      rx_normal_.push_back(std::move(bytes));
+      if (flags & HwSwFlags::kRequestFlag) ++pending_replies_;
+      rx_normal_sem_.post_from_isr();
+    }
+  }
+}
+
+}  // namespace stlm::hwsw

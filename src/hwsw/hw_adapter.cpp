@@ -1,0 +1,172 @@
+#include "hwsw/hw_adapter.hpp"
+
+#include <algorithm>
+
+namespace stlm::hwsw {
+
+HwAdapter::HwAdapter(Simulator& sim, std::string name,
+                     cam::MailboxLayout layout, Time irq_pulse)
+    : Module(sim, std::move(name)),
+      layout_(layout),
+      irq_(sim, full_name() + ".irq", false),
+      irq_pulse_(irq_pulse),
+      irq_trigger_(sim, full_name() + ".irq_trigger"),
+      chunk_buf_(layout.window_bytes, 0),
+      rx_normal_ev_(sim, full_name() + ".rx_normal"),
+      rx_reply_ev_(sim, full_name() + ".rx_reply"),
+      out_consumed_(sim, full_name() + ".out_consumed") {
+  STLM_ASSERT(!irq_pulse_.is_zero(), "IRQ pulse must be positive: " + full_name());
+  spawn_thread("irq_pulser", [this] { irq_pulser(); });
+}
+
+void HwAdapter::irq_pulser() {
+  for (;;) {
+    wait(irq_trigger_);
+    ++irqs_;
+    irq_.write(true);
+    wait(irq_pulse_);
+    irq_.write(false);
+    // Let the negedge settle so back-to-back messages produce distinct
+    // rising edges.
+    wait(irq_pulse_);
+    if (!out_queue_.empty()) irq_trigger_.notify_delta();
+  }
+}
+
+void HwAdapter::enqueue_outbound(std::vector<std::uint8_t> bytes,
+                                 std::uint32_t flags) {
+  // Even empty payloads must be observable through RSTATUS.
+  if (bytes.empty()) bytes.push_back(0);
+  const bool was_empty = out_queue_.empty();
+  out_queue_.push_back(Message{std::move(bytes), flags});
+  ++to_sw_;
+  if (was_empty) irq_trigger_.notify_delta();
+}
+
+// ------------------------------------------------------------ bus side --
+
+ocp::Response HwAdapter::handle(const ocp::Request& req) {
+  const std::uint64_t a = req.addr;
+
+  if (req.cmd == ocp::Cmd::Write) {
+    if (a >= layout_.data_in() &&
+        a + req.data.size() <= layout_.data_in() + layout_.window_bytes) {
+      const std::size_t off = static_cast<std::size_t>(a - layout_.data_in());
+      std::copy(req.data.begin(), req.data.end(), chunk_buf_.begin() + off);
+      return ocp::Response::ok();
+    }
+    if (a == layout_.ctrl() && req.data.size() >= 4) {
+      std::uint32_t ctrl = 0;
+      for (int i = 3; i >= 0; --i) {
+        ctrl = (ctrl << 8) | req.data[static_cast<std::size_t>(i)];
+      }
+      const std::uint32_t len = ctrl & HwSwFlags::kLenMask;
+      if (len > layout_.window_bytes) return ocp::Response::error();
+      rx_accum_.insert(rx_accum_.end(), chunk_buf_.begin(),
+                       chunk_buf_.begin() + len);
+      if (ctrl & HwSwFlags::kLastFlag) {
+        Message m{std::move(rx_accum_), ctrl & ~HwSwFlags::kLenMask};
+        rx_accum_.clear();
+        ++from_sw_;
+        if (ctrl & HwSwFlags::kReplyFlag) {
+          rx_replies_.push_back(std::move(m));
+          rx_reply_ev_.notify_delta();
+        } else {
+          rx_normal_.push_back(std::move(m));
+          rx_normal_ev_.notify_delta();
+        }
+      }
+      return ocp::Response::ok();
+    }
+    if (a == layout_.rack()) {
+      if (!out_queue_.empty()) {
+        auto& head = out_queue_.front().payload;
+        const std::size_t chunk =
+            std::min<std::size_t>(head.size(), layout_.window_bytes);
+        head.erase(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(chunk));
+        if (head.empty()) out_queue_.pop_front();
+        out_consumed_.notify_delta();
+      }
+      return ocp::Response::ok();
+    }
+    return ocp::Response::error();
+  }
+
+  if (req.cmd == ocp::Cmd::Read) {
+    if (a == layout_.rstatus()) {
+      std::uint32_t status = 0;
+      if (!out_queue_.empty()) {
+        const Message& head = out_queue_.front();
+        status = static_cast<std::uint32_t>(head.payload.size()) &
+                 HwSwFlags::kLenMask;
+        status |= head.flags & (HwSwFlags::kRequestFlag | HwSwFlags::kReplyFlag);
+      }
+      std::vector<std::uint8_t> bytes(4);
+      for (int i = 0; i < 4; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(status >> (8 * i));
+      }
+      return ocp::Response::ok_with(std::move(bytes));
+    }
+    if (a >= layout_.data_out() &&
+        a + req.read_bytes <= layout_.data_out() + layout_.window_bytes) {
+      const std::size_t off = static_cast<std::size_t>(a - layout_.data_out());
+      std::vector<std::uint8_t> bytes(req.read_bytes, 0);
+      if (!out_queue_.empty()) {
+        const auto& head = out_queue_.front().payload;
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+          if (off + i < head.size()) bytes[i] = head[off + i];
+        }
+      }
+      return ocp::Response::ok_with(std::move(bytes));
+    }
+    return ocp::Response::error();
+  }
+  return ocp::Response::error();
+}
+
+// ----------------------------------------------------------- SHIP side --
+
+void HwAdapter::mark_hw(ship::Role r, const char* call) {
+  if (hw_role_ != ship::Role::Unknown && hw_role_ != r) {
+    throw ProtocolError("SHIP role conflict on HW/SW interface " +
+                        full_name() + ": HW PE called " + call);
+  }
+  hw_role_ = r;
+}
+
+void HwAdapter::send(const ship::ship_serializable_if& msg) {
+  mark_hw(ship::Role::Master, "send");
+  enqueue_outbound(ship::to_bytes(msg), 0);
+}
+
+void HwAdapter::request(const ship::ship_serializable_if& req,
+                        ship::ship_serializable_if& resp) {
+  mark_hw(ship::Role::Master, "request");
+  enqueue_outbound(ship::to_bytes(req), HwSwFlags::kRequestFlag);
+  while (rx_replies_.empty()) wait(rx_reply_ev_);
+  Message m = std::move(rx_replies_.front());
+  rx_replies_.pop_front();
+  ship::from_bytes(resp, m.payload);
+}
+
+void HwAdapter::recv(ship::ship_serializable_if& msg) {
+  mark_hw(ship::Role::Slave, "recv");
+  while (rx_normal_.empty()) wait(rx_normal_ev_);
+  Message m = std::move(rx_normal_.front());
+  rx_normal_.pop_front();
+  if (m.flags & HwSwFlags::kRequestFlag) ++pending_replies_;
+  ship::from_bytes(msg, m.payload);
+}
+
+void HwAdapter::reply(const ship::ship_serializable_if& resp) {
+  mark_hw(ship::Role::Slave, "reply");
+  if (pending_replies_ == 0) {
+    throw ProtocolError("HW/SW interface " + full_name() +
+                        ": reply without outstanding request");
+  }
+  --pending_replies_;
+  enqueue_outbound(ship::to_bytes(resp), HwSwFlags::kReplyFlag);
+}
+
+}  // namespace stlm::hwsw

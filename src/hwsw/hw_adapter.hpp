@@ -1,0 +1,101 @@
+#pragma once
+// HW adapter of the generic SHIP-based HW/SW interface (paper §4).
+//
+// "This interface virtually realizes a SHIP channel with one end in the
+// HW partition and one end in the SW partition." The HW adapter is the
+// hardware half: toward the system's communication architecture it is an
+// OCP slave (shared-memory mailbox + control registers); toward the
+// HW PE it presents the SHIP interface method calls; toward the CPU it
+// raises a sideband interrupt when hardware-to-software data is ready.
+//
+// Register map (offsets from base):
+//   +0x00  CTRL     W  inbound chunk: len[23:0] | last[24] | req[25] | rep[26]
+//   +0x04  RSTATUS  R  outbound head: remaining[23:0] | req[25] | rep[26]
+//   +0x08  RACK     W  outbound chunk consumed
+//   +0x10  DATA_IN  W  inbound chunk window
+//   +0x10+W DATA_OUT R outbound chunk window
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cam/wrappers.hpp"
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+#include "ship/channel.hpp"
+
+namespace stlm::hwsw {
+
+struct HwSwFlags {
+  static constexpr std::uint32_t kLenMask = 0x00ffffff;
+  static constexpr std::uint32_t kLastFlag = 1u << 24;
+  static constexpr std::uint32_t kRequestFlag = 1u << 25;
+  static constexpr std::uint32_t kReplyFlag = 1u << 26;
+};
+
+class HwAdapter final : public Module,
+                        public ocp::ocp_tl_slave_if,
+                        public ship::ship_if {
+public:
+  // `irq_pulse` is how long the sideband interrupt stays high (typically
+  // one bus clock cycle).
+  HwAdapter(Simulator& sim, std::string name, cam::MailboxLayout layout,
+            Time irq_pulse);
+
+  // Sideband interrupt toward the CPU's interrupt controller.
+  Signal<bool>& irq() { return irq_; }
+  const cam::MailboxLayout& layout() const { return layout_; }
+
+  // --- OCP slave side (bus-facing; driven by the SW driver) -----------
+  ocp::Response handle(const ocp::Request& req) override;
+
+  // --- SHIP side (HW PE-facing) ----------------------------------------
+  void send(const ship::ship_serializable_if& msg) override;
+  void recv(ship::ship_serializable_if& msg) override;
+  void request(const ship::ship_serializable_if& req,
+               ship::ship_serializable_if& resp) override;
+  void reply(const ship::ship_serializable_if& resp) override;
+  bool message_available() const override { return !rx_normal_.empty(); }
+  ship::Role role() const override { return hw_role_; }
+  const std::string& channel_name() const override { return Module::name(); }
+
+  std::uint64_t irq_count() const { return irqs_; }
+  std::uint64_t messages_to_sw() const { return to_sw_; }
+  std::uint64_t messages_from_sw() const { return from_sw_; }
+
+private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    std::uint32_t flags = 0;
+  };
+
+  void mark_hw(ship::Role r, const char* call);
+  void enqueue_outbound(std::vector<std::uint8_t> bytes, std::uint32_t flags);
+  void irq_pulser();
+
+  cam::MailboxLayout layout_;
+  Signal<bool> irq_;
+  Time irq_pulse_;
+  Event irq_trigger_;
+
+  // Inbound (SW -> HW).
+  std::vector<std::uint8_t> chunk_buf_;
+  std::vector<std::uint8_t> rx_accum_;
+  std::deque<Message> rx_normal_;   // sends + requests from SW
+  std::deque<Message> rx_replies_;  // replies from SW
+  Event rx_normal_ev_;
+  Event rx_reply_ev_;
+  std::uint64_t pending_replies_ = 0;  // requests HW has recv'd, not replied
+
+  // Outbound (HW -> SW).
+  std::deque<Message> out_queue_;
+  Event out_consumed_;
+
+  ship::Role hw_role_ = ship::Role::Unknown;
+  std::uint64_t irqs_ = 0;
+  std::uint64_t to_sw_ = 0;
+  std::uint64_t from_sw_ = 0;
+};
+
+}  // namespace stlm::hwsw

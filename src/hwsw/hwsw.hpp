@@ -1,0 +1,5 @@
+#pragma once
+// Umbrella header for the HW/SW interface library.
+
+#include "hwsw/driver.hpp"
+#include "hwsw/hw_adapter.hpp"

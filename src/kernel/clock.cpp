@@ -1,0 +1,35 @@
+#include "kernel/clock.hpp"
+
+#include "kernel/report.hpp"
+
+namespace stlm {
+
+Clock::Clock(Simulator& sim, std::string name, Time period, double duty,
+             Time start, Module* parent)
+    : Module(sim, std::move(name), parent),
+      period_(period),
+      start_(start),
+      sig_(sim, full_name() + ".clk", false) {
+  STLM_ASSERT(!period.is_zero(), "clock period must be positive: " + full_name());
+  STLM_ASSERT(duty > 0.0 && duty < 1.0,
+              "clock duty cycle must be in (0,1): " + full_name());
+  high_ = Time::fs(static_cast<std::uint64_t>(
+      static_cast<double>(period.femtoseconds()) * duty));
+  STLM_ASSERT(!high_.is_zero() && high_ < period_,
+              "clock duty cycle unrepresentable: " + full_name());
+  low_ = period_ - high_;
+  spawn_thread("gen", [this] { generate(); });
+}
+
+void Clock::generate() {
+  if (!start_.is_zero()) wait(start_);
+  for (;;) {
+    sig_.write(true);
+    ++cycles_;
+    wait(high_);
+    sig_.write(false);
+    wait(low_);
+  }
+}
+
+}  // namespace stlm

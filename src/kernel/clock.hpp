@@ -1,0 +1,42 @@
+#pragma once
+// Clock generator: a Module driving a bool Signal with a fixed period and
+// duty cycle. Pin-level models and accessors synchronize to
+// posedge_event(); CCATB models only use period() for cycle arithmetic,
+// which is what keeps them fast.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+#include "kernel/time.hpp"
+
+namespace stlm {
+
+class Clock final : public Module {
+public:
+  Clock(Simulator& sim, std::string name, Time period, double duty = 0.5,
+        Time start = Time::zero(), Module* parent = nullptr);
+
+  Signal<bool>& signal() { return sig_; }
+  const Signal<bool>& signal() const { return sig_; }
+  Event& posedge_event() { return sig_.posedge_event(); }
+  Event& negedge_event() { return sig_.negedge_event(); }
+
+  Time period() const { return period_; }
+  double frequency_mhz() const { return 1e-6 / period_.to_seconds(); }
+  // Number of rising edges generated so far.
+  std::uint64_t cycle_count() const { return cycles_; }
+
+private:
+  void generate();
+
+  Time period_;
+  Time high_;
+  Time low_;
+  Time start_;
+  Signal<bool> sig_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace stlm

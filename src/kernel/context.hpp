@@ -1,0 +1,24 @@
+#pragma once
+// Lightweight user-space context switch for thread processes.
+//
+// glibc's swapcontext() performs a sigprocmask system call on every
+// switch (~1-2 us), which would dominate simulation time — a clock cycle
+// costs several process switches. Simulation coroutines never change the
+// signal mask, so we switch stacks directly: save the callee-saved
+// registers and the stack pointer, load the peer's. This is the same
+// technique SystemC's QuickThreads package uses.
+//
+// x86-64 System V only (the platform this repository targets); the
+// assembly lives in process.cpp.
+
+namespace stlm::detail {
+
+#if !defined(__x86_64__)
+#error "shiptlm's coroutine switch is implemented for x86-64 SysV only"
+#endif
+
+// Save the current stack pointer to *save_sp, switch to load_sp (a value
+// previously produced by this function or by make_initial_stack).
+extern "C" void stlm_ctx_swap(void** save_sp, void* load_sp);
+
+}  // namespace stlm::detail

@@ -1,0 +1,88 @@
+#include "kernel/event.hpp"
+
+#include "kernel/process.hpp"
+#include "kernel/report.hpp"
+#include "kernel/simulator.hpp"
+
+namespace stlm {
+
+Event::Event(std::string name)
+    : sim_(&Simulator::require_current()), name_(std::move(name)) {
+  sim_->register_event(*this);
+}
+
+Event::Event(Simulator& sim, std::string name)
+    : sim_(&sim), name_(std::move(name)) {
+  sim_->register_event(*this);
+}
+
+Event::~Event() { sim_->unregister_event(*this); }
+
+void Event::notify() {
+  // Immediate: wake waiters into the current evaluation phase.
+  trigger();
+}
+
+void Event::notify_delta() {
+  if (delta_pending_) return;
+  if (timed_pending_) {
+    // A delta notification is always earlier than a timed one: override.
+    ++sched_gen_;
+    timed_pending_ = false;
+  }
+  delta_pending_ = true;
+  sim_->schedule_delta_event(*this);
+}
+
+void Event::notify(Time delay) {
+  if (delay.is_zero()) {
+    notify_delta();
+    return;
+  }
+  if (delta_pending_) return;  // pending delta is earlier; keep it
+  const Time abs = sim_->now() + delay;
+  if (timed_pending_) {
+    if (timed_when_ <= abs) return;  // pending one is earlier; keep it
+    ++sched_gen_;                    // invalidate the later pending entry
+  }
+  timed_pending_ = true;
+  timed_when_ = abs;
+  sim_->schedule_timed_event(*this, abs);
+}
+
+void Event::cancel() {
+  ++sched_gen_;
+  delta_pending_ = false;
+  timed_pending_ = false;
+}
+
+void Event::add_dynamic_waiter(Process& p) {
+  dynamic_.push_back(DynWaiter{&p, p.wake_gen()});
+}
+
+void Event::trigger() {
+  delta_pending_ = false;
+  timed_pending_ = false;
+  ++sched_gen_;
+
+  // One-shot dynamic waiters.
+  std::vector<DynWaiter> dyn;
+  dyn.swap(dynamic_);
+  for (const DynWaiter& w : dyn) {
+    if (!sim_->process_alive(w.proc)) continue;
+    if (w.proc->terminated()) continue;
+    if (w.gen != w.proc->wake_gen()) continue;  // stale registration
+    sim_->make_runnable(*w.proc, Process::WakeReason::Event, this);
+  }
+
+  // Statically sensitive processes. Thread processes handle static
+  // sensitivity via wait_static() (which registers dynamically), so only
+  // method processes live here.
+  for (ProcessBase* pb : static_) {
+    if (pb->kind() == ProcessBase::Kind::Method) {
+      sim_->queue_method(static_cast<MethodProcess&>(*pb));
+    }
+  }
+}
+
+}  // namespace stlm

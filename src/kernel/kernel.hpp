@@ -1,0 +1,12 @@
+#pragma once
+// Umbrella header for the shiptlm discrete-event simulation kernel.
+
+#include "kernel/channels.hpp"
+#include "kernel/clock.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/process.hpp"
+#include "kernel/report.hpp"
+#include "kernel/signal.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"

@@ -1,0 +1,133 @@
+#include "kernel/process.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernel/context.hpp"
+#include "kernel/event.hpp"
+#include "kernel/report.hpp"
+#include "kernel/simulator.hpp"
+
+// Callee-saved-register stack switch (x86-64 SysV). See context.hpp.
+asm(R"(
+.text
+.globl stlm_ctx_swap
+.type stlm_ctx_swap, @function
+stlm_ctx_swap:
+  pushq %rbx
+  pushq %rbp
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbp
+  popq %rbx
+  ret
+.size stlm_ctx_swap, .-stlm_ctx_swap
+)");
+
+namespace stlm {
+
+namespace {
+// Handoff slot for the coroutine trampoline (the initial frame carries no
+// arguments; the spawner sets this immediately before the first switch).
+thread_local Process* g_starting_process = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------- base --
+
+ProcessBase::ProcessBase(Simulator& sim, std::string name, Kind kind)
+    : sim_(sim), name_(std::move(name)), kind_(kind) {
+  sim_.register_process(*this);
+}
+
+ProcessBase::~ProcessBase() {
+  // Remove ourselves from the static lists of still-live events.
+  for (Event* e : static_events_) {
+    if (!sim_.event_alive(e)) continue;
+    std::erase(e->static_, this);
+  }
+  sim_.unregister_process(*this);
+}
+
+void ProcessBase::set_static_sensitivity(const std::vector<Event*>& events) {
+  for (Event* e : static_events_) {
+    if (sim_.event_alive(e)) std::erase(e->static_, this);
+  }
+  static_events_ = events;
+  for (Event* e : static_events_) {
+    STLM_ASSERT(e != nullptr, "null event in sensitivity list of " + name_);
+    e->static_.push_back(this);
+  }
+}
+
+// -------------------------------------------------------------- thread --
+
+Process::Process(Simulator& sim, std::string name, std::function<void()> body,
+                 std::size_t stack_bytes)
+    : ProcessBase(sim, std::move(name), Kind::Thread),
+      body_(std::move(body)),
+      stack_(std::make_unique<char[]>(stack_bytes)),
+      stack_bytes_(stack_bytes) {
+  STLM_ASSERT(body_ != nullptr, "thread process needs a body: " + name_);
+}
+
+Process::~Process() = default;
+
+Event& Process::terminated_event() {
+  if (!terminated_event_) {
+    terminated_event_ =
+        std::make_unique<Event>(sim_, name_ + ".terminated");
+  }
+  return *terminated_event_;
+}
+
+void Process::trampoline() {
+  Process* self = g_starting_process;
+  g_starting_process = nullptr;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->terminated_ = true;
+  if (self->terminated_event_) self->terminated_event_->notify_delta();
+  // Hand control back to the scheduler for good.
+  detail::stlm_ctx_swap(&self->sp_, self->sim_.sched_sp_);
+  // A terminated process is never resumed.
+  std::abort();
+}
+
+void Process::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  // Craft the initial frame stlm_ctx_swap will "restore": six zeroed
+  // callee-saved registers, then the trampoline as return address. The
+  // pad slot keeps rsp % 16 == 8 at trampoline entry (SysV call ABI).
+  char* top = stack_.get() + stack_bytes_;
+  top -= reinterpret_cast<std::uintptr_t>(top) % 16;
+  void** frame = reinterpret_cast<void**>(top) - 8;
+  for (int i = 0; i < 6; ++i) frame[i] = nullptr;     // r15..rbx
+  frame[6] = reinterpret_cast<void*>(&Process::trampoline);
+  frame[7] = nullptr;                                 // alignment pad
+  sp_ = frame;
+  g_starting_process = this;
+}
+
+// -------------------------------------------------------------- method --
+
+MethodProcess::MethodProcess(Simulator& sim, std::string name,
+                             std::function<void()> fn, bool run_at_start)
+    : ProcessBase(sim, std::move(name), Kind::Method),
+      fn_(std::move(fn)),
+      run_at_start_(run_at_start) {
+  STLM_ASSERT(fn_ != nullptr, "method process needs a callback: " + name_);
+}
+
+}  // namespace stlm

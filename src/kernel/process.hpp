@@ -1,0 +1,111 @@
+#pragma once
+// Simulation processes.
+//
+// Two kinds, mirroring SystemC:
+//   * Process       — a thread process: a stack-switching coroutine (see
+//                     context.hpp), so it can block in wait() at any call
+//                     depth.
+//                     This is what makes SHIP's blocking interface method
+//                     calls (send/recv/request/reply) expressible.
+//   * MethodProcess — a method process: a callback re-run from the top on
+//                     every trigger of its static sensitivity; cheap, used
+//                     by clocked pin-level FSMs.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stlm {
+
+class Simulator;
+class Event;
+
+class ProcessBase {
+public:
+  enum class Kind { Thread, Method };
+
+  ProcessBase(Simulator& sim, std::string name, Kind kind);
+  virtual ~ProcessBase();
+
+  ProcessBase(const ProcessBase&) = delete;
+  ProcessBase& operator=(const ProcessBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  bool terminated() const { return terminated_; }
+  Simulator& sim() const { return sim_; }
+
+  // Replace the static sensitivity list (registers with each event).
+  void set_static_sensitivity(const std::vector<Event*>& events);
+  const std::vector<Event*>& static_sensitivity() const { return static_events_; }
+
+protected:
+  friend class Simulator;
+  friend class Event;
+
+  Simulator& sim_;
+  std::string name_;
+  Kind kind_;
+  bool terminated_ = false;
+  std::vector<Event*> static_events_;
+};
+
+// Thread process: coroutine with dedicated stack.
+class Process final : public ProcessBase {
+public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  Process(Simulator& sim, std::string name, std::function<void()> body,
+          std::size_t stack_bytes = kDefaultStackBytes);
+  ~Process() override;
+
+  enum class WakeReason { None, Start, Event, Timeout };
+
+  // Event that fires when this process terminates (body returned or threw).
+  Event& terminated_event();
+
+  std::uint64_t wake_gen() const { return wake_gen_; }
+
+  // The event that most recently woke this process (nullptr after a
+  // timeout or initial start). Valid right after wait() returns.
+  Event* last_wake_event() const { return last_event_; }
+
+private:
+  friend class Simulator;
+  friend class Event;
+
+  static void trampoline();  // coroutine entry; dispatches via tls pointer
+  void ensure_started();
+
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  void* sp_ = nullptr;  // saved stack pointer while suspended
+  bool started_ = false;
+  bool runnable_ = false;                    // queued in the runnable list
+  std::uint64_t wake_gen_ = 0;               // invalidates stale wakeups
+  WakeReason wake_reason_ = WakeReason::None;
+  Event* last_event_ = nullptr;              // event that caused the wake
+  std::exception_ptr error_;
+  std::unique_ptr<Event> terminated_event_;  // lazily created
+};
+
+// Method process: callback re-run on every trigger.
+class MethodProcess final : public ProcessBase {
+public:
+  MethodProcess(Simulator& sim, std::string name, std::function<void()> fn,
+                bool run_at_start = true);
+
+private:
+  friend class Simulator;
+  friend class Event;
+
+  std::function<void()> fn_;
+  bool queued_ = false;
+  bool run_at_start_ = true;
+};
+
+}  // namespace stlm

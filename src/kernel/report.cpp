@@ -1,0 +1,30 @@
+#include "kernel/report.hpp"
+
+#include <cstdio>
+
+namespace stlm {
+
+namespace {
+Severity g_level = Severity::Warning;
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(Severity s) { g_level = s; }
+Severity log_level() { return g_level; }
+
+void log(Severity s, const std::string& source, const std::string& message) {
+  if (static_cast<int>(s) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", severity_name(s), source.c_str(),
+               message.c_str());
+}
+
+}  // namespace stlm

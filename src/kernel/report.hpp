@@ -1,0 +1,53 @@
+#pragma once
+// Error reporting and logging for the shiptlm kernel and the libraries
+// built on it. Protocol violations and elaboration errors are reported as
+// exceptions derived from SimulationError so a test or exploration driver
+// can catch and classify them.
+
+#include <stdexcept>
+#include <string>
+
+namespace stlm {
+
+// Base class for every error the simulator and protocol stacks raise.
+class SimulationError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+// Misuse of a communication protocol (SHIP role conflict, OCP phase order,
+// mailbox overflow, ...).
+class ProtocolError : public SimulationError {
+public:
+  using SimulationError::SimulationError;
+};
+
+// Structural problems found before simulation starts (unbound port,
+// overlapping address ranges, unmapped channel, ...).
+class ElaborationError : public SimulationError {
+public:
+  using SimulationError::SimulationError;
+};
+
+enum class Severity { Debug, Info, Warning, Error };
+
+// Global log threshold; messages below it are dropped. Defaults to Warning
+// so tests and benchmarks stay quiet.
+void set_log_level(Severity s);
+Severity log_level();
+
+// Write a log line ("[sev] source: message") to stderr if `s` passes the
+// threshold.
+void log(Severity s, const std::string& source, const std::string& message);
+
+}  // namespace stlm
+
+// Assert a precondition/invariant; throws SimulationError on failure.
+// Used for contract checks that must stay active in release builds.
+#define STLM_ASSERT(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      throw ::stlm::SimulationError(std::string("assertion failed: ") + \
+                                    (msg));                          \
+    }                                                                \
+  } while (false)

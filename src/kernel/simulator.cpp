@@ -1,0 +1,369 @@
+#include "kernel/simulator.hpp"
+
+#include <algorithm>
+
+#include "kernel/context.hpp"
+#include "kernel/module.hpp"
+
+namespace stlm {
+
+namespace {
+// Stack of live simulators on this thread; the top one is "current".
+// This is the single piece of global state in the library (see the header
+// for the rationale).
+thread_local std::vector<Simulator*> g_sim_stack;
+}  // namespace
+
+Simulator::Simulator() { g_sim_stack.push_back(this); }
+
+Simulator::~Simulator() {
+  owned_processes_.clear();
+  auto it = std::find(g_sim_stack.rbegin(), g_sim_stack.rend(), this);
+  if (it != g_sim_stack.rend()) {
+    g_sim_stack.erase(std::next(it).base());
+  }
+}
+
+Simulator* Simulator::current() {
+  return g_sim_stack.empty() ? nullptr : g_sim_stack.back();
+}
+
+Simulator& Simulator::require_current() {
+  Simulator* s = current();
+  if (!s) {
+    throw SimulationError(
+        "no current Simulator on this thread; construct one first");
+  }
+  return *s;
+}
+
+Process& Simulator::require_process(const char* what) const {
+  if (!current_process_) {
+    throw SimulationError(std::string(what) +
+                          " may only be called from a thread process");
+  }
+  return *current_process_;
+}
+
+// ------------------------------------------------------------ creation --
+
+Process& Simulator::spawn_thread(std::string name, std::function<void()> body,
+                                 std::size_t stack_bytes) {
+  auto proc = std::make_unique<Process>(*this, std::move(name),
+                                        std::move(body), stack_bytes);
+  Process& ref = *proc;
+  owned_processes_.push_back(std::move(proc));
+  if (initialized_) make_runnable(ref, Process::WakeReason::Start, nullptr);
+  return ref;
+}
+
+MethodProcess& Simulator::spawn_method(std::string name,
+                                       std::function<void()> fn,
+                                       std::vector<Event*> sensitivity,
+                                       bool run_at_start) {
+  auto proc = std::make_unique<MethodProcess>(*this, std::move(name),
+                                              std::move(fn), run_at_start);
+  MethodProcess& ref = *proc;
+  ref.set_static_sensitivity(sensitivity);
+  owned_processes_.push_back(std::move(proc));
+  if (initialized_ && run_at_start) queue_method(ref);
+  return ref;
+}
+
+// ---------------------------------------------------------- registries --
+
+void Simulator::register_process(ProcessBase& p) {
+  all_processes_.push_back(&p);
+  live_processes_.insert(&p);
+}
+
+void Simulator::unregister_process(ProcessBase& p) {
+  std::erase(all_processes_, &p);
+  live_processes_.erase(&p);
+}
+
+void Simulator::register_event(Event& e) { live_events_.insert(&e); }
+void Simulator::unregister_event(Event& e) { live_events_.erase(&e); }
+
+void Simulator::register_module(Module& m) { modules_.push_back(&m); }
+void Simulator::unregister_module(Module& m) { std::erase(modules_, &m); }
+
+void Simulator::register_owned(std::unique_ptr<ProcessBase> p) {
+  owned_processes_.push_back(std::move(p));
+}
+
+void Simulator::add_post_delta_hook(std::function<void(Time)> hook) {
+  post_delta_hooks_.push_back(std::move(hook));
+}
+
+// ---------------------------------------------------------- scheduling --
+
+void Simulator::request_update(UpdateIf& u) {
+  if (u.update_pending_) return;
+  u.update_pending_ = true;
+  update_requests_.push_back(&u);
+}
+
+void Simulator::make_runnable(Process& p, Process::WakeReason reason,
+                              Event* cause) {
+  if (p.terminated_ || p.runnable_) return;
+  p.runnable_ = true;
+  p.wake_reason_ = reason;
+  p.last_event_ = cause;
+  runnable_.push_back(&p);
+}
+
+void Simulator::queue_method(MethodProcess& m) {
+  if (m.terminated_ || m.queued_) return;
+  m.queued_ = true;
+  method_queue_.push_back(&m);
+}
+
+void Simulator::schedule_timed_event(Event& e, Time abs_time) {
+  timed_.push(TimedEntry{abs_time, timed_seq_++, &e, nullptr, e.sched_gen_});
+}
+
+void Simulator::schedule_delta_event(Event& e) { delta_events_.push_back(&e); }
+
+void Simulator::schedule_timeout(Process& p, Time abs_time,
+                                 std::uint64_t gen) {
+  timed_.push(TimedEntry{abs_time, timed_seq_++, nullptr, &p, gen});
+}
+
+Event* Simulator::last_triggered_event() const {
+  return current_process_ ? current_process_->last_event_ : nullptr;
+}
+
+// ------------------------------------------------------------- running --
+
+void Simulator::initialize() {
+  initialized_ = true;
+  // Snapshot: processes spawned during initialization join immediately via
+  // spawn_*'s initialized_ check.
+  std::vector<ProcessBase*> procs = all_processes_;
+  for (ProcessBase* pb : procs) {
+    if (!process_alive(pb) || pb->terminated_) continue;
+    if (pb->kind() == ProcessBase::Kind::Thread) {
+      make_runnable(static_cast<Process&>(*pb), Process::WakeReason::Start,
+                    nullptr);
+    } else {
+      auto& m = static_cast<MethodProcess&>(*pb);
+      if (m.run_at_start_) queue_method(m);
+    }
+  }
+}
+
+void Simulator::check_elaboration() {
+  if (elaborated_) return;
+  elaborated_ = true;
+  for (const Module* m : modules_) {
+    for (const PortBase* p : m->ports()) {
+      if (!p->is_bound() && !p->is_optional()) {
+        throw ElaborationError("unbound port: " + p->full_name());
+      }
+    }
+  }
+}
+
+void Simulator::run() { run_impl(std::nullopt); }
+
+void Simulator::run_for(Time duration) { run_impl(now_ + duration); }
+
+void Simulator::run_impl(std::optional<Time> end_time) {
+  STLM_ASSERT(!running_, "Simulator::run() is not reentrant");
+  // While running, this simulator is the thread-current one, so that
+  // wait()/notify() inside processes resolve correctly even when several
+  // simulators are alive (e.g. a scratch role-discovery run).
+  struct CurrentGuard {
+    explicit CurrentGuard(Simulator* s) { g_sim_stack.push_back(s); }
+    ~CurrentGuard() { g_sim_stack.pop_back(); }
+  } guard(this);
+  // New modules/ports may have appeared since the last run.
+  elaborated_ = false;
+  check_elaboration();
+  running_ = true;
+  stop_requested_ = false;
+
+  if (!initialized_) initialize();
+
+  while (true) {
+    evaluate_phase();
+    if (stop_requested_) break;
+    update_phase();
+    delta_phase();
+    ++delta_count_;
+    for (const auto& hook : post_delta_hooks_) hook(now_);
+    if (!runnable_.empty() || !method_queue_.empty()) continue;
+    if (!advance_time(end_time)) break;
+  }
+
+  running_ = false;
+  current_process_ = nullptr;
+  if (pending_error_) {
+    std::exception_ptr e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::evaluate_phase() {
+  while (!method_queue_.empty() || !runnable_.empty()) {
+    if (stop_requested_) return;
+    if (!method_queue_.empty()) {
+      MethodProcess* m = method_queue_.front();
+      method_queue_.pop_front();
+      if (!process_alive(m)) continue;
+      run_method(*m);
+      continue;
+    }
+    Process* p = runnable_.front();
+    runnable_.pop_front();
+    if (!process_alive(p) || p->terminated_) continue;
+    resume_thread(*p);
+  }
+}
+
+void Simulator::run_method(MethodProcess& m) {
+  m.queued_ = false;
+  try {
+    m.fn_();
+  } catch (...) {
+    if (!pending_error_) pending_error_ = std::current_exception();
+    m.terminated_ = true;
+    stop_requested_ = true;
+  }
+}
+
+void Simulator::resume_thread(Process& p) {
+  p.runnable_ = false;
+  ++p.wake_gen_;  // invalidate every stale registration of this process
+  current_process_ = &p;
+  p.ensure_started();
+  detail::stlm_ctx_swap(&sched_sp_, p.sp_);
+  current_process_ = nullptr;
+  if (p.error_) {
+    if (!pending_error_) pending_error_ = p.error_;
+    p.error_ = nullptr;
+    stop_requested_ = true;
+  }
+}
+
+Process::WakeReason Simulator::suspend_current() {
+  Process& p = require_process("wait");
+  detail::stlm_ctx_swap(&p.sp_, sched_sp_);
+  return p.wake_reason_;
+}
+
+void Simulator::update_phase() {
+  std::vector<UpdateIf*> updates;
+  updates.swap(update_requests_);
+  for (UpdateIf* u : updates) {
+    u->update_pending_ = false;
+    u->update();
+  }
+}
+
+void Simulator::delta_phase() {
+  std::vector<Event*> events;
+  events.swap(delta_events_);
+  for (Event* e : events) {
+    if (!event_alive(e)) continue;
+    if (!e->delta_pending_) continue;  // cancelled meanwhile
+    e->trigger();
+  }
+}
+
+void Simulator::dispatch_timed(const TimedEntry& entry) {
+  if (entry.event) {
+    Event* e = entry.event;
+    if (!event_alive(e)) return;
+    if (!e->timed_pending_ || e->sched_gen_ != entry.gen) return;  // stale
+    e->trigger();
+  } else {
+    Process* p = entry.proc;
+    if (!process_alive(p) || p->terminated_) return;
+    if (p->wake_gen_ != entry.gen) return;  // stale timeout
+    make_runnable(*p, Process::WakeReason::Timeout, nullptr);
+  }
+}
+
+bool Simulator::advance_time(std::optional<Time> end_time) {
+  // Drop stale leading entries so we do not advance time for nothing.
+  auto entry_stale = [this](const TimedEntry& e) {
+    if (e.event) {
+      return !event_alive(e.event) || !e.event->timed_pending_ ||
+             e.event->sched_gen_ != e.gen;
+    }
+    return !process_alive(e.proc) || e.proc->terminated_ ||
+           e.proc->wake_gen_ != e.gen;
+  };
+  while (!timed_.empty() && entry_stale(timed_.top())) timed_.pop();
+  if (timed_.empty()) return false;
+
+  const Time next = timed_.top().when;
+  if (end_time && next > *end_time) {
+    now_ = *end_time;
+    return false;
+  }
+  now_ = next;
+  while (!timed_.empty() && timed_.top().when == next) {
+    TimedEntry entry = timed_.top();
+    timed_.pop();
+    dispatch_timed(entry);
+  }
+  return true;
+}
+
+bool Simulator::idle() const {
+  return runnable_.empty() && method_queue_.empty() && delta_events_.empty() &&
+         timed_.empty();
+}
+
+// ------------------------------------------------------------ wait API --
+
+void wait(Event& e) {
+  Simulator& sim = Simulator::require_current();
+  Process& p = sim.require_process("wait(Event)");
+  e.add_dynamic_waiter(p);
+  sim.suspend_current();
+}
+
+void wait(Time delay) {
+  Simulator& sim = Simulator::require_current();
+  Process& p = sim.require_process("wait(Time)");
+  sim.schedule_timeout(p, sim.now() + delay, p.wake_gen());
+  sim.suspend_current();
+}
+
+bool wait(Time timeout, Event& e) {
+  Simulator& sim = Simulator::require_current();
+  Process& p = sim.require_process("wait(Time, Event)");
+  e.add_dynamic_waiter(p);
+  sim.schedule_timeout(p, sim.now() + timeout, p.wake_gen());
+  return sim.suspend_current() == Process::WakeReason::Event;
+}
+
+Event& wait_any(const std::vector<Event*>& events) {
+  Simulator& sim = Simulator::require_current();
+  Process& p = sim.require_process("wait_any");
+  STLM_ASSERT(!events.empty(), "wait_any needs at least one event");
+  for (Event* e : events) {
+    STLM_ASSERT(e != nullptr, "null event passed to wait_any");
+    e->add_dynamic_waiter(p);
+  }
+  sim.suspend_current();
+  STLM_ASSERT(p.last_wake_event() != nullptr, "wait_any woke without event");
+  return *p.last_wake_event();
+}
+
+void wait_static() {
+  Simulator& sim = Simulator::require_current();
+  Process& p = sim.require_process("wait_static");
+  const auto& events = p.static_sensitivity();
+  STLM_ASSERT(!events.empty(),
+              "wait_static on process without static sensitivity: " + p.name());
+  for (Event* e : events) e->add_dynamic_waiter(p);
+  sim.suspend_current();
+}
+
+}  // namespace stlm

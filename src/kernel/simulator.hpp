@@ -1,0 +1,189 @@
+#pragma once
+// The discrete-event scheduler.
+//
+// Simulation cycle (SystemC-compatible):
+//   1. evaluate : run every runnable process (immediate notifications may
+//                 add more within the same phase);
+//   2. update   : apply requested primitive-channel updates (signals);
+//   3. delta    : deliver delta notifications -> next delta cycle;
+//   4. advance  : if nothing is runnable, pop the earliest timed
+//                 notifications and advance simulated time.
+//
+// One Simulator per thread is "current" at a time (they nest like a stack,
+// so tests may create them sequentially or in scopes). Events, processes
+// and modules bind to the current Simulator at construction. The
+// thread-local is the one piece of global state in the library; it exists
+// because blocking calls such as `wait(10_ns)` deep inside a channel need
+// to find the running process without threading a context parameter
+// through every protocol layer.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/process.hpp"
+#include "kernel/report.hpp"
+#include "kernel/time.hpp"
+
+namespace stlm {
+
+class Module;
+
+// Implemented by primitive channels (signals) that need an update phase.
+class UpdateIf {
+public:
+  virtual ~UpdateIf() = default;
+
+protected:
+  friend class Simulator;
+  virtual void update() = 0;
+  bool update_pending_ = false;
+};
+
+class Simulator {
+public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- observers -------------------------------------------------------
+  Time now() const { return now_; }
+  std::uint64_t delta_count() const { return delta_count_; }
+  bool running() const { return running_; }
+  bool initialized() const { return initialized_; }
+
+  // --- process creation --------------------------------------------------
+  // Processes spawned before run() start in the initialization phase;
+  // processes spawned while running become runnable immediately.
+  Process& spawn_thread(std::string name, std::function<void()> body,
+                        std::size_t stack_bytes = Process::kDefaultStackBytes);
+  MethodProcess& spawn_method(std::string name, std::function<void()> fn,
+                              std::vector<Event*> sensitivity,
+                              bool run_at_start = true);
+
+  // --- control -----------------------------------------------------------
+  // Run until event starvation or stop(). Throws if a process threw.
+  void run();
+  // Run for at most `duration` of simulated time past the current time.
+  void run_for(Time duration);
+  // Request an orderly stop at the end of the current evaluation step.
+  void stop() { stop_requested_ = true; }
+
+  // True when no runnable process, no delta and no timed activity remains.
+  bool idle() const;
+
+  // --- hooks ---------------------------------------------------------------
+  // Called after every delta cycle's update phase; used by tracing.
+  void add_post_delta_hook(std::function<void(Time)> hook);
+
+  // --- kernel-internal API (used by Event/Process/Module/wait) ----------
+  static Simulator* current();
+  static Simulator& require_current();
+
+  Process* current_process() const { return current_process_; }
+  Process& require_process(const char* what) const;
+
+  void request_update(UpdateIf& u);
+  void make_runnable(Process& p, Process::WakeReason reason, Event* cause);
+  void queue_method(MethodProcess& m);
+  void schedule_timed_event(Event& e, Time abs_time);
+  void schedule_delta_event(Event& e);
+  void schedule_timeout(Process& p, Time abs_time, std::uint64_t gen);
+
+  void register_process(ProcessBase& p);
+  void unregister_process(ProcessBase& p);
+  bool process_alive(const ProcessBase* p) const {
+    return live_processes_.contains(p);
+  }
+  bool event_alive(const Event* e) const { return live_events_.contains(e); }
+  void register_event(Event& e);
+  void unregister_event(Event& e);
+  void register_module(Module& m);
+  void unregister_module(Module& m);
+  void register_owned(std::unique_ptr<ProcessBase> p);  // sim-owned processes
+
+  const std::vector<Module*>& modules() const { return modules_; }
+
+  // Suspend the calling thread process; the scheduler resumes others.
+  // Returns the reason the process was woken.
+  Process::WakeReason suspend_current();
+
+  Event* last_triggered_event() const;
+
+private:
+  struct TimedEntry {
+    Time when;
+    std::uint64_t seq;       // FIFO tie-break for determinism
+    Event* event;            // exactly one of event/proc is set
+    Process* proc;
+    std::uint64_t gen;       // wake/sched generation at registration
+    bool operator>(const TimedEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void initialize();
+  void check_elaboration();
+  void evaluate_phase();
+  void update_phase();
+  void delta_phase();
+  bool advance_time(std::optional<Time> end_time);
+  void run_impl(std::optional<Time> end_time);
+  void run_method(MethodProcess& m);
+  void resume_thread(Process& p);
+  void dispatch_timed(const TimedEntry& e);
+
+  Time now_ = Time::zero();
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t timed_seq_ = 0;
+  bool initialized_ = false;
+  bool elaborated_ = false;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  std::deque<Process*> runnable_;
+  std::deque<MethodProcess*> method_queue_;
+  std::vector<Event*> delta_events_;
+  std::vector<UpdateIf*> update_requests_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_;
+
+  std::vector<ProcessBase*> all_processes_;
+  std::unordered_set<const Event*> live_events_;
+  std::unordered_set<const ProcessBase*> live_processes_;
+  std::vector<Module*> modules_;
+  std::vector<std::unique_ptr<ProcessBase>> owned_processes_;
+  std::vector<std::function<void(Time)>> post_delta_hooks_;
+
+  Process* current_process_ = nullptr;
+  void* sched_sp_ = nullptr;  // scheduler context while a process runs
+  std::exception_ptr pending_error_;
+
+  friend class Process;
+};
+
+// ---- blocking wait API (callable from thread processes only) -----------
+
+// Wait for one notification of `e`.
+void wait(Event& e);
+// Wait for `delay` of simulated time.
+void wait(Time delay);
+// Wait for `e` with a timeout; true if the event fired first.
+bool wait(Time timeout, Event& e);
+// Wait until any of the events fires; returns the event that did.
+Event& wait_any(const std::vector<Event*>& events);
+// Wait on the calling process's static sensitivity list.
+void wait_static();
+
+}  // namespace stlm

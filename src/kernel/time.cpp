@@ -1,0 +1,33 @@
+#include "kernel/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace stlm {
+
+std::string Time::to_string() const {
+  struct Unit {
+    std::uint64_t scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 6> units{{
+      {1'000'000'000'000'000ULL, "s"},
+      {1'000'000'000'000ULL, "ms"},
+      {1'000'000'000ULL, "us"},
+      {1'000'000ULL, "ns"},
+      {1'000ULL, "ps"},
+      {1ULL, "fs"},
+  }};
+  if (fs_ == 0) return "0 s";
+  for (const auto& u : units) {
+    if (fs_ >= u.scale) {
+      const double v = static_cast<double>(fs_) / static_cast<double>(u.scale);
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g %s", v, u.suffix);
+      return buf;
+    }
+  }
+  return "0 s";
+}
+
+}  // namespace stlm

@@ -1,0 +1,75 @@
+#pragma once
+// Simulated-time representation for the shiptlm discrete-event kernel.
+//
+// Time is an absolute or relative simulated duration held in femtoseconds,
+// mirroring SystemC's sc_time default resolution. 64 bits of femtoseconds
+// cover ~5.1 hours of simulated time, far beyond any embedded-system run
+// this library models.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace stlm {
+
+class Time {
+public:
+  constexpr Time() = default;
+
+  // Named constructors -------------------------------------------------
+  static constexpr Time fs(std::uint64_t v) { return Time{v}; }
+  static constexpr Time ps(std::uint64_t v) { return Time{v * 1'000ULL}; }
+  static constexpr Time ns(std::uint64_t v) { return Time{v * 1'000'000ULL}; }
+  static constexpr Time us(std::uint64_t v) { return Time{v * 1'000'000'000ULL}; }
+  static constexpr Time ms(std::uint64_t v) { return Time{v * 1'000'000'000'000ULL}; }
+  static constexpr Time sec(std::uint64_t v) { return Time{v * 1'000'000'000'000'000ULL}; }
+
+  static constexpr Time zero() { return Time{}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::uint64_t>::max()};
+  }
+
+  // Observers -----------------------------------------------------------
+  constexpr std::uint64_t femtoseconds() const { return fs_; }
+  constexpr double to_seconds() const { return static_cast<double>(fs_) * 1e-15; }
+  constexpr double to_ns() const { return static_cast<double>(fs_) * 1e-6; }
+  constexpr bool is_zero() const { return fs_ == 0; }
+  constexpr bool is_max() const { return fs_ == max().fs_; }
+
+  // Human-readable rendering with an auto-selected unit (e.g. "12.5 ns").
+  std::string to_string() const;
+
+  // Arithmetic ----------------------------------------------------------
+  constexpr Time& operator+=(Time o) { fs_ += o.fs_; return *this; }
+  constexpr Time& operator-=(Time o) { fs_ -= o.fs_; return *this; }
+  constexpr Time& operator*=(std::uint64_t k) { fs_ *= k; return *this; }
+  constexpr Time& operator/=(std::uint64_t k) { fs_ /= k; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.fs_ + b.fs_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.fs_ - b.fs_}; }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time{a.fs_ * k}; }
+  friend constexpr Time operator*(std::uint64_t k, Time a) { return Time{a.fs_ * k}; }
+  friend constexpr Time operator/(Time a, std::uint64_t k) { return Time{a.fs_ / k}; }
+  friend constexpr std::uint64_t operator/(Time a, Time b) { return a.fs_ / b.fs_; }
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.fs_ % b.fs_}; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+private:
+  constexpr explicit Time(std::uint64_t v) : fs_(v) {}
+  std::uint64_t fs_ = 0;
+};
+
+// UDL suffixes: `10_ns`, `5_us`, ... Importable via `using namespace
+// stlm::time_literals;` (also pulled in by `using namespace stlm;`).
+inline namespace time_literals {
+constexpr Time operator""_fs(unsigned long long v) { return Time::fs(v); }
+constexpr Time operator""_ps(unsigned long long v) { return Time::ps(v); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(v); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(v); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(v); }
+constexpr Time operator""_sec(unsigned long long v) { return Time::sec(v); }
+}  // namespace time_literals
+
+}  // namespace stlm

@@ -1,0 +1,39 @@
+#include "ocp/monitor.hpp"
+
+namespace stlm::ocp {
+
+OcpMonitor::OcpMonitor(Simulator& sim, std::string name, OcpPins& pins,
+                       Clock& clk, Module* parent)
+    : Module(sim, std::move(name), parent), pins_(pins) {
+  spawn_method("sample", [this] { sample(); }, {&clk.posedge_event()},
+               /*run_at_start=*/false);
+}
+
+void OcpMonitor::sample() {
+  const auto cmd = static_cast<Cmd>(pins_.MCmd.read());
+  const auto resp = static_cast<RespCode>(pins_.SResp.read());
+
+  if (pins_.MCmd.read() > 2 || pins_.SResp.read() > 3) {
+    ++violations_;
+    return;
+  }
+  if (cmd != Cmd::Idle) {
+    if (pins_.SCmdAccept.read()) {
+      ++cmd_beats_;
+      ++outstanding_;
+    } else {
+      ++stalls_;
+    }
+  }
+  if (resp == RespCode::DVA || resp == RespCode::Err ||
+      resp == RespCode::Fail) {
+    ++resp_beats_;
+    if (outstanding_ <= 0 && resp_beats_ > cmd_beats_ * 64) {
+      // A response stream with no commands at all is a violation; burst
+      // reads legally produce many DVA beats per command beat.
+      ++violations_;
+    }
+  }
+}
+
+}  // namespace stlm::ocp

@@ -1,0 +1,41 @@
+#pragma once
+// Pin-level OCP protocol monitor.
+//
+// Passively samples a pin bundle on every rising clock edge, counts
+// command and response beats, and checks basic protocol legality (valid
+// MCmd/SResp encodings, no response without a preceding command). Used by
+// the test suite to validate the pin FSMs and the accessors.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/clock.hpp"
+#include "kernel/module.hpp"
+#include "ocp/pins.hpp"
+#include "ocp/types.hpp"
+
+namespace stlm::ocp {
+
+class OcpMonitor final : public Module {
+public:
+  OcpMonitor(Simulator& sim, std::string name, OcpPins& pins, Clock& clk,
+             Module* parent = nullptr);
+
+  std::uint64_t command_beats() const { return cmd_beats_; }
+  std::uint64_t response_beats() const { return resp_beats_; }
+  std::uint64_t violations() const { return violations_; }
+  // Edges where a command was pending but not accepted (wait cycles).
+  std::uint64_t stall_cycles() const { return stalls_; }
+
+private:
+  void sample();
+
+  OcpPins& pins_;
+  std::uint64_t cmd_beats_ = 0;
+  std::uint64_t resp_beats_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t violations_ = 0;
+  std::int64_t outstanding_ = 0;
+};
+
+}  // namespace stlm::ocp

@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the OCP library (TL + pin level).
+
+#include "ocp/monitor.hpp"
+#include "ocp/pin_master.hpp"
+#include "ocp/pin_slave.hpp"
+#include "ocp/pins.hpp"
+#include "ocp/tl_channel.hpp"
+#include "ocp/tl_if.hpp"
+#include "ocp/types.hpp"

@@ -1,0 +1,88 @@
+#include "ocp/pin_master.hpp"
+
+namespace stlm::ocp {
+
+OcpPinMaster::OcpPinMaster(Simulator& sim, std::string name, OcpPins& pins,
+                           Clock& clk, Module* parent)
+    : Module(sim, std::move(name), parent),
+      pins_(pins),
+      clk_(clk),
+      busy_(sim, full_name() + ".busy") {}
+
+std::uint32_t OcpPinMaster::word_at(const std::vector<std::uint8_t>& bytes,
+                                    std::size_t beat) {
+  std::uint32_t w = 0;
+  for (std::size_t i = 0; i < kWordBytes; ++i) {
+    const std::size_t idx = beat * kWordBytes + i;
+    if (idx < bytes.size()) {
+      w |= static_cast<std::uint32_t>(bytes[idx]) << (8 * i);
+    }
+  }
+  return w;
+}
+
+Response OcpPinMaster::transport(const Request& req) {
+  STLM_ASSERT(req.cmd != Cmd::Idle, "transport of IDLE request on " + full_name());
+  STLM_ASSERT(req.beats() <= 255, "pin-level burst longer than MBurstLen: " +
+                                      full_name());
+  LockGuard g(busy_);
+  const std::uint32_t beats = req.beats();
+  Event& edge = clk_.posedge_event();
+
+  pins_.MAddr.write(static_cast<std::uint32_t>(req.addr));
+  pins_.MBurstLen.write(static_cast<std::uint8_t>(beats));
+  pins_.MByteCnt.write(static_cast<std::uint32_t>(req.payload_bytes()));
+
+  if (req.cmd == Cmd::Write) {
+    // Command/data phase: one beat per accepted edge.
+    for (std::uint32_t beat = 0; beat < beats;) {
+      pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Write));
+      pins_.MData.write(word_at(req.data, beat));
+      wait(edge);
+      if (pins_.SCmdAccept.read()) ++beat;
+    }
+    pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Idle));
+    // Response phase: wait for the slave's write acknowledge.
+    for (;;) {
+      wait(edge);
+      const auto r = static_cast<RespCode>(pins_.SResp.read());
+      if (r == RespCode::DVA) break;
+      if (r == RespCode::Err || r == RespCode::Fail) {
+        ++transactions_;
+        return Response::error();
+      }
+    }
+    ++transactions_;
+    return Response::ok();
+  }
+
+  // Read: command phase.
+  pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Read));
+  do {
+    wait(edge);
+  } while (!pins_.SCmdAccept.read());
+  pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Idle));
+
+  // Response phase: capture one word per DVA edge.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(static_cast<std::size_t>(beats) * kWordBytes);
+  for (std::uint32_t beat = 0; beat < beats;) {
+    wait(edge);
+    const auto r = static_cast<RespCode>(pins_.SResp.read());
+    if (r == RespCode::Err || r == RespCode::Fail) {
+      ++transactions_;
+      return Response::error();
+    }
+    if (r != RespCode::DVA) continue;
+    const std::uint32_t w = pins_.SData.read();
+    for (std::size_t i = 0; i < kWordBytes; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    ++beat;
+  }
+  bytes.resize(req.read_bytes);  // trim padding of the final word
+  ++transactions_;
+  return Response::ok_with(std::move(bytes));
+}
+
+}  // namespace stlm::ocp

@@ -1,0 +1,85 @@
+#include "ocp/pin_slave.hpp"
+
+namespace stlm::ocp {
+
+OcpPinSlave::OcpPinSlave(Simulator& sim, std::string name, OcpPins& pins,
+                         Clock& clk, ocp_tl_slave_if& device,
+                         std::uint32_t device_latency_cycles, Module* parent)
+    : Module(sim, std::move(name), parent),
+      pins_(pins),
+      clk_(clk),
+      device_(device),
+      latency_(device_latency_cycles) {
+  spawn_thread("fsm", [this] { fsm(); });
+}
+
+std::uint32_t OcpPinSlave::word_at(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t beat) {
+  std::uint32_t w = 0;
+  for (std::size_t i = 0; i < kWordBytes; ++i) {
+    const std::size_t idx = beat * kWordBytes + i;
+    if (idx < bytes.size()) {
+      w |= static_cast<std::uint32_t>(bytes[idx]) << (8 * i);
+    }
+  }
+  return w;
+}
+
+void OcpPinSlave::fsm() {
+  Event& edge = clk_.posedge_event();
+  for (;;) {
+    wait(edge);
+    const auto cmd = static_cast<Cmd>(pins_.MCmd.read());
+    if (cmd == Cmd::Idle || !pins_.SCmdAccept.read()) continue;
+
+    const std::uint32_t addr = pins_.MAddr.read();
+    const std::uint32_t beats = pins_.MBurstLen.read();
+    const std::uint32_t byte_cnt = pins_.MByteCnt.read();
+
+    if (cmd == Cmd::Write) {
+      // Capture beat 0 at this edge, remaining beats on following edges.
+      std::vector<std::uint8_t> bytes;
+      bytes.reserve(static_cast<std::size_t>(beats) * kWordBytes);
+      std::uint32_t w = pins_.MData.read();
+      for (std::uint32_t beat = 0;;) {
+        for (std::size_t i = 0; i < kWordBytes; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+        }
+        if (++beat >= beats) break;
+        wait(edge);
+        w = pins_.MData.read();
+      }
+      bytes.resize(byte_cnt);  // drop final-word padding
+      pins_.SCmdAccept.write(false);
+      for (std::uint32_t i = 0; i < latency_; ++i) wait(edge);
+      const Response r = device_.handle(Request::write(addr, std::move(bytes)));
+      pins_.SResp.write(static_cast<std::uint8_t>(
+          r.good() ? RespCode::DVA : RespCode::Err));
+      wait(edge);
+      pins_.SResp.write(static_cast<std::uint8_t>(RespCode::Null));
+      pins_.SCmdAccept.write(true);
+      ++transactions_;
+      continue;
+    }
+
+    // Read.
+    pins_.SCmdAccept.write(false);
+    for (std::uint32_t i = 0; i < latency_; ++i) wait(edge);
+    const Response r = device_.handle(Request::read(addr, byte_cnt));
+    if (!r.good()) {
+      pins_.SResp.write(static_cast<std::uint8_t>(RespCode::Err));
+      wait(edge);
+    } else {
+      for (std::uint32_t beat = 0; beat < beats; ++beat) {
+        pins_.SData.write(word_at(r.data, beat));
+        pins_.SResp.write(static_cast<std::uint8_t>(RespCode::DVA));
+        wait(edge);
+      }
+    }
+    pins_.SResp.write(static_cast<std::uint8_t>(RespCode::Null));
+    pins_.SCmdAccept.write(true);
+    ++transactions_;
+  }
+}
+
+}  // namespace stlm::ocp

@@ -1,0 +1,45 @@
+#pragma once
+// Pin-accurate OCP signal bundle (basic profile, 32-bit data).
+//
+// This is the interface the paper's *accessors* and the HW adapter of the
+// HW/SW interface attach to: a PE refined to RTL exposes exactly these
+// wires. Handshake: a request beat transfers on a rising clock edge where
+// MCmd != IDLE and SCmdAccept is high; a response beat transfers where
+// SResp == DVA.
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/signal.hpp"
+#include "kernel/simulator.hpp"
+
+namespace stlm::ocp {
+
+struct OcpPins {
+  OcpPins(Simulator& sim, const std::string& name)
+      : MCmd(sim, name + ".MCmd", 0),
+        MAddr(sim, name + ".MAddr", 0),
+        MData(sim, name + ".MData", 0),
+        MBurstLen(sim, name + ".MBurstLen", 1),
+        MByteCnt(sim, name + ".MByteCnt", 0),
+        SCmdAccept(sim, name + ".SCmdAccept", true),
+        SResp(sim, name + ".SResp", 0),
+        SData(sim, name + ".SData", 0) {}
+
+  OcpPins(const OcpPins&) = delete;
+  OcpPins& operator=(const OcpPins&) = delete;
+
+  // Master -> slave request group.
+  Signal<std::uint8_t> MCmd;        // Cmd encoding
+  Signal<std::uint32_t> MAddr;
+  Signal<std::uint32_t> MData;
+  Signal<std::uint8_t> MBurstLen;   // data beats in this transaction
+  Signal<std::uint32_t> MByteCnt;   // exact payload bytes (MReqInfo sideband)
+
+  // Slave -> master.
+  Signal<bool> SCmdAccept;
+  Signal<std::uint8_t> SResp;       // RespCode encoding
+  Signal<std::uint32_t> SData;
+};
+
+}  // namespace stlm::ocp

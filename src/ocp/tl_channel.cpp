@@ -1,0 +1,37 @@
+#include "ocp/tl_channel.hpp"
+
+namespace stlm::ocp {
+
+OcpTlChannel::OcpTlChannel(Simulator& sim, std::string name,
+                           ocp_tl_slave_if& slave, TlTiming timing)
+    : sim_(sim),
+      name_(std::move(name)),
+      slave_(slave),
+      timing_(timing),
+      busy_(sim, name_ + ".busy") {
+  STLM_ASSERT(!timing_.cycle.is_zero(), "OCP TL cycle must be positive: " + name_);
+}
+
+Response OcpTlChannel::transport(const Request& req) {
+  STLM_ASSERT(req.cmd != Cmd::Idle, "transport of IDLE request on " + name_);
+  const Time start = sim_.now();
+  LockGuard g(busy_);
+
+  const std::uint64_t cycles = timing_.request_cycles +
+                               static_cast<std::uint64_t>(req.beats()) *
+                                   timing_.cycles_per_beat +
+                               timing_.response_cycles;
+  wait(timing_.cycle * cycles);
+  Response resp = slave_.handle(req);  // may consume further wait states
+
+  ++transactions_;
+  if (log_) {
+    log_->record(name_,
+                 req.cmd == Cmd::Read ? trace::TxnKind::Read
+                                      : trace::TxnKind::Write,
+                 req.payload_bytes(), start, sim_.now());
+  }
+  return resp;
+}
+
+}  // namespace stlm::ocp

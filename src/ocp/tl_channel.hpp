@@ -1,0 +1,51 @@
+#pragma once
+// Point-to-point OCP TL channel with CCATB timing.
+//
+// Connects one master port directly to one slave device without a bus —
+// the configuration used when a PE talks to a private peripheral, and the
+// reference for the CAM models' boundary timing: the channel charges
+//   request_cycles + beats * cycles_per_beat + response_cycles
+// of simulated time per transaction in a single wait() at the transaction
+// boundary (cycle-count accurate at the boundaries, untimed inside).
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/channels.hpp"
+#include "kernel/simulator.hpp"
+#include "kernel/time.hpp"
+#include "ocp/tl_if.hpp"
+#include "trace/txn_log.hpp"
+
+namespace stlm::ocp {
+
+struct TlTiming {
+  Time cycle = Time::ns(10);
+  std::uint32_t request_cycles = 1;   // address/command phase
+  std::uint32_t cycles_per_beat = 1;  // per 32-bit data beat
+  std::uint32_t response_cycles = 1;  // response phase
+};
+
+class OcpTlChannel final : public ocp_tl_master_if {
+public:
+  OcpTlChannel(Simulator& sim, std::string name, ocp_tl_slave_if& slave,
+               TlTiming timing = {});
+
+  Response transport(const Request& req) override;
+
+  void set_txn_logger(trace::TxnLogger* log) { log_ = log; }
+  const std::string& name() const { return name_; }
+  std::uint64_t transactions() const { return transactions_; }
+  const TlTiming& timing() const { return timing_; }
+
+private:
+  Simulator& sim_;
+  std::string name_;
+  ocp_tl_slave_if& slave_;
+  TlTiming timing_;
+  Mutex busy_;  // serializes masters sharing this channel
+  trace::TxnLogger* log_ = nullptr;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace stlm::ocp

@@ -1,0 +1,33 @@
+#pragma once
+// OCP transaction-level interfaces.
+//
+//   * ocp_tl_master_if — what a master-side port binds to: a blocking
+//     transport() that carries one request to completion. CAMs, TL
+//     channels, pin-level master adapters and accessor stacks all expose
+//     this, so a PE refined from SHIP to OCP never changes again while
+//     the fabric below it is swapped (the paper's exploration story).
+//   * ocp_tl_slave_if  — the device-side callback a target implements.
+//     handle() may consume simulated time with wait() to model wait
+//     states.
+
+#include "kernel/module.hpp"
+#include "ocp/types.hpp"
+
+namespace stlm::ocp {
+
+class ocp_tl_master_if {
+public:
+  virtual ~ocp_tl_master_if() = default;
+  virtual Response transport(const Request& req) = 0;
+};
+
+class ocp_tl_slave_if {
+public:
+  virtual ~ocp_tl_slave_if() = default;
+  virtual Response handle(const Request& req) = 0;
+};
+
+using OcpMasterPort = Port<ocp_tl_master_if>;
+using OcpSlavePort = Port<ocp_tl_slave_if>;
+
+}  // namespace stlm::ocp

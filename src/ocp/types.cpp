@@ -1,0 +1,24 @@
+#include "ocp/types.hpp"
+
+namespace stlm::ocp {
+
+const char* cmd_name(Cmd c) {
+  switch (c) {
+    case Cmd::Idle: return "IDLE";
+    case Cmd::Write: return "WR";
+    case Cmd::Read: return "RD";
+  }
+  return "?";
+}
+
+const char* resp_name(RespCode r) {
+  switch (r) {
+    case RespCode::Null: return "NULL";
+    case RespCode::DVA: return "DVA";
+    case RespCode::Fail: return "FAIL";
+    case RespCode::Err: return "ERR";
+  }
+  return "?";
+}
+
+}  // namespace stlm::ocp

@@ -1,0 +1,88 @@
+#pragma once
+// OCP transaction types shared by the TL channel, the CAMs, the pin-level
+// FSMs, and the accessors.
+//
+// The paper attaches PEs to communication architecture models through
+// "OCP TLM interfaces" and refines them to "pin-level OCP". This module
+// models the OCP basic profile: single request group (MCmd/MAddr/MData),
+// single response group (SResp/SData), word size 32 bit, precise bursts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace stlm::ocp {
+
+inline constexpr std::size_t kWordBytes = 4;
+
+enum class Cmd : std::uint8_t { Idle = 0, Write = 1, Read = 2 };
+enum class RespCode : std::uint8_t { Null = 0, DVA = 1, Fail = 2, Err = 3 };
+
+const char* cmd_name(Cmd c);
+const char* resp_name(RespCode r);
+
+struct Request {
+  Cmd cmd = Cmd::Idle;
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> data;  // write payload (empty for reads)
+  std::uint32_t read_bytes = 0;    // requested bytes (reads only)
+  std::uint32_t master_id = 0;     // initiator id for arbitration/stats
+
+  static Request read(std::uint64_t addr, std::uint32_t bytes,
+                      std::uint32_t master_id = 0) {
+    Request r;
+    r.cmd = Cmd::Read;
+    r.addr = addr;
+    r.read_bytes = bytes;
+    r.master_id = master_id;
+    return r;
+  }
+
+  static Request write(std::uint64_t addr, std::vector<std::uint8_t> bytes,
+                       std::uint32_t master_id = 0) {
+    Request r;
+    r.cmd = Cmd::Write;
+    r.addr = addr;
+    r.data = std::move(bytes);
+    r.master_id = master_id;
+    return r;
+  }
+
+  // Payload size in bytes (direction-dependent).
+  std::size_t payload_bytes() const {
+    return cmd == Cmd::Read ? read_bytes : data.size();
+  }
+  // Number of 32-bit data beats this transaction occupies.
+  std::uint32_t beats() const {
+    const std::size_t b = payload_bytes();
+    return b == 0 ? 1
+                  : static_cast<std::uint32_t>((b + kWordBytes - 1) / kWordBytes);
+  }
+};
+
+struct Response {
+  RespCode resp = RespCode::Null;
+  std::vector<std::uint8_t> data;  // read payload
+
+  static Response ok() {
+    Response r;
+    r.resp = RespCode::DVA;
+    return r;
+  }
+  static Response ok_with(std::vector<std::uint8_t> bytes) {
+    Response r;
+    r.resp = RespCode::DVA;
+    r.data = std::move(bytes);
+    return r;
+  }
+  static Response error() {
+    Response r;
+    r.resp = RespCode::Err;
+    return r;
+  }
+  bool good() const { return resp == RespCode::DVA; }
+};
+
+}  // namespace stlm::ocp

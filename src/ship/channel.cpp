@@ -1,0 +1,136 @@
+#include "ship/channel.hpp"
+
+namespace stlm::ship {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::Unknown: return "unknown";
+    case Role::Master: return "master";
+    case Role::Slave: return "slave";
+  }
+  return "?";
+}
+
+ShipChannel::ShipChannel(Simulator& sim, std::string name,
+                         std::size_t queue_depth,
+                         std::unique_ptr<TimingModel> timing)
+    : sim_(sim),
+      name_(std::move(name)),
+      depth_(queue_depth),
+      timing_(timing ? std::move(timing) : std::make_unique<UntimedModel>()) {
+  STLM_ASSERT(depth_ > 0, "SHIP queue depth must be positive: " + name_);
+  for (int i = 0; i < 2; ++i) {
+    term_[i].ch = this;
+    term_[i].index = i;
+    dir_[i].written =
+        std::make_unique<Event>(sim, name_ + ".dir" + std::to_string(i) + ".written");
+    dir_[i].consumed =
+        std::make_unique<Event>(sim, name_ + ".dir" + std::to_string(i) + ".consumed");
+  }
+}
+
+void ShipChannel::set_timing(std::unique_ptr<TimingModel> t) {
+  STLM_ASSERT(t != nullptr, "null timing model for channel " + name_);
+  timing_ = std::move(t);
+}
+
+const std::string& ShipChannel::Terminal::channel_name() const {
+  return ch->name_;
+}
+
+void ShipChannel::mark_master(Terminal& t, const char* call) {
+  if (t.role_ == Role::Slave) {
+    throw ProtocolError("SHIP role conflict on channel " + name_ +
+                        ": slave terminal called " + call);
+  }
+  t.role_ = Role::Master;
+}
+
+void ShipChannel::mark_slave(Terminal& t, const char* call) {
+  if (t.role_ == Role::Master) {
+    throw ProtocolError("SHIP role conflict on channel " + name_ +
+                        ": master terminal called " + call);
+  }
+  t.role_ = Role::Slave;
+}
+
+void ShipChannel::push(Direction& d, Message m, std::size_t depth) {
+  while (d.queue.size() >= depth) wait(*d.consumed);
+  d.queue.push_back(std::move(m));
+  d.written->notify_delta();
+}
+
+ShipChannel::Message ShipChannel::pop(Direction& d) {
+  while (d.queue.empty()) wait(*d.written);
+  Message m = std::move(d.queue.front());
+  d.queue.pop_front();
+  d.consumed->notify_delta();
+  return m;
+}
+
+void ShipChannel::log_txn(trace::TxnKind kind, std::size_t bytes, Time start) {
+  ++messages_;
+  bytes_ += bytes;
+  if (log_) log_->record(name_, kind, bytes, start, sim_.now());
+}
+
+void ShipChannel::Terminal::send(const ship_serializable_if& msg) {
+  ch->mark_master(*this, "send");
+  const Time start = ch->sim_.now();
+  Message m{to_bytes(msg), /*is_request=*/false};
+  const std::size_t n = m.payload.size();
+  const Time lat = ch->timing_->transfer_latency(n);
+  if (!lat.is_zero()) wait(lat);
+  ch->push(ch->dir_[index], std::move(m), ch->depth_);
+  ch->log_txn(trace::TxnKind::Send, n, start);
+}
+
+void ShipChannel::Terminal::recv(ship_serializable_if& msg) {
+  ch->mark_slave(*this, "recv");
+  Message m = ch->pop(ch->dir_[1 - index]);
+  if (m.is_request) ++pending_replies;
+  from_bytes(msg, m.payload);
+}
+
+void ShipChannel::Terminal::request(const ship_serializable_if& req,
+                                    ship_serializable_if& resp) {
+  ch->mark_master(*this, "request");
+  const Time start = ch->sim_.now();
+  Message m{to_bytes(req), /*is_request=*/true};
+  const std::size_t req_bytes = m.payload.size();
+  const Time lat = ch->timing_->transfer_latency(req_bytes);
+  if (!lat.is_zero()) wait(lat);
+  ch->push(ch->dir_[index], std::move(m), ch->depth_);
+  ch->log_txn(trace::TxnKind::Request, req_bytes, start);
+
+  // Block for the reply travelling the opposite direction.
+  const Time reply_start = ch->sim_.now();
+  Message r = ch->pop(ch->dir_[1 - index]);
+  if (r.is_request) {
+    throw ProtocolError("SHIP channel " + ch->name_ +
+                        ": request crossed with opposing request "
+                        "(both terminals acting as master)");
+  }
+  from_bytes(resp, r.payload);
+  ch->log_txn(trace::TxnKind::Reply, r.payload.size(), reply_start);
+}
+
+void ShipChannel::Terminal::reply(const ship_serializable_if& resp) {
+  ch->mark_slave(*this, "reply");
+  if (pending_replies == 0) {
+    throw ProtocolError("SHIP channel " + ch->name_ +
+                        ": reply without outstanding request");
+  }
+  --pending_replies;
+  Message m{to_bytes(resp), /*is_request=*/false};
+  const std::size_t n = m.payload.size();
+  const Time lat = ch->timing_->transfer_latency(n);
+  if (!lat.is_zero()) wait(lat);
+  ch->push(ch->dir_[index], std::move(m), ch->depth_);
+}
+
+bool ShipChannel::Terminal::message_available() const {
+  return !ch->dir_[1 - index].queue.empty();
+}
+
+}  // namespace stlm::ship

@@ -1,0 +1,135 @@
+#pragma once
+// The SHIP channel (paper §2).
+//
+// A lightweight message-passing channel for directed point-to-point
+// connections between two communication entities. It offers four blocking
+// interface method calls:
+//
+//     send(msg)           master, one-way
+//     recv(msg)           slave, one-way
+//     request(req, resp)  master, round-trip
+//     reply(resp)         slave, round-trip
+//
+// A PE that exclusively uses send/request implicitly is a communication
+// master; one that uses recv/reply is a slave. The channel records which
+// of its two terminals used which group and exposes the deduced roles —
+// this is the paper's "automatic master/slave detection", consumed by the
+// mapper (src/core/mapper.*) when it picks wrappers and adapters. Mixing
+// master and slave calls on one terminal raises ProtocolError.
+//
+// Payloads are serialized on send and deserialized on receive, so the
+// bytes moved here are exactly the bytes a refined model moves through a
+// CAM or across the HW/SW interface.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/simulator.hpp"
+#include "ship/serialization.hpp"
+#include "ship/timing.hpp"
+#include "trace/txn_log.hpp"
+
+namespace stlm::ship {
+
+enum class Role : std::uint8_t { Unknown, Master, Slave };
+const char* role_name(Role r);
+
+// The interface a PE port binds to (one per channel terminal).
+class ship_if {
+public:
+  virtual ~ship_if() = default;
+  virtual void send(const ship_serializable_if& msg) = 0;
+  virtual void recv(ship_serializable_if& msg) = 0;
+  virtual void request(const ship_serializable_if& req,
+                       ship_serializable_if& resp) = 0;
+  virtual void reply(const ship_serializable_if& resp) = 0;
+
+  // Non-blocking probe: is a message waiting for recv()?
+  virtual bool message_available() const = 0;
+  virtual Role role() const = 0;
+  virtual const std::string& channel_name() const = 0;
+};
+
+class ShipChannel {
+public:
+  // `queue_depth` bounds the number of in-flight messages per direction;
+  // a full queue blocks the sender (depth 1 = single-buffered handshake).
+  ShipChannel(Simulator& sim, std::string name, std::size_t queue_depth = 1,
+              std::unique_ptr<TimingModel> timing = nullptr);
+
+  ShipChannel(const ShipChannel&) = delete;
+  ShipChannel& operator=(const ShipChannel&) = delete;
+
+  // The two terminals. By convention examples bind the initiating PE to
+  // a() — but roles are *detected*, not positional.
+  ship_if& a() { return term_[0]; }
+  ship_if& b() { return term_[1]; }
+
+  const std::string& name() const { return name_; }
+  Role role_a() const { return term_[0].role_; }
+  Role role_b() const { return term_[1].role_; }
+
+  // Replace the timing policy (switching abstraction level in place).
+  void set_timing(std::unique_ptr<TimingModel> t);
+  const TimingModel& timing() const { return *timing_; }
+
+  void set_txn_logger(trace::TxnLogger* log) { log_ = log; }
+
+  // Lifetime counters.
+  std::uint64_t messages_transferred() const { return messages_; }
+  std::uint64_t bytes_transferred() const { return bytes_; }
+
+private:
+  struct Message {
+    std::vector<std::uint8_t> payload;
+    bool is_request;
+  };
+
+  struct Terminal final : ship_if {
+    void send(const ship_serializable_if& msg) override;
+    void recv(ship_serializable_if& msg) override;
+    void request(const ship_serializable_if& req,
+                 ship_serializable_if& resp) override;
+    void reply(const ship_serializable_if& resp) override;
+    bool message_available() const override;
+    Role role() const override { return role_; }
+    const std::string& channel_name() const override;
+
+    ShipChannel* ch = nullptr;
+    int index = 0;  // 0 = a, 1 = b
+    Role role_ = Role::Unknown;
+    // Requests received but not yet replied to (slave side bookkeeping).
+    std::uint64_t pending_replies = 0;
+  };
+
+  struct Direction {
+    std::deque<Message> queue;
+    std::unique_ptr<Event> written;
+    std::unique_ptr<Event> consumed;
+  };
+
+  void mark_master(Terminal& t, const char* call);
+  void mark_slave(Terminal& t, const char* call);
+  void push(Direction& d, Message m, std::size_t depth);
+  Message pop(Direction& d);
+  void log_txn(trace::TxnKind kind, std::size_t bytes, Time start);
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t depth_;
+  std::unique_ptr<TimingModel> timing_;
+  Terminal term_[2];
+  Direction dir_[2];  // dir_[i]: messages flowing *out of* terminal i
+  trace::TxnLogger* log_ = nullptr;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// Convenience alias for PE ports.
+using ShipPort = Port<ship_if>;
+
+}  // namespace stlm::ship

@@ -1,0 +1,56 @@
+#pragma once
+// Ready-made SHIP payload types.
+//
+// Most PEs exchange either a POD struct, a buffer, or a string; these
+// adapters implement ship_serializable_if for those cases so application
+// code only defines custom payload classes when it has nested structure.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ship/serialization.hpp"
+
+namespace stlm::ship {
+
+// A single trivially copyable value (int, float, packed struct, ...).
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+class PodMsg final : public ship_serializable_if {
+public:
+  PodMsg() = default;
+  explicit PodMsg(T v) : value(std::move(v)) {}
+
+  void serialize(Serializer& s) const override { s.put_bytes(&value, sizeof value); }
+  void deserialize(Deserializer& d) override { d.get_bytes(&value, sizeof value); }
+
+  T value{};
+};
+
+// A variable-length buffer of trivially copyable elements.
+template <class T = std::uint8_t>
+  requires std::is_trivially_copyable_v<T>
+class VectorMsg final : public ship_serializable_if {
+public:
+  VectorMsg() = default;
+  explicit VectorMsg(std::vector<T> v) : data(std::move(v)) {}
+  explicit VectorMsg(std::size_t n, T fill = T{}) : data(n, fill) {}
+
+  void serialize(Serializer& s) const override { s.put_vector(data); }
+  void deserialize(Deserializer& d) override { data = d.get_vector<T>(); }
+
+  std::vector<T> data;
+};
+
+class StringMsg final : public ship_serializable_if {
+public:
+  StringMsg() = default;
+  explicit StringMsg(std::string s) : text(std::move(s)) {}
+
+  void serialize(Serializer& s) const override { s.put_string(text); }
+  void deserialize(Deserializer& d) override { text = d.get_string(); }
+
+  std::string text;
+};
+
+}  // namespace stlm::ship

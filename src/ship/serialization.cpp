@@ -1,0 +1,27 @@
+#include "ship/serialization.hpp"
+
+namespace stlm::ship {
+
+std::vector<std::uint8_t> to_bytes(const ship_serializable_if& obj) {
+  Serializer s;
+  obj.serialize(s);
+  return s.take();
+}
+
+void from_bytes(ship_serializable_if& obj,
+                std::span<const std::uint8_t> bytes) {
+  Deserializer d(bytes);
+  obj.deserialize(d);
+  if (!d.finished()) {
+    throw ProtocolError("SHIP deserialization left " +
+                        std::to_string(d.remaining()) + " trailing bytes");
+  }
+}
+
+std::size_t serialized_size(const ship_serializable_if& obj) {
+  Serializer s;
+  obj.serialize(s);
+  return s.size();
+}
+
+}  // namespace stlm::ship

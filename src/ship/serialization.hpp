@@ -1,0 +1,127 @@
+#pragma once
+// SHIP serialization framework.
+//
+// The SHIP channel transfers any C++ object that implements the
+// ship_serializable_if interface (paper §2): the channel calls serialize()
+// / deserialize() to transform communication objects into flat byte
+// streams and back. The byte stream is what the lower abstraction levels
+// (CCATB, CAM, HW/SW interface) actually move, so one payload definition
+// works unchanged from the component-assembly model down to the prototype.
+//
+// Encoding: little-endian, fixed-width, no padding; lengths are u32
+// prefixes. This keeps the wire format identical between the "SW" and
+// "HW" sides of the HW/SW interface.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "kernel/report.hpp"
+
+namespace stlm::ship {
+
+class Serializer {
+public:
+  void put_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  template <class T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  void put(T v) {
+    // Assumes a little-endian host (x86/ARM); static-checked below.
+    put_bytes(&v, sizeof v);
+  }
+
+  void put_string(const std::string& s) {
+    put_u32_size(s.size());
+    put_bytes(s.data(), s.size());
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put_u32_size(v.size());
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+private:
+  void put_u32_size(std::size_t n) {
+    STLM_ASSERT(n <= 0xffffffffu, "serialized container too large");
+    put(static_cast<std::uint32_t>(n));
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class Deserializer {
+public:
+  explicit Deserializer(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  void get_bytes(void* p, std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw ProtocolError("SHIP deserialization underrun");
+    }
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <class T>
+    requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+  T get() {
+    T v;
+    get_bytes(&v, sizeof v);
+    return v;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    std::string s(n, '\0');
+    get_bytes(s.data(), n);
+    return s;
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint32_t>();
+    std::vector<T> v(n);
+    get_bytes(v.data(), static_cast<std::size_t>(n) * sizeof(T));
+    return v;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool finished() const { return pos_ == bytes_.size(); }
+
+private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// The paper's interface, under its original name.
+class ship_serializable_if {
+public:
+  virtual ~ship_serializable_if() = default;
+  virtual void serialize(Serializer& s) const = 0;
+  virtual void deserialize(Deserializer& d) = 0;
+};
+
+// Flatten an object to bytes (used by wrappers and the HW/SW adapters).
+std::vector<std::uint8_t> to_bytes(const ship_serializable_if& obj);
+// Rebuild an object from bytes; throws ProtocolError on trailing garbage.
+void from_bytes(ship_serializable_if& obj, std::span<const std::uint8_t> bytes);
+// Serialized size of an object (serializes into a scratch buffer).
+std::size_t serialized_size(const ship_serializable_if& obj);
+
+static_assert(std::endian::native == std::endian::little,
+              "SHIP wire format assumes a little-endian host");
+
+}  // namespace stlm::ship

@@ -1,0 +1,7 @@
+#pragma once
+// Umbrella header for the SHIP protocol library.
+
+#include "ship/channel.hpp"
+#include "ship/messages.hpp"
+#include "ship/serialization.hpp"
+#include "ship/timing.hpp"

@@ -1,0 +1,110 @@
+#pragma once
+// Lightweight statistics used by the CAMs, the HW/SW interface, and the
+// exploration engine: scalar accumulators, counters, and named registries
+// whose contents render as report tables.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stlm::trace {
+
+// Streaming accumulator: count / sum / min / max / mean / stddev.
+class Accumulator {
+public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    sum2_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var =
+        (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  void reset() { *this = Accumulator{}; }
+
+private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width bin histogram over [lo, hi); out-of-range values clamp into
+// the edge bins.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double v) {
+    const double t = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Named scalar statistics, rendered as an aligned two-column table.
+class StatSet {
+public:
+  Accumulator& acc(const std::string& name) { return accs_[name]; }
+  void count(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, Accumulator>& accumulators() const {
+    return accs_;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  void report(std::ostream& os, const std::string& title) const;
+  void reset() {
+    accs_.clear();
+    counters_.clear();
+  }
+
+private:
+  std::map<std::string, Accumulator> accs_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace stlm::trace

@@ -1,0 +1,45 @@
+#include "trace/txn_log.hpp"
+
+namespace stlm::trace {
+
+const char* txn_kind_name(TxnKind k) {
+  switch (k) {
+    case TxnKind::Send: return "send";
+    case TxnKind::Request: return "request";
+    case TxnKind::Reply: return "reply";
+    case TxnKind::Read: return "read";
+    case TxnKind::Write: return "write";
+  }
+  return "?";
+}
+
+void TxnLogger::record(const std::string& channel, TxnKind kind,
+                       std::uint64_t bytes, Time start, Time end) {
+  if (!enabled_) return;
+  records_.push_back(TxnRecord{channel, kind, bytes, start, end});
+}
+
+TxnLogger::Summary TxnLogger::summarize() const {
+  Summary s;
+  double total_ns = 0.0;
+  for (const auto& r : records_) {
+    ++s.count;
+    s.bytes += r.bytes;
+    const double lat = (r.end - r.start).to_ns();
+    total_ns += lat;
+    if (lat > s.max_latency_ns) s.max_latency_ns = lat;
+  }
+  if (s.count) s.mean_latency_ns = total_ns / static_cast<double>(s.count);
+  return s;
+}
+
+void TxnLogger::dump_csv(std::ostream& os) const {
+  os << "channel,kind,bytes,start_ns,end_ns,latency_ns\n";
+  for (const auto& r : records_) {
+    os << r.channel << "," << txn_kind_name(r.kind) << "," << r.bytes << ","
+       << r.start.to_ns() << "," << r.end.to_ns() << ","
+       << (r.end - r.start).to_ns() << "\n";
+  }
+}
+
+}  // namespace stlm::trace

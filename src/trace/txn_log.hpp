@@ -1,0 +1,63 @@
+#pragma once
+// Transaction logger: every communication layer (SHIP channels, OCP
+// channels, CAMs, the HW/SW interface) can record begin/end of
+// transactions here. The log powers the per-architecture tables produced
+// by the exploration engine and the CSV dumps used in EXPERIMENTS.md.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kernel/time.hpp"
+#include "trace/stats.hpp"
+
+namespace stlm::trace {
+
+enum class TxnKind : std::uint8_t {
+  Send,      // SHIP one-way
+  Request,   // SHIP round-trip, request half
+  Reply,     // SHIP round-trip, reply half
+  Read,      // OCP/bus read
+  Write,     // OCP/bus write
+};
+
+const char* txn_kind_name(TxnKind k);
+
+struct TxnRecord {
+  std::string channel;
+  TxnKind kind;
+  std::uint64_t bytes;
+  Time start;
+  Time end;
+};
+
+class TxnLogger {
+public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(const std::string& channel, TxnKind kind, std::uint64_t bytes,
+              Time start, Time end);
+
+  const std::vector<TxnRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  // Aggregate view: count, bytes, mean/max latency in ns.
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    double mean_latency_ns = 0.0;
+    double max_latency_ns = 0.0;
+  };
+  Summary summarize() const;
+
+  void dump_csv(std::ostream& os) const;
+
+private:
+  bool enabled_ = true;
+  std::vector<TxnRecord> records_;
+};
+
+}  // namespace stlm::trace

@@ -1,0 +1,203 @@
+// Tests for the design flow: system graph, role discovery, and the
+// automatic mapper at all three abstraction levels. The central property
+// is the paper's promise — identical PE code and identical results at
+// every level, with timing refined underneath.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/core.hpp"
+#include "explore/workload.hpp"
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::core;
+using namespace stlm::time_literals;
+
+namespace {
+
+// Producer -> consumer graph with a request/reply service on the side.
+struct TestSystem {
+  std::vector<std::unique_ptr<ProcessingElement>> owned;
+  SystemGraph graph;
+  expl::SinkPe* sink = nullptr;
+
+  explicit TestSystem(std::uint64_t messages = 16,
+                      std::size_t payload = 64) {
+    auto prod = std::make_unique<expl::ProducerPe>("prod", messages, payload,
+                                                   /*compute=*/10);
+    auto snk = std::make_unique<expl::SinkPe>("sink", messages);
+    sink = snk.get();
+    graph.add_pe(*prod);
+    graph.add_pe(*snk);
+    graph.connect("stream", *prod, "out", *snk, "in", /*depth=*/2);
+    owned.push_back(std::move(prod));
+    owned.push_back(std::move(snk));
+  }
+};
+
+}  // namespace
+
+TEST(SystemGraph, RegistrationAndPartitioning) {
+  LambdaPe a("a", [](ExecContext&) {});
+  LambdaPe b("b", [](ExecContext&) {});
+  SystemGraph g;
+  g.add_pe(a);
+  g.add_pe(b, Partition::Software);
+  EXPECT_EQ(g.partition(a), Partition::Hardware);
+  EXPECT_EQ(g.partition(b), Partition::Software);
+  g.set_partition(a, Partition::Software);
+  EXPECT_EQ(g.partition(a), Partition::Software);
+  g.connect("c", a, b);
+  EXPECT_EQ(g.channels().size(), 1u);
+  EXPECT_THROW(g.connect("c", a, b), SimulationError);  // duplicate name
+  EXPECT_THROW(g.connect("d", a, a), SimulationError);  // self loop
+}
+
+TEST(SystemGraph, RoleDiscoveryFindsMasterSlave) {
+  TestSystem sys;
+  EXPECT_FALSE(sys.graph.roles_known());
+  sys.graph.discover_roles();
+  EXPECT_TRUE(sys.graph.roles_known());
+  // Producer (terminal a) sends: it is the master.
+  EXPECT_EQ(sys.graph.channels()[0].role_a, ship::Role::Master);
+}
+
+TEST(SystemGraph, DiscoveryFailsForSilentChannel) {
+  LambdaPe a("a", [](ExecContext&) {});
+  LambdaPe b("b", [](ExecContext&) {});
+  SystemGraph g;
+  g.add_pe(a);
+  g.add_pe(b);
+  g.connect("silent", a, b);
+  EXPECT_THROW(g.discover_roles(1_us), ElaborationError);
+}
+
+TEST(Mapper, ComponentAssemblyRunsUntimed) {
+  TestSystem sys;
+  Simulator sim;
+  auto ms = Mapper::map(sim, sys.graph, Platform{},
+                        AbstractionLevel::ComponentAssembly);
+  EXPECT_TRUE(ms->run_until_done(1_ms));
+  EXPECT_EQ(sys.sink->received(), 16u);
+  // Untimed communication, but PE compute still advances time.
+  EXPECT_GT(sim.now(), 0_ns);
+}
+
+TEST(Mapper, CcatbChargesCommunicationTime) {
+  TestSystem ca_sys, ccatb_sys;
+  Simulator sim_ca, sim_ccatb;
+  auto ca = Mapper::map(sim_ca, ca_sys.graph, Platform{},
+                        AbstractionLevel::ComponentAssembly);
+  auto cc = Mapper::map(sim_ccatb, ccatb_sys.graph, Platform{},
+                        AbstractionLevel::Ccatb);
+  ASSERT_TRUE(ca->run_until_done(10_ms));
+  ASSERT_TRUE(cc->run_until_done(10_ms));
+  EXPECT_EQ(ca_sys.sink->received(), 16u);
+  EXPECT_EQ(ccatb_sys.sink->received(), 16u);
+  // Same results, more simulated time at the lower level.
+  EXPECT_GT(sim_ccatb.now(), sim_ca.now());
+}
+
+TEST(Mapper, CamLevelRequiresRoles) {
+  TestSystem sys;
+  Simulator sim;
+  EXPECT_THROW(Mapper::map(sim, sys.graph, Platform{}, AbstractionLevel::Cam),
+               ElaborationError);
+}
+
+TEST(Mapper, CamLevelHwHwViaWrappers) {
+  TestSystem sys;
+  sys.graph.discover_roles();
+  Simulator sim;
+  auto ms = Mapper::map(sim, sys.graph, Platform{}, AbstractionLevel::Cam);
+  ASSERT_TRUE(ms->run_until_done(10_ms));
+  EXPECT_EQ(sys.sink->received(), 16u);
+  ASSERT_NE(ms->bus(), nullptr);
+  EXPECT_GT(ms->bus()->stats().counter("transactions"), 0u);
+  // CAM level must be slower than CCATB for the same workload.
+  TestSystem ref;
+  Simulator sim_ref;
+  auto cc = Mapper::map(sim_ref, ref.graph, Platform{}, AbstractionLevel::Ccatb);
+  ASSERT_TRUE(cc->run_until_done(10_ms));
+  EXPECT_GT(sim.now(), sim_ref.now());
+}
+
+TEST(Mapper, CamLevelHwSwViaAdapterAndDriver) {
+  TestSystem sys(8, 32);
+  sys.graph.set_partition(*sys.graph.pes()[0], Partition::Software);  // prod
+  sys.graph.discover_roles();
+  Simulator sim;
+  auto ms = Mapper::map(sim, sys.graph, Platform{}, AbstractionLevel::Cam);
+  ASSERT_TRUE(ms->run_until_done(50_ms));
+  EXPECT_EQ(sys.sink->received(), 8u);
+  ASSERT_NE(ms->cpu_model(), nullptr);
+  ASSERT_NE(ms->os(), nullptr);
+  EXPECT_GT(ms->cpu_model()->bus_transactions(), 0u);
+}
+
+TEST(Mapper, CamLevelSwSwViaRtosQueues) {
+  TestSystem sys(8, 32);
+  sys.graph.set_partition(*sys.graph.pes()[0], Partition::Software);
+  sys.graph.set_partition(*sys.graph.pes()[1], Partition::Software);
+  sys.graph.discover_roles();
+  Simulator sim;
+  auto ms = Mapper::map(sim, sys.graph, Platform{}, AbstractionLevel::Cam);
+  ASSERT_TRUE(ms->run_until_done(50_ms));
+  EXPECT_EQ(sys.sink->received(), 8u);
+  // SW-local channel: the bus must carry no mailbox traffic.
+  EXPECT_EQ(ms->bus()->stats().counter("transactions"), 0u);
+}
+
+TEST(Mapper, RequestReplyWorksAtEveryLevel) {
+  for (auto level : {AbstractionLevel::ComponentAssembly,
+                     AbstractionLevel::Ccatb, AbstractionLevel::Cam}) {
+    std::vector<std::unique_ptr<ProcessingElement>> owned;
+    SystemGraph g;
+    auto req = std::make_unique<expl::RequesterPe>("req", 6, 16);
+    auto srv = std::make_unique<expl::EchoServerPe>("srv", 6, 5);
+    g.add_pe(*req);
+    g.add_pe(*srv);
+    g.connect("rpc", *req, "out", *srv, "in");
+    owned.push_back(std::move(req));
+    owned.push_back(std::move(srv));
+    g.discover_roles();
+    Simulator sim;
+    auto ms = Mapper::map(sim, g, Platform{}, level);
+    EXPECT_TRUE(ms->run_until_done(50_ms)) << level_name(level);
+  }
+}
+
+TEST(Mapper, ReportMentionsMappingDecisions) {
+  TestSystem sys;
+  sys.graph.set_partition(*sys.graph.pes()[0], Partition::Software);
+  sys.graph.discover_roles();
+  Simulator sim;
+  auto ms = Mapper::map(sim, sys.graph, Platform{}, AbstractionLevel::Cam);
+  ms->run_until_done(50_ms);
+  std::ostringstream os;
+  ms->report(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("HW/SW interface"), std::string::npos);
+  EXPECT_NE(text.find("eSW task"), std::string::npos);
+}
+
+// Property: the pipeline result is identical at all three levels for
+// several payload sizes (refinement preserves function).
+class LevelEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LevelEquivalence, SinkReceivesAllMessages) {
+  for (auto level : {AbstractionLevel::ComponentAssembly,
+                     AbstractionLevel::Ccatb, AbstractionLevel::Cam}) {
+    TestSystem sys(12, GetParam());
+    sys.graph.discover_roles();
+    Simulator sim;
+    auto ms = Mapper::map(sim, sys.graph, Platform{}, level);
+    ASSERT_TRUE(ms->run_until_done(100_ms))
+        << level_name(level) << " payload " << GetParam();
+    EXPECT_EQ(sys.sink->received(), 12u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, LevelEquivalence,
+                         ::testing::Values(4u, 64u, 300u, 1024u));

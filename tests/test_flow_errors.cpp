@@ -1,0 +1,137 @@
+// Error-path and misuse tests across the flow: the library must fail
+// loudly and precisely when a system is mis-specified — unmapped
+// channels, role conflicts surfacing after refinement, exhausted
+// resources, malformed platforms.
+#include <gtest/gtest.h>
+
+#include "cam/cam.hpp"
+#include "core/core.hpp"
+#include "explore/explore.hpp"
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::core;
+using namespace stlm::time_literals;
+
+TEST(FlowErrors, UnknownPeInConnectThrows) {
+  LambdaPe a("a", [](ExecContext&) {});
+  LambdaPe b("b", [](ExecContext&) {});
+  SystemGraph g;
+  g.add_pe(a);
+  // b never registered.
+  EXPECT_THROW(g.connect("c", a, b), SimulationError);
+}
+
+TEST(FlowErrors, DoubleRegistrationThrows) {
+  LambdaPe a("a", [](ExecContext&) {});
+  SystemGraph g;
+  g.add_pe(a);
+  EXPECT_THROW(g.add_pe(a), SimulationError);
+}
+
+TEST(FlowErrors, PartitionQueryForUnknownPeThrows) {
+  LambdaPe a("a", [](ExecContext&) {});
+  SystemGraph g;
+  EXPECT_THROW(g.partition(a), SimulationError);
+  EXPECT_THROW(g.set_partition(a, Partition::Software), SimulationError);
+}
+
+TEST(FlowErrors, PeAskingForWrongPortNameThrows) {
+  LambdaPe a("a", [](ExecContext& ctx) {
+    ctx.channel("typo");  // declared as "out"
+  });
+  LambdaPe b("b", [](ExecContext& ctx) {
+    ship::PodMsg<int> m;
+    ctx.channel("in").recv(m);
+  });
+  SystemGraph g;
+  g.add_pe(a);
+  g.add_pe(b);
+  g.connect("ch", a, "out", b, "in");
+  Simulator sim;
+  auto ms = Mapper::map(sim, g, Platform{},
+                        AbstractionLevel::ComponentAssembly);
+  EXPECT_THROW(sim.run(), ElaborationError);
+}
+
+TEST(FlowErrors, RoleConflictSurfacesAtCamLevelToo) {
+  // Roles declared master for terminal a, but the PE actually behaves as
+  // a slave: the wrapper rejects the first slave call.
+  LambdaPe a("a", [](ExecContext& ctx) {
+    ship::PodMsg<int> m;
+    ctx.channel("p").recv(m);  // slave behaviour on a master wrapper
+  });
+  LambdaPe b("b", [](ExecContext& ctx) {
+    ship::PodMsg<int> m(1);
+    ctx.channel("p").send(m);
+  });
+  SystemGraph g;
+  g.add_pe(a);
+  g.add_pe(b);
+  g.connect("ch", a, "p", b, "p", 1, ship::Role::Master);  // wrong
+  Simulator sim;
+  auto ms = Mapper::map(sim, g, Platform{}, AbstractionLevel::Cam);
+  EXPECT_THROW(ms->run_until_done(10_ms), ProtocolError);
+}
+
+TEST(FlowErrors, MailboxWindowsDoNotOverlapAcrossChannels) {
+  // Many channels: every mailbox gets a distinct window; elaboration of
+  // the CAM address map must not throw.
+  std::vector<std::unique_ptr<ProcessingElement>> owned;
+  SystemGraph g;
+  for (int i = 0; i < 8; ++i) {
+    auto p = std::make_unique<expl::ProducerPe>("p" + std::to_string(i), 2, 16);
+    auto s = std::make_unique<expl::SinkPe>("s" + std::to_string(i), 2);
+    g.add_pe(*p);
+    g.add_pe(*s);
+    g.connect("ch" + std::to_string(i), *p, "out", *s, "in", 1,
+              ship::Role::Master);
+    owned.push_back(std::move(p));
+    owned.push_back(std::move(s));
+  }
+  Simulator sim;
+  auto ms = Mapper::map(sim, g, Platform{}, AbstractionLevel::Cam);
+  EXPECT_TRUE(ms->run_until_done(100_ms));
+  EXPECT_EQ(ms->bus()->address_map().size(), 8u);
+}
+
+TEST(FlowErrors, ExplorationSurvivesIncompleteWorkload) {
+  // A sink expecting more messages than the producer sends: the run hits
+  // the time budget; the row reports completed == false instead of
+  // hanging or throwing.
+  expl::Explorer ex([](SystemGraph& g,
+                       std::vector<std::unique_ptr<ProcessingElement>>& o) {
+    auto p = std::make_unique<expl::ProducerPe>("p", 2, 16);
+    auto s = std::make_unique<expl::SinkPe>("s", 99);
+    g.add_pe(*p);
+    g.add_pe(*s);
+    g.connect("ch", *p, "out", *s, "in", 1, ship::Role::Master);
+    o.push_back(std::move(p));
+    o.push_back(std::move(s));
+  });
+  const auto row = ex.evaluate(Platform{}, 1_ms);
+  EXPECT_FALSE(row.completed);
+}
+
+TEST(FlowErrors, ZeroCycleBusRejected) {
+  Simulator sim;
+  EXPECT_THROW(cam::PlbCam(sim, "plb", Time::zero(),
+                           std::make_unique<cam::PriorityArbiter>()),
+               SimulationError);
+  EXPECT_THROW(cam::CrossbarCam(sim, "xbar", Time::zero()), SimulationError);
+}
+
+TEST(FlowErrors, WrapperBusErrorBecomesProtocolError) {
+  // A master wrapper pointed at an address with no slave behind it.
+  Simulator sim;
+  cam::PlbCam bus(sim, "plb", 10_ns, std::make_unique<cam::PriorityArbiter>());
+  cam::MailboxLayout layout{0x4000, 64};
+  // Intentionally: no attach_slave.
+  cam::ShipMasterWrapper master(sim, "m", bus, bus.add_master("pe"), layout,
+                                100_ns);
+  sim.spawn_thread("pe", [&] {
+    ship::PodMsg<int> m(1);
+    master.send(m);
+  });
+  EXPECT_THROW(sim.run(), ProtocolError);
+}

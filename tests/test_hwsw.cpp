@@ -1,0 +1,243 @@
+// Tests for the HW/SW interface: SHIP communication across the partition
+// boundary through the HW adapter (mailbox + sideband IRQ) and the SW
+// driver (device driver + communication library on the RTOS).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cam/cam.hpp"
+#include "cpu/cpu.hpp"
+#include "cpu/irq.hpp"
+#include "hwsw/hwsw.hpp"
+#include "kernel/kernel.hpp"
+#include "rtos/rtos.hpp"
+#include "ship/ship.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+// A complete HW/SW platform: CPU + RTOS + driver on one side, HW adapter
+// on a PLB on the other, sideband IRQ in between.
+struct HwSwFixture {
+  Simulator sim;
+  Clock clk{sim, "clk", 10_ns};
+  cam::PlbCam bus{sim, "plb", 10_ns, std::make_unique<cam::PriorityArbiter>()};
+  cam::MailboxLayout layout{0x8000, 256};
+  hwsw::HwAdapter adapter{sim, "hwacc", layout, 10_ns};
+  cpu::CpuModel cpu{sim, "cpu", clk};
+  cpu::IrqController ic{sim, "ic"};
+  rtos::Rtos os{sim, "os", cpu, {1_us, 20}};
+  hwsw::ShipDriver drv{"drv", os, cpu, layout};
+
+  HwSwFixture() {
+    bus.attach_slave(adapter, layout.range(), "hwacc");
+    cpu.bus().bind(bus.master_port(bus.add_master("cpu")));
+    ic.attach(adapter.irq(), 0);
+    os.attach_isr(ic, [this](int line) {
+      if (line == 0) drv.on_irq();
+    });
+  }
+
+  void run_until_tasks_done() {
+    sim.spawn_thread("watch", [this] {
+      while (!os.all_tasks_terminated()) wait(10_us);
+      sim.stop();
+    });
+    sim.run();
+  }
+};
+
+}  // namespace
+
+TEST(HwSw, SwMasterSendsToHwSlave) {
+  HwSwFixture f;
+  std::string got;
+  f.os.create_task("app", 1, [&] {
+    ship::StringMsg m("hello hardware");
+    f.drv.send(m);
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    ship::StringMsg m;
+    f.adapter.recv(m);
+    got = m.text;
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(got, "hello hardware");
+  EXPECT_EQ(f.adapter.messages_from_sw(), 1u);
+}
+
+TEST(HwSw, SwRequestHwReplyRoundTrip) {
+  HwSwFixture f;
+  std::uint32_t answer = 0;
+  f.os.create_task("app", 1, [&] {
+    ship::PodMsg<std::uint32_t> req(7), resp;
+    f.drv.request(req, resp);
+    answer = resp.value;
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    ship::PodMsg<std::uint32_t> req;
+    f.adapter.recv(req);
+    ship::PodMsg<std::uint32_t> resp(req.value * 6);
+    f.adapter.reply(resp);
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(answer, 42u);
+  EXPECT_GE(f.adapter.irq_count(), 1u);   // reply delivered by interrupt
+  EXPECT_GE(f.drv.isr_count(), 1u);
+}
+
+TEST(HwSw, HwMasterSendsToSwSlave) {
+  HwSwFixture f;
+  std::string got;
+  f.os.create_task("app", 1, [&] {
+    ship::StringMsg m;
+    f.drv.recv(m);
+    got = m.text;
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    wait(5_us);
+    ship::StringMsg m("hello software");
+    f.adapter.send(m);
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(got, "hello software");
+  EXPECT_EQ(f.adapter.messages_to_sw(), 1u);
+  EXPECT_GE(f.adapter.irq_count(), 1u);
+}
+
+TEST(HwSw, HwRequestSwReplyRoundTrip) {
+  HwSwFixture f;
+  std::uint32_t answer = 0;
+  f.os.create_task("app", 1, [&] {
+    ship::PodMsg<std::uint32_t> req;
+    f.drv.recv(req);
+    ship::PodMsg<std::uint32_t> resp(req.value + 100);
+    f.drv.reply(resp);
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    wait(2_us);
+    ship::PodMsg<std::uint32_t> req(11), resp;
+    f.adapter.request(req, resp);
+    answer = resp.value;
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(answer, 111u);
+}
+
+TEST(HwSw, LargePayloadCrossesBoundaryChunked) {
+  HwSwFixture f;  // 256-byte window
+  std::vector<std::uint8_t> payload(3000);
+  std::iota(payload.begin(), payload.end(), 0);
+  std::vector<std::uint8_t> got;
+  f.os.create_task("app", 1, [&] {
+    ship::VectorMsg<> m(payload);
+    f.drv.send(m);
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    ship::VectorMsg<> m;
+    f.adapter.recv(m);
+    got = m.data;
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(HwSw, LargeReplyDrainedByIsr) {
+  HwSwFixture f;
+  std::vector<std::uint8_t> reply_payload(1200, 0x3c);
+  std::vector<std::uint8_t> got;
+  f.os.create_task("app", 1, [&] {
+    ship::PodMsg<std::uint8_t> req(1);
+    ship::VectorMsg<> resp;
+    f.drv.request(req, resp);
+    got = resp.data;
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    ship::PodMsg<std::uint8_t> req;
+    f.adapter.recv(req);
+    ship::VectorMsg<> resp(reply_payload);
+    f.adapter.reply(resp);
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(got, reply_payload);
+}
+
+TEST(HwSw, BackToBackMessagesAllArrive) {
+  HwSwFixture f;
+  constexpr int kCount = 10;
+  int matches = 0;
+  f.os.create_task("app", 1, [&] {
+    for (int i = 0; i < kCount; ++i) {
+      ship::PodMsg<int> m;
+      f.drv.recv(m);
+      if (m.value == i) ++matches;
+    }
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    for (int i = 0; i < kCount; ++i) {
+      ship::PodMsg<int> m(i);
+      f.adapter.send(m);
+    }
+  });
+  f.run_until_tasks_done();
+  EXPECT_EQ(matches, kCount);
+}
+
+TEST(HwSw, RoleConflictsDetectedOnBothSides) {
+  {
+    HwSwFixture f;
+    f.sim.spawn_thread("hw_pe", [&] {
+      ship::PodMsg<int> m(1);
+      f.adapter.send(m);
+      f.adapter.recv(m);  // conflict: master then slave call
+    });
+    EXPECT_THROW(f.sim.run(), ProtocolError);
+  }
+  {
+    HwSwFixture f;
+    f.os.create_task("app", 1, [&] {
+      ship::PodMsg<int> m(1);
+      f.drv.send(m);
+      f.drv.recv(m);  // conflict on the SW side
+    });
+    bool threw = false;
+    try {
+      f.run_until_tasks_done();
+    } catch (const ProtocolError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+TEST(HwSw, ReplyWithoutRequestThrowsOnDriver) {
+  HwSwFixture f;
+  f.os.create_task("app", 1, [&] {
+    ship::PodMsg<int> m(1);
+    f.drv.reply(m);
+  });
+  EXPECT_THROW(f.run_until_tasks_done(), ProtocolError);
+}
+
+TEST(HwSw, CommunicationConsumesCpuAndBusTime) {
+  HwSwFixture f;
+  Time req_latency;
+  f.os.create_task("app", 1, [&] {
+    ship::PodMsg<std::uint32_t> req(1), resp;
+    const Time s = f.sim.now();
+    f.drv.request(req, resp);
+    req_latency = f.sim.now() - s;
+  });
+  f.sim.spawn_thread("hw_pe", [&] {
+    ship::PodMsg<std::uint32_t> req;
+    f.adapter.recv(req);
+    ship::PodMsg<std::uint32_t> resp(req.value);
+    f.adapter.reply(resp);
+  });
+  f.run_until_tasks_done();
+  // Round trip includes driver overhead + bus writes + IRQ + ISR reads.
+  EXPECT_GT(req_latency, 1_us);
+  EXPECT_GT(f.cpu.bus_transactions(), 4u);
+}

@@ -1,0 +1,260 @@
+// Tests for Event notification semantics and the scheduler's phase order.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+TEST(Events, TimedNotifyWakesAtRightTime) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("notifier", [&] {
+    wait(30_ns);
+    ev.notify(12_ns);
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 42_ns);
+}
+
+TEST(Events, DeltaNotifyWakesInSameTimestep) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  int order = 0;
+  int waiter_order = -1, notifier_order = -1;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    waiter_order = order++;
+    EXPECT_EQ(sim.now(), Time::zero());
+  });
+  sim.spawn_thread("notifier", [&] {
+    ev.notify_delta();
+    notifier_order = order++;
+  });
+  sim.run();
+  EXPECT_EQ(notifier_order, 0);
+  EXPECT_EQ(waiter_order, 1);
+}
+
+TEST(Events, ImmediateNotifyWakesInSameEvaluation) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  std::uint64_t wake_delta = 999;
+  // Waiter must be registered before the notifier fires; thread order is
+  // creation order, so the waiter runs (and waits) first.
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    wake_delta = sim.delta_count();
+  });
+  sim.spawn_thread("notifier", [&] { ev.notify(); });
+  sim.run();
+  EXPECT_EQ(wake_delta, 0u);  // woken within the very first delta
+}
+
+TEST(Events, CancelSuppressesTimedNotification) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  bool woke = false;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke = true;
+  });
+  sim.spawn_thread("controller", [&] {
+    ev.notify(10_ns);
+    wait(5_ns);
+    ev.cancel();
+  });
+  sim.run();
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(sim.now(), 5_ns);  // the 10 ns entry is stale and skipped
+}
+
+TEST(Events, EarlierNotificationOverridesLater) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("notifier", [&] {
+    ev.notify(20_ns);
+    ev.notify(5_ns);  // earlier: overrides
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 5_ns);
+}
+
+TEST(Events, LaterNotificationIsIgnoredWhilePending) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("notifier", [&] {
+    ev.notify(5_ns);
+    ev.notify(20_ns);  // later: ignored per SystemC override rule
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 5_ns);
+}
+
+TEST(Events, WaitWithTimeoutReturnsTrueOnEvent) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  bool got_event = false;
+  sim.spawn_thread("waiter", [&] { got_event = wait(100_ns, ev); });
+  sim.spawn_thread("notifier", [&] {
+    wait(10_ns);
+    ev.notify();
+  });
+  sim.run();
+  EXPECT_TRUE(got_event);
+  EXPECT_EQ(sim.now(), 10_ns);
+}
+
+TEST(Events, WaitWithTimeoutReturnsFalseOnTimeout) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  bool got_event = true;
+  Time woke_at;
+  sim.spawn_thread("waiter", [&] {
+    got_event = wait(100_ns, ev);
+    woke_at = sim.now();
+  });
+  sim.run();
+  EXPECT_FALSE(got_event);
+  EXPECT_EQ(woke_at, 100_ns);
+}
+
+TEST(Events, WaitAnyReturnsTriggeredEvent) {
+  Simulator sim;
+  Event a(sim, "a"), b(sim, "b"), c(sim, "c");
+  std::string winner;
+  sim.spawn_thread("waiter", [&] {
+    Event& e = wait_any({&a, &b, &c});
+    winner = e.name();
+  });
+  sim.spawn_thread("notifier", [&] {
+    wait(7_ns);
+    b.notify();
+  });
+  sim.run();
+  EXPECT_EQ(winner, "b");
+}
+
+TEST(Events, MultipleWaitersAllWake) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn_thread("w" + std::to_string(i), [&] {
+      wait(ev);
+      ++woken;
+    });
+  }
+  sim.spawn_thread("notifier", [&] {
+    wait(1_ns);
+    ev.notify();
+  });
+  sim.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Events, NotificationIsOneShot) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  int wakes = 0;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    ++wakes;
+    wait(ev);  // must not be woken by the same (consumed) notification
+    ++wakes;
+  });
+  sim.spawn_thread("notifier", [&] {
+    wait(1_ns);
+    ev.notify();
+  });
+  sim.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Events, RunForStopsAtBound) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  bool woke = false;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke = true;
+  });
+  sim.spawn_thread("notifier", [&] {
+    wait(100_ns);
+    ev.notify();
+  });
+  sim.run_for(50_ns);
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(sim.now(), 50_ns);
+  sim.run_for(60_ns);
+  EXPECT_TRUE(woke);
+}
+
+TEST(Events, SimultaneousTimedNotificationsShareDelta) {
+  Simulator sim;
+  Event a(sim, "a"), b(sim, "b");
+  std::vector<Time> wakes;
+  sim.spawn_thread("wa", [&] {
+    wait(a);
+    wakes.push_back(sim.now());
+  });
+  sim.spawn_thread("wb", [&] {
+    wait(b);
+    wakes.push_back(sim.now());
+  });
+  sim.spawn_thread("n", [&] {
+    a.notify(10_ns);
+    b.notify(10_ns);
+  });
+  sim.run();
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_EQ(wakes[0], 10_ns);
+  EXPECT_EQ(wakes[1], 10_ns);
+}
+
+TEST(Events, ProcessExceptionPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn_thread("thrower", [&] {
+    wait(1_ns);
+    throw ProtocolError("boom");
+  });
+  EXPECT_THROW(sim.run(), ProtocolError);
+}
+
+TEST(Events, WaitOutsideProcessThrows) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  EXPECT_THROW(wait(ev), SimulationError);
+}
+
+TEST(Events, StopEndsRunEarly) {
+  Simulator sim;
+  int steps = 0;
+  sim.spawn_thread("ticker", [&] {
+    for (;;) {
+      wait(10_ns);
+      if (++steps == 3) sim.stop();
+    }
+  });
+  sim.run();
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(sim.now(), 30_ns);
+}

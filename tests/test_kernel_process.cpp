@@ -1,0 +1,236 @@
+// Tests for thread/method processes, modules, ports, and elaboration.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+TEST(Process, ThreadsInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> trace;
+  sim.spawn_thread("a", [&] {
+    trace.push_back("a0");
+    wait(10_ns);
+    trace.push_back("a1");
+  });
+  sim.spawn_thread("b", [&] {
+    trace.push_back("b0");
+    wait(5_ns);
+    trace.push_back("b1");
+  });
+  sim.run();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], "a0");
+  EXPECT_EQ(trace[1], "b0");
+  EXPECT_EQ(trace[2], "b1");  // 5 ns before 10 ns
+  EXPECT_EQ(trace[3], "a1");
+}
+
+TEST(Process, DeepCallStackCanWait) {
+  // The reason for ucontext processes: block deep inside nested calls.
+  Simulator sim;
+  Time woke_at;
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      wait(25_ns);
+      woke_at = sim.now();
+      return;
+    }
+    recurse(depth - 1);
+  };
+  sim.spawn_thread("deep", [&] { recurse(100); });
+  sim.run();
+  EXPECT_EQ(woke_at, 25_ns);
+}
+
+TEST(Process, TerminatedEventFires) {
+  Simulator sim;
+  bool observed = false;
+  Process& p = sim.spawn_thread("worker", [&] { wait(10_ns); });
+  sim.spawn_thread("watcher", [&] {
+    wait(p.terminated_event());
+    observed = true;
+    EXPECT_TRUE(p.terminated());
+  });
+  sim.run();
+  EXPECT_TRUE(observed);
+}
+
+TEST(Process, MethodRunsOnEachTrigger) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  int runs = 0;
+  sim.spawn_method("m", [&] { ++runs; }, {&ev}, /*run_at_start=*/false);
+  sim.spawn_thread("driver", [&] {
+    for (int i = 0; i < 4; ++i) {
+      wait(5_ns);
+      ev.notify();
+    }
+  });
+  sim.run();
+  EXPECT_EQ(runs, 4);
+}
+
+TEST(Process, MethodRunAtStart) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  int runs = 0;
+  sim.spawn_method("m", [&] { ++runs; }, {&ev}, /*run_at_start=*/true);
+  sim.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Process, SpawnDuringSimulation) {
+  Simulator sim;
+  int child_ran = 0;
+  sim.spawn_thread("parent", [&] {
+    wait(10_ns);
+    sim.spawn_thread("child", [&] {
+      child_ran = 1;
+      wait(5_ns);
+      child_ran = 2;
+    });
+    wait(20_ns);
+  });
+  sim.run();
+  EXPECT_EQ(child_ran, 2);
+}
+
+TEST(Module, FullNamesAreHierarchical) {
+  Simulator sim;
+  Module top(sim, "top");
+  Module sub(sim, "sub", &top);
+  Module leaf(sim, "leaf", &sub);
+  EXPECT_EQ(leaf.full_name(), "top.sub.leaf");
+  EXPECT_EQ(top.children().size(), 1u);
+  EXPECT_EQ(sub.children().size(), 1u);
+}
+
+namespace {
+struct DummyIf {
+  virtual ~DummyIf() = default;
+  virtual int value() const = 0;
+};
+struct DummyChannel : DummyIf {
+  int value() const override { return 42; }
+};
+}  // namespace
+
+TEST(Module, UnboundPortFailsElaboration) {
+  Simulator sim;
+  Module top(sim, "top");
+  Port<DummyIf> port(top, "p");
+  EXPECT_THROW(sim.run(), ElaborationError);
+}
+
+TEST(Module, OptionalPortMayStayUnbound) {
+  Simulator sim;
+  Module top(sim, "top");
+  OptionalPort<DummyIf> port(top, "p");
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Module, BoundPortForwardsCalls) {
+  Simulator sim;
+  Module top(sim, "top");
+  Port<DummyIf> port(top, "p");
+  DummyChannel ch;
+  port.bind(ch);
+  EXPECT_EQ(port->value(), 42);
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(Module, DoubleBindThrows) {
+  Simulator sim;
+  Module top(sim, "top");
+  Port<DummyIf> port(top, "p");
+  DummyChannel ch1, ch2;
+  port.bind(ch1);
+  EXPECT_THROW(port.bind(ch2), SimulationError);
+}
+
+TEST(Module, SpawnedThreadNamePrefixed) {
+  Simulator sim;
+  Module top(sim, "top");
+  Process& p = top.spawn_thread("runner", [] {});
+  EXPECT_EQ(p.name(), "top.runner");
+}
+
+TEST(Clock, GeneratesEdgesWithPeriod) {
+  Simulator sim;
+  Clock clk(sim, "clk", 10_ns);
+  std::vector<Time> posedges;
+  sim.spawn_thread("sampler", [&] {
+    for (int i = 0; i < 3; ++i) {
+      wait(clk.posedge_event());
+      posedges.push_back(sim.now());
+    }
+    sim.stop();
+  });
+  sim.run();
+  ASSERT_EQ(posedges.size(), 3u);
+  EXPECT_EQ(posedges[0], 0_ns);
+  EXPECT_EQ(posedges[1], 10_ns);
+  EXPECT_EQ(posedges[2], 20_ns);
+}
+
+TEST(Clock, DutyCycleControlsHighTime) {
+  Simulator sim;
+  Clock clk(sim, "clk", 10_ns, 0.3);
+  Time negedge_at;
+  sim.spawn_thread("sampler", [&] {
+    wait(clk.negedge_event());
+    negedge_at = sim.now();
+    sim.stop();
+  });
+  sim.run();
+  EXPECT_EQ(negedge_at, 3_ns);
+}
+
+TEST(Clock, StartDelayHonored) {
+  Simulator sim;
+  Clock clk(sim, "clk", 10_ns, 0.5, 7_ns);
+  Time first_pos;
+  sim.spawn_thread("sampler", [&] {
+    wait(clk.posedge_event());
+    first_pos = sim.now();
+    sim.stop();
+  });
+  sim.run();
+  EXPECT_EQ(first_pos, 7_ns);
+}
+
+TEST(Clock, InvalidParametersThrow) {
+  Simulator sim;
+  EXPECT_THROW(Clock(sim, "c0", 0_ns), SimulationError);
+  EXPECT_THROW(Clock(sim, "c1", 10_ns, 0.0), SimulationError);
+  EXPECT_THROW(Clock(sim, "c2", 10_ns, 1.0), SimulationError);
+}
+
+// Property-style sweep: N producers each doing K timed increments always
+// sum to N*K regardless of interleaving.
+class ProcessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProcessSweep, ManyProcessesAllComplete) {
+  const int n = GetParam();
+  Simulator sim;
+  long total = 0;
+  for (int i = 0; i < n; ++i) {
+    sim.spawn_thread("p" + std::to_string(i), [&, i] {
+      for (int k = 0; k < 10; ++k) {
+        wait(Time::ns(static_cast<std::uint64_t>(i % 7 + 1)));
+        ++total;
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(total, 10L * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProcessSweep,
+                         ::testing::Values(1, 2, 8, 32, 128));

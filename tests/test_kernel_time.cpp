@@ -1,0 +1,82 @@
+// Unit tests for stlm::Time.
+#include <gtest/gtest.h>
+
+#include "kernel/time.hpp"
+
+using namespace stlm;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.femtoseconds(), 0u);
+}
+
+TEST(Time, NamedConstructorsScaleCorrectly) {
+  EXPECT_EQ(Time::fs(1).femtoseconds(), 1u);
+  EXPECT_EQ(Time::ps(1).femtoseconds(), 1'000u);
+  EXPECT_EQ(Time::ns(1).femtoseconds(), 1'000'000u);
+  EXPECT_EQ(Time::us(1).femtoseconds(), 1'000'000'000u);
+  EXPECT_EQ(Time::ms(1).femtoseconds(), 1'000'000'000'000u);
+  EXPECT_EQ(Time::sec(1).femtoseconds(), 1'000'000'000'000'000u);
+}
+
+TEST(Time, Literals) {
+  using namespace stlm::time_literals;
+  EXPECT_EQ(10_ns, Time::ns(10));
+  EXPECT_EQ(5_us, Time::us(5));
+  EXPECT_EQ(1_sec, Time::sec(1));
+  EXPECT_EQ(500_ps + 500_ps, 1_ns);
+}
+
+TEST(Time, Arithmetic) {
+  using namespace stlm::time_literals;
+  EXPECT_EQ(3_ns + 2_ns, 5_ns);
+  EXPECT_EQ(5_ns - 2_ns, 3_ns);
+  EXPECT_EQ(3_ns * 4, 12_ns);
+  EXPECT_EQ(4 * 3_ns, 12_ns);
+  EXPECT_EQ(12_ns / 4, 3_ns);
+  EXPECT_EQ(12_ns / 3_ns, 4u);
+  EXPECT_EQ(13_ns % 5_ns, 3_ns);
+}
+
+TEST(Time, CompoundAssignment) {
+  using namespace stlm::time_literals;
+  Time t = 10_ns;
+  t += 5_ns;
+  EXPECT_EQ(t, 15_ns);
+  t -= 3_ns;
+  EXPECT_EQ(t, 12_ns);
+  t *= 2;
+  EXPECT_EQ(t, 24_ns);
+  t /= 8;
+  EXPECT_EQ(t, 3_ns);
+}
+
+TEST(Time, Ordering) {
+  using namespace stlm::time_literals;
+  EXPECT_LT(1_ns, 1_us);
+  EXPECT_GT(1_ms, 999_us);
+  EXPECT_LE(5_ns, 5_ns);
+  EXPECT_NE(1_ns, 1_ps);
+}
+
+TEST(Time, MaxSentinel) {
+  EXPECT_TRUE(Time::max().is_max());
+  EXPECT_GT(Time::max(), Time::sec(10000));
+}
+
+TEST(Time, Conversions) {
+  using namespace stlm::time_literals;
+  EXPECT_DOUBLE_EQ((1_ns).to_seconds(), 1e-9);
+  EXPECT_DOUBLE_EQ((2500_ps).to_ns(), 2.5);
+}
+
+TEST(Time, ToStringPicksUnit) {
+  using namespace stlm::time_literals;
+  EXPECT_EQ((10_ns).to_string(), "10 ns");
+  EXPECT_EQ((2500_ps).to_string(), "2.5 ns");
+  EXPECT_EQ((1_sec).to_string(), "1 s");
+  EXPECT_EQ(Time::zero().to_string(), "0 s");
+  EXPECT_EQ((500_fs).to_string(), "500 fs");
+}

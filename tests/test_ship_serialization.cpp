@@ -1,0 +1,157 @@
+// Tests for the SHIP serialization framework: roundtrips, wire format,
+// error handling, and property-style randomized roundtrips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ship/messages.hpp"
+#include "ship/serialization.hpp"
+
+using namespace stlm;
+using namespace stlm::ship;
+
+namespace {
+
+// A nested payload exercising all primitive encoders.
+struct VideoFrame final : ship_serializable_if {
+  std::uint32_t frame_no = 0;
+  std::uint16_t width = 0, height = 0;
+  std::string tag;
+  std::vector<std::int16_t> pixels;
+
+  void serialize(Serializer& s) const override {
+    s.put(frame_no);
+    s.put(width);
+    s.put(height);
+    s.put_string(tag);
+    s.put_vector(pixels);
+  }
+  void deserialize(Deserializer& d) override {
+    frame_no = d.get<std::uint32_t>();
+    width = d.get<std::uint16_t>();
+    height = d.get<std::uint16_t>();
+    tag = d.get_string();
+    pixels = d.get_vector<std::int16_t>();
+  }
+
+  bool operator==(const VideoFrame& o) const {
+    return frame_no == o.frame_no && width == o.width && height == o.height &&
+           tag == o.tag && pixels == o.pixels;
+  }
+};
+
+}  // namespace
+
+TEST(Serialization, PodRoundtrip) {
+  PodMsg<std::uint64_t> in(0xdeadbeefcafe1234ull), out;
+  from_bytes(out, to_bytes(in));
+  EXPECT_EQ(out.value, in.value);
+}
+
+TEST(Serialization, PodWireSizeIsExact) {
+  PodMsg<std::uint32_t> m(7);
+  EXPECT_EQ(to_bytes(m).size(), 4u);
+  EXPECT_EQ(serialized_size(m), 4u);
+}
+
+TEST(Serialization, LittleEndianWireFormat) {
+  PodMsg<std::uint32_t> m(0x01020304u);
+  const auto b = to_bytes(m);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Serialization, StringRoundtripWithEmbeddedNul) {
+  StringMsg in(std::string("ab\0cd", 5)), out;
+  from_bytes(out, to_bytes(in));
+  EXPECT_EQ(out.text, in.text);
+  EXPECT_EQ(out.text.size(), 5u);
+}
+
+TEST(Serialization, VectorLengthPrefix) {
+  VectorMsg<std::uint8_t> m(std::vector<std::uint8_t>{1, 2, 3});
+  const auto b = to_bytes(m);
+  ASSERT_EQ(b.size(), 4u + 3u);  // u32 length + payload
+  EXPECT_EQ(b[0], 3u);
+}
+
+TEST(Serialization, NestedObjectRoundtrip) {
+  VideoFrame in;
+  in.frame_no = 42;
+  in.width = 16;
+  in.height = 8;
+  in.tag = "I-frame";
+  in.pixels.assign(16 * 8, -7);
+  VideoFrame out;
+  from_bytes(out, to_bytes(in));
+  EXPECT_EQ(out, in);
+}
+
+TEST(Serialization, UnderrunThrows) {
+  PodMsg<std::uint64_t> out;
+  std::vector<std::uint8_t> short_buf(3, 0);
+  EXPECT_THROW(from_bytes(out, short_buf), ProtocolError);
+}
+
+TEST(Serialization, TrailingGarbageThrows) {
+  PodMsg<std::uint16_t> in(5), out;
+  auto b = to_bytes(in);
+  b.push_back(0xff);
+  EXPECT_THROW(from_bytes(out, b), ProtocolError);
+}
+
+TEST(Serialization, DeserializerTracksRemaining) {
+  Serializer s;
+  s.put<std::uint32_t>(1);
+  s.put<std::uint32_t>(2);
+  Deserializer d(s.data());
+  EXPECT_EQ(d.remaining(), 8u);
+  EXPECT_EQ(d.get<std::uint32_t>(), 1u);
+  EXPECT_EQ(d.remaining(), 4u);
+  EXPECT_FALSE(d.finished());
+  EXPECT_EQ(d.get<std::uint32_t>(), 2u);
+  EXPECT_TRUE(d.finished());
+}
+
+TEST(Serialization, FloatAndEnumSupport) {
+  enum class Cmd : std::uint8_t { Idle = 0, Go = 7 };
+  Serializer s;
+  s.put(3.5);
+  s.put(2.25f);
+  s.put(Cmd::Go);
+  Deserializer d(s.data());
+  EXPECT_DOUBLE_EQ(d.get<double>(), 3.5);
+  EXPECT_FLOAT_EQ(d.get<float>(), 2.25f);
+  EXPECT_EQ(d.get<Cmd>(), Cmd::Go);
+}
+
+// Property: random frames roundtrip losslessly across a size sweep.
+class SerializationFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SerializationFuzz, RandomFramesRoundtrip) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> len(0, 4096);
+  std::uniform_int_distribution<int> val(-32768, 32767);
+  for (int iter = 0; iter < 20; ++iter) {
+    VideoFrame in;
+    in.frame_no = rng();
+    in.width = static_cast<std::uint16_t>(rng());
+    in.height = static_cast<std::uint16_t>(rng());
+    in.tag.assign(static_cast<std::size_t>(len(rng)) % 64, 'x');
+    const int n = len(rng);
+    in.pixels.resize(static_cast<std::size_t>(n));
+    for (auto& p : in.pixels) p = static_cast<std::int16_t>(val(rng));
+    VideoFrame out;
+    from_bytes(out, to_bytes(in));
+    ASSERT_EQ(out, in) << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));

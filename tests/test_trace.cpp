@@ -1,0 +1,188 @@
+// Tests for the tracing/statistics module: VCD output, accumulators,
+// histograms, and the transaction logger.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "kernel/kernel.hpp"
+#include "trace/stats.hpp"
+#include "trace/txn_log.hpp"
+#include "trace/vcd.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct TempVcd {
+  std::string path;
+  explicit TempVcd(const char* name)
+      : path(std::string("/tmp/stlm_test_") + name + ".vcd") {}
+  ~TempVcd() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(Stats, AccumulatorMoments) {
+  trace::Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(2.0);
+  a.add(4.0);
+  a.add(6.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  trace::Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.bin(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+}
+
+TEST(Stats, StatSetCountersAndReport) {
+  trace::StatSet s;
+  s.count("transactions");
+  s.count("transactions");
+  s.count("bytes", 128);
+  s.acc("latency").add(5.0);
+  EXPECT_EQ(s.counter("transactions"), 2u);
+  EXPECT_EQ(s.counter("bytes"), 128u);
+  EXPECT_EQ(s.counter("missing"), 0u);
+  std::ostringstream os;
+  s.report(os, "test");
+  EXPECT_NE(os.str().find("transactions"), std::string::npos);
+  EXPECT_NE(os.str().find("latency"), std::string::npos);
+}
+
+TEST(TxnLog, SummaryAndCsv) {
+  trace::TxnLogger log;
+  log.record("ch0", trace::TxnKind::Send, 64, 0_ns, 100_ns);
+  log.record("ch1", trace::TxnKind::Read, 32, 50_ns, 250_ns);
+  const auto s = log.summarize();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.bytes, 96u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_ns, 150.0);
+  EXPECT_DOUBLE_EQ(s.max_latency_ns, 200.0);
+  std::ostringstream os;
+  log.dump_csv(os);
+  EXPECT_NE(os.str().find("ch0,send,64"), std::string::npos);
+  EXPECT_NE(os.str().find("ch1,read,32"), std::string::npos);
+}
+
+TEST(TxnLog, DisabledLoggerRecordsNothing) {
+  trace::TxnLogger log;
+  log.set_enabled(false);
+  log.record("ch", trace::TxnKind::Send, 1, 0_ns, 1_ns);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Vcd, EmitsHeaderAndChanges) {
+  TempVcd tmp("header");
+  Simulator sim;
+  Signal<bool> flag(sim, "flag", false);
+  Signal<std::uint8_t> bus(sim, "bus", 0);
+  {
+    trace::VcdWriter vcd(sim, tmp.path);
+    vcd.add(flag, "flag");
+    vcd.add(bus, "bus");
+    EXPECT_EQ(vcd.signal_count(), 2u);
+    sim.spawn_thread("driver", [&] {
+      wait(10_ns);
+      flag.write(true);
+      bus.write(0xa5);
+      wait(10_ns);
+      flag.write(false);
+    });
+    sim.run();
+  }
+  const std::string text = read_file(tmp.path);
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! flag $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8 \" bus $end"), std::string::npos);
+  EXPECT_NE(text.find("#10000"), std::string::npos);  // 10 ns in ps
+  EXPECT_NE(text.find("b10100101 \""), std::string::npos);
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  EXPECT_NE(text.find("0!"), std::string::npos);
+}
+
+TEST(Vcd, ClockWaveHasAllEdges) {
+  TempVcd tmp("clock");
+  Simulator sim;
+  Clock clk(sim, "clk", 10_ns);
+  trace::VcdWriter vcd(sim, tmp.path);
+  vcd.add(clk.signal(), "clk");
+  sim.run_for(45_ns);
+  vcd.flush();
+  const std::string text = read_file(tmp.path);
+  // Rising edges at 0, 10000, 20000, 30000, 40000 ps.
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#40000"), std::string::npos);
+  // Count value changes of signal '!': the initial-value dump plus
+  // 9 edges (5 rising + 4 falling within 45 ns).
+  int changes = 0;
+  for (std::size_t pos = 0; (pos = text.find("!\n", pos)) != std::string::npos;
+       ++pos) {
+    ++changes;
+  }
+  EXPECT_EQ(changes, 10);
+}
+
+TEST(Vcd, SampledValueCallback) {
+  TempVcd tmp("sampled");
+  Simulator sim;
+  int fsm_state = 0;
+  trace::VcdWriter vcd(sim, tmp.path);
+  vcd.add_sampled("fsm", 4, [&] { return static_cast<std::uint64_t>(fsm_state); });
+  sim.spawn_thread("fsm", [&] {
+    for (int i = 1; i <= 3; ++i) {
+      wait(5_ns);
+      fsm_state = i;
+    }
+  });
+  sim.run();
+  vcd.flush();
+  const std::string text = read_file(tmp.path);
+  EXPECT_NE(text.find("b11 !"), std::string::npos);  // state 3
+}
+
+TEST(Vcd, UnwritableFileThrows) {
+  Simulator sim;
+  EXPECT_THROW(trace::VcdWriter(sim, "/nonexistent_dir/x.vcd"),
+               SimulationError);
+}
+
+TEST(Vcd, AddAfterRunThrows) {
+  TempVcd tmp("late");
+  Simulator sim;
+  Signal<bool> s(sim, "s", false);
+  trace::VcdWriter vcd(sim, tmp.path);
+  vcd.add(s, "s");
+  sim.spawn_thread("t", [&] { wait(1_ns); });
+  sim.run();
+  Signal<bool> s2(sim, "s2", false);
+  EXPECT_THROW(vcd.add(s2, "s2"), SimulationError);
+}
