@@ -14,10 +14,10 @@ MasterAccessor::MasterAccessor(Simulator& sim, std::string name,
   engine_.self = this;
 }
 
-ocp::Response MasterAccessor::BusEngine::handle(const ocp::Request& req) {
+void MasterAccessor::BusEngine::handle(Txn& txn) {
   MasterAccessor& a = *self;
   Event& edge = a.clk_.posedge_event();
-  const std::uint32_t beats = req.beats();
+  const std::uint32_t beats = txn.beats();
 
   // Request and wait for grant.
   a.req_line_.write(true);
@@ -27,25 +27,24 @@ ocp::Response MasterAccessor::BusEngine::handle(const ocp::Request& req) {
 
   // Address phase (one cycle).
   a.bus_.PAValid.write(true);
-  a.bus_.ABus.write(static_cast<std::uint32_t>(req.addr));
-  a.bus_.MCmd.write(static_cast<std::uint8_t>(req.cmd));
+  a.bus_.ABus.write(static_cast<std::uint32_t>(txn.addr));
+  a.bus_.MCmd.write(static_cast<std::uint8_t>(ocp::txn_cmd(txn)));
   a.bus_.BurstLen.write(static_cast<std::uint8_t>(beats));
-  a.bus_.ByteCnt.write(static_cast<std::uint32_t>(req.payload_bytes()));
+  a.bus_.ByteCnt.write(static_cast<std::uint32_t>(txn.payload_bytes()));
   a.bus_.MId.write(a.my_id_);
   wait(edge);
   a.bus_.PAValid.write(false);
 
   bool error = false;
-  std::vector<std::uint8_t> rd_bytes;
 
-  if (req.cmd == ocp::Cmd::Write) {
+  if (txn.op == Txn::Op::Write) {
     // Write data phase: advance one beat per acknowledged edge.
     for (std::uint32_t beat = 0; beat < beats;) {
       std::uint32_t w = 0;
       for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
         const std::size_t idx = beat * ocp::kWordBytes + i;
-        if (idx < req.data.size()) {
-          w |= static_cast<std::uint32_t>(req.data[idx]) << (8 * i);
+        if (idx < txn.data.size()) {
+          w |= static_cast<std::uint32_t>(txn.data[idx]) << (8 * i);
         }
       }
       a.bus_.WrDBus.write(w);
@@ -62,29 +61,42 @@ ocp::Response MasterAccessor::BusEngine::handle(const ocp::Request& req) {
         break;
       }
     }
-  } else {
-    // Read data phase: capture words on RdAck until the completion pulse.
-    for (;;) {
-      wait(edge);
-      if (a.bus_.RdAck.read()) {
-        const std::uint32_t w = a.bus_.RdDBus.read();
-        for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
-          rd_bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
-        }
-      }
-      if (a.bus_.Comp.read()) {
-        error = a.bus_.CompErr.read();
-        break;
+    a.req_line_.write(false);
+    ++transactions;
+    if (error) {
+      txn.respond_error();
+    } else {
+      txn.respond_ok();
+    }
+    return;
+  }
+
+  // Read data phase: capture words on RdAck (straight into the response
+  // buffer) until the completion pulse.
+  std::vector<std::uint8_t>& rd_bytes = txn.resp_data;
+  rd_bytes.clear();
+  for (;;) {
+    wait(edge);
+    if (a.bus_.RdAck.read()) {
+      const std::uint32_t w = a.bus_.RdDBus.read();
+      for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
+        rd_bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
       }
     }
-    rd_bytes.resize(req.read_bytes);
+    if (a.bus_.Comp.read()) {
+      error = a.bus_.CompErr.read();
+      break;
+    }
   }
+  rd_bytes.resize(txn.read_bytes);
 
   a.req_line_.write(false);
   ++transactions;
-  if (error) return ocp::Response::error();
-  if (req.cmd == ocp::Cmd::Read) return ocp::Response::ok_with(std::move(rd_bytes));
-  return ocp::Response::ok();
+  if (error) {
+    txn.respond_error();
+  } else {
+    txn.status = Txn::Status::Ok;
+  }
 }
 
 }  // namespace stlm::accessor

@@ -26,7 +26,8 @@ public:
 
 private:
   struct BusEngine final : ocp::ocp_tl_slave_if {
-    ocp::Response handle(const ocp::Request& req) override;
+    using ocp::ocp_tl_slave_if::handle;
+    void handle(Txn& txn) override;
     MasterAccessor* self = nullptr;
     std::uint64_t transactions = 0;
   };

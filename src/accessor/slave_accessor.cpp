@@ -27,8 +27,9 @@ void SlaveAccessor::fsm() {
 
     bool error = false;
     if (cmd == ocp::Cmd::Write) {
-      // Capture the write burst from the bus.
-      std::vector<std::uint8_t> bytes;
+      // Capture the write burst from the bus into the reusable descriptor.
+      txn_.begin_write(addr, nullptr, 0);
+      std::vector<std::uint8_t>& bytes = txn_.data;
       bytes.reserve(static_cast<std::size_t>(beats) * ocp::kWordBytes);
       bus_.WrAck.write(true);
       for (std::uint32_t got = 0; got < beats;) {
@@ -43,20 +44,19 @@ void SlaveAccessor::fsm() {
       bus_.WrAck.write(false);
       bytes.resize(byte_cnt);
       // Forward to the PE over its own pin-level OCP interface.
-      const ocp::Response r =
-          pe_side_.transport(ocp::Request::write(addr, std::move(bytes)));
-      error = !r.good();
+      pe_side_.transport(txn_);
+      error = !txn_.ok();
     } else if (cmd == ocp::Cmd::Read) {
-      const ocp::Response r =
-          pe_side_.transport(ocp::Request::read(addr, byte_cnt));
-      error = !r.good();
+      txn_.begin_read(addr, byte_cnt);
+      pe_side_.transport(txn_);
+      error = !txn_.ok();
       if (!error) {
         for (std::uint32_t beat = 0; beat < beats; ++beat) {
           std::uint32_t w = 0;
           for (std::size_t i = 0; i < ocp::kWordBytes; ++i) {
             const std::size_t idx = beat * ocp::kWordBytes + i;
-            if (idx < r.data.size()) {
-              w |= static_cast<std::uint32_t>(r.data[idx]) << (8 * i);
+            if (idx < txn_.resp_data.size()) {
+              w |= static_cast<std::uint32_t>(txn_.resp_data[idx]) << (8 * i);
             }
           }
           bus_.RdDBus.write(w);

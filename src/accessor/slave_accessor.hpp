@@ -31,6 +31,7 @@ private:
   Clock& clk_;
   cam::AddressRange decode_;
   ocp::OcpPinMaster pe_side_;
+  Txn txn_;  // reusable descriptor (the FSM serves one transaction at a time)
   std::uint64_t transactions_ = 0;
 };
 

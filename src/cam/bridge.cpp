@@ -9,10 +9,11 @@ BusBridge::BusBridge(Simulator& sim, std::string name, CamIf& downstream,
       down_master_(downstream.add_master(full_name())),
       crossing_cycles_(crossing_cycles) {}
 
-ocp::Response BusBridge::handle(const ocp::Request& req) {
+void BusBridge::handle(Txn& txn) {
   if (crossing_cycles_) wait(down_.cycle() * crossing_cycles_);
   ++forwarded_;
-  return down_.master_port(down_master_).transport(req);
+  // The same descriptor crosses the bridge — no request/response copies.
+  down_.master_port(down_master_).transport(txn);
 }
 
 }  // namespace stlm::cam

@@ -20,7 +20,8 @@ public:
   BusBridge(Simulator& sim, std::string name, CamIf& downstream,
             std::uint32_t crossing_cycles = 2);
 
-  ocp::Response handle(const ocp::Request& req) override;
+  using ocp::ocp_tl_slave_if::handle;
+  void handle(Txn& txn) override;
 
   std::uint64_t forwarded() const { return forwarded_; }
 

@@ -12,6 +12,7 @@ std::size_t CrossbarCam::add_master(const std::string& name) {
   mp->xbar = this;
   mp->index = masters_.size();
   mp->label = name;
+  mp->latency = &stats_.acc("master_" + name + "_latency_ns");
   masters_.push_back(std::move(mp));
   return masters_.size() - 1;
 }
@@ -37,41 +38,41 @@ double CrossbarCam::utilization() const {
          (elapsed.to_seconds() * static_cast<double>(lanes_.size()));
 }
 
-ocp::Response CrossbarCam::MasterPort::transport(const ocp::Request& req) {
-  return xbar->route(index, req);
+void CrossbarCam::set_txn_logger(trace::TxnLogger* log) {
+  log_.bind(log, full_name());
 }
 
-ocp::Response CrossbarCam::route(std::size_t master, const ocp::Request& req) {
-  STLM_ASSERT(req.cmd != ocp::Cmd::Idle,
-              "transport of IDLE request on " + full_name());
+void CrossbarCam::MasterPort::transport(Txn& txn) {
+  xbar->route(index, txn);
+}
+
+void CrossbarCam::route(std::size_t master, Txn& txn) {
   const Time start = sim().now();
-  const auto slave = map_.decode(
-      req.addr, req.payload_bytes() ? req.payload_bytes() : 1);
+  const std::size_t bytes = txn.payload_bytes();
+  const auto slave = map_.decode(txn.addr, bytes ? bytes : 1);
   if (!slave) {
     stats_.count("decode_errors");
-    return ocp::Response::error();
+    txn.respond_error();
+    return;
   }
   LockGuard lane(*lanes_[*slave]);
-  const std::size_t bytes = req.payload_bytes();
   const std::uint64_t beats =
       bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
   const Time occupancy = cycle_ * (1 + beats);  // route setup + data
   wait(occupancy);
   busy_time_ += occupancy;
-  ocp::Response resp = slaves_[*slave]->handle(req);
+  slaves_[*slave]->handle(txn);
 
   stats_.count("transactions");
   stats_.count("bytes", bytes);
-  stats_.acc("latency_ns").add((sim().now() - start).to_ns());
-  stats_.acc("master_" + masters_[master]->label + "_latency_ns")
-      .add((sim().now() - start).to_ns());
+  const double latency_ns = (sim().now() - start).to_ns();
+  stats_.acc("latency_ns").add(latency_ns);
+  masters_[master]->latency->add(latency_ns);
   if (log_) {
-    log_->record(full_name(),
-                 req.cmd == ocp::Cmd::Read ? trace::TxnKind::Read
-                                           : trace::TxnKind::Write,
-                 bytes, start, sim().now());
+    log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
+                                        : trace::TxnKind::Write,
+                txn.id, bytes, start, sim().now());
   }
-  return resp;
 }
 
 }  // namespace stlm::cam

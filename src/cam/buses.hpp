@@ -27,9 +27,9 @@ public:
       : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
 
 protected:
-  std::uint64_t txn_cycles(const ocp::Request& req, bool) const override {
+  std::uint64_t txn_cycles(const Txn& txn, bool) const override {
     // arbitration + address + one cycle per 32-bit beat + response.
-    return 2 + req.beats() + 1;
+    return 2 + txn.beats() + 1;
   }
 };
 
@@ -42,9 +42,9 @@ public:
   static constexpr std::size_t kWidthBytes = 8;
 
 protected:
-  std::uint64_t txn_cycles(const ocp::Request& req,
+  std::uint64_t txn_cycles(const Txn& txn,
                            bool back_to_back) const override {
-    const std::size_t bytes = req.payload_bytes();
+    const std::size_t bytes = txn.payload_bytes();
     const std::uint64_t beats =
         bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
     // Pipelined: request/address overlap the previous data phase.
@@ -60,9 +60,9 @@ public:
       : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
 
 protected:
-  std::uint64_t txn_cycles(const ocp::Request& req, bool) const override {
+  std::uint64_t txn_cycles(const Txn& txn, bool) const override {
     // Single master/slave handshake per word: 2 cycles per beat.
-    return 2 + 2ull * req.beats();
+    return 2 + 2ull * txn.beats();
   }
 };
 
@@ -81,20 +81,22 @@ public:
   Time cycle() const override { return cycle_; }
   const AddressMap& address_map() const override { return map_; }
   trace::StatSet& stats() override { return stats_; }
-  void set_txn_logger(trace::TxnLogger* log) override { log_ = log; }
+  void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
 
   static constexpr std::size_t kWidthBytes = 8;
 
 private:
   struct MasterPort final : ocp::ocp_tl_master_if {
-    ocp::Response transport(const ocp::Request& req) override;
+    using ocp::ocp_tl_master_if::transport;
+    void transport(Txn& txn) override;
     CrossbarCam* xbar = nullptr;
     std::size_t index = 0;
     std::string label;
+    trace::Accumulator* latency = nullptr;
   };
 
-  ocp::Response route(std::size_t master, const ocp::Request& req);
+  void route(std::size_t master, Txn& txn);
 
   Time cycle_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
@@ -103,7 +105,7 @@ private:
   AddressMap map_;
   Time busy_time_ = Time::zero();
   trace::StatSet stats_;
-  trace::TxnLogger* log_ = nullptr;
+  trace::LogHandle log_;
 };
 
 }  // namespace stlm::cam

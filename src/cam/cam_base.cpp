@@ -10,6 +10,14 @@ CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
       new_request_(sim, full_name() + ".new_request") {
   STLM_ASSERT(!cycle_.is_zero(), "CAM cycle must be positive: " + full_name());
   STLM_ASSERT(arbiter_ != nullptr, "CAM needs an arbiter: " + full_name());
+  acc_grant_wait_ = &stats_.acc("grant_wait_ns");
+  acc_txn_cycles_ = &stats_.acc("txn_cycles");
+  acc_latency_ = &stats_.acc("latency_ns");
+  cnt_transactions_ = &stats_.counter_slot("transactions");
+  cnt_reads_ = &stats_.counter_slot("reads");
+  cnt_writes_ = &stats_.counter_slot("writes");
+  cnt_bytes_ = &stats_.counter_slot("bytes");
+  cnt_decode_errors_ = &stats_.counter_slot("decode_errors");
   spawn_thread("engine", [this] { engine(); });
 }
 
@@ -18,6 +26,7 @@ std::size_t CamBase::add_master(const std::string& name) {
   mp->cam = this;
   mp->index = masters_.size();
   mp->label = name;
+  mp->latency = &stats_.acc("master_" + name + "_latency_ns");
   masters_.push_back(std::move(mp));
   queues_.emplace_back();
   return masters_.size() - 1;
@@ -34,20 +43,31 @@ void CamBase::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
   slaves_.push_back(&slave);
 }
 
+void CamBase::set_txn_logger(trace::TxnLogger* log) {
+  log_.bind(log, full_name());
+}
+
 double CamBase::utilization() const {
+  // Guard: before any simulated time has elapsed there is nothing to
+  // normalize by — report an idle bus instead of dividing by zero.
   const Time elapsed = sim().now();
   if (elapsed.is_zero()) return 0.0;
   return busy_time_.to_seconds() / elapsed.to_seconds();
 }
 
-ocp::Response CamBase::MasterPort::transport(const ocp::Request& req) {
-  STLM_ASSERT(req.cmd != ocp::Cmd::Idle,
-              "transport of IDLE request on " + cam->full_name());
-  Pending p(cam->sim(), req);
-  cam->queues_[index].push_back(&p);
-  cam->new_request_.notify_delta();
-  while (!p.complete) wait(p.done);
-  return std::move(p.resp);
+void CamBase::MasterPort::transport(Txn& txn) {
+  CamBase& c = *cam;
+  // A bridge may forward the same descriptor into this CAM while the
+  // original initiator still waits on it: shelve the outer waiter (and
+  // the outer CAM's enqueue timestamp) for the inner round-trip.
+  const Time outer_enqueued = txn.enqueued;
+  CompletionEvent::NestedScope nest(txn.done);
+  txn.enqueued = c.sim().now();
+  txn.status = Txn::Status::Pending;
+  c.queues_[index].push_back(txn);
+  c.new_request_.notify_delta();
+  txn.done.wait(c.sim());
+  txn.enqueued = outer_enqueued;
 }
 
 void CamBase::engine() {
@@ -67,47 +87,44 @@ void CamBase::engine() {
 
     const int granted = arbiter_->pick(requesting, now_cycle());
     STLM_ASSERT(granted >= 0, "arbiter returned no grant with pending masters");
-    Pending* p = queues_[static_cast<std::size_t>(granted)].front();
-    queues_[static_cast<std::size_t>(granted)].pop_front();
+    const auto g = static_cast<std::size_t>(granted);
+    Txn* txn = queues_[g].pop_front();
+    STLM_ASSERT(txn != nullptr, "granted master has empty queue");
 
     const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
-    const std::uint64_t cycles = txn_cycles(*p->req, back_to_back);
+    const std::uint64_t cycles = txn_cycles(*txn, back_to_back);
     const Time occupancy = cycle_ * cycles;
 
-    stats_.acc("grant_wait_ns").add((sim().now() - p->enqueued).to_ns());
+    acc_grant_wait_->add((sim().now() - txn->enqueued).to_ns());
     wait(occupancy);
     busy_time_ += occupancy;
 
-    const auto slave = map_.decode(p->req->addr, p->req->payload_bytes()
-                                                      ? p->req->payload_bytes()
-                                                      : 1);
+    const std::size_t bytes = txn->payload_bytes();
+    const auto slave = map_.decode(txn->addr, bytes ? bytes : 1);
     if (!slave) {
-      p->resp = ocp::Response::error();
-      stats_.count("decode_errors");
+      txn->respond_error();
+      ++*cnt_decode_errors_;
     } else {
-      p->resp = slaves_[*slave]->handle(*p->req);
+      slaves_[*slave]->handle(*txn);
     }
 
     last_txn_end_ = sim().now();
     engine_busy_ = true;
 
-    stats_.count("transactions");
-    stats_.count(p->req->cmd == ocp::Cmd::Read ? "reads" : "writes");
-    stats_.count("bytes", p->req->payload_bytes());
-    stats_.acc("txn_cycles").add(static_cast<double>(cycles));
-    stats_.acc("latency_ns").add((sim().now() - p->enqueued).to_ns());
-    stats_.acc("master_" + masters_[static_cast<std::size_t>(granted)]->label +
-               "_latency_ns")
-        .add((sim().now() - p->enqueued).to_ns());
+    ++*cnt_transactions_;
+    ++*(txn->op == Txn::Op::Read ? cnt_reads_ : cnt_writes_);
+    *cnt_bytes_ += bytes;
+    acc_txn_cycles_->add(static_cast<double>(cycles));
+    const double latency_ns = (sim().now() - txn->enqueued).to_ns();
+    acc_latency_->add(latency_ns);
+    masters_[g]->latency->add(latency_ns);
     if (log_) {
-      log_->record(full_name(),
-                   p->req->cmd == ocp::Cmd::Read ? trace::TxnKind::Read
-                                                 : trace::TxnKind::Write,
-                   p->req->payload_bytes(), p->enqueued, sim().now());
+      log_.record(txn->op == Txn::Op::Read ? trace::TxnKind::Read
+                                           : trace::TxnKind::Write,
+                  txn->id, bytes, txn->enqueued, sim().now());
     }
 
-    p->complete = true;
-    p->done.notify();  // immediate: master resumes within this delta
+    txn->done.complete(sim());  // immediate: master resumes within this delta
 
     // Yield one delta so just-completed masters can re-enqueue before the
     // next arbitration — otherwise a saturating high-priority master

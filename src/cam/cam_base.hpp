@@ -1,14 +1,21 @@
 #pragma once
 // Shared implementation of single-resource (bus-style) CAMs.
 //
-// A single grant engine serializes transactions: masters enqueue pending
-// descriptors at their access points; the engine arbitrates, charges the
-// protocol's cycle count in one wait() (CCATB), delivers the request to
-// the decoded slave, and completes the descriptor. Derived classes only
-// describe their protocol timing via txn_cycles().
+// A single grant engine serializes transactions: masters enqueue pooled
+// transaction descriptors at their access points; the engine arbitrates,
+// charges the protocol's cycle count in one wait() (CCATB), delivers the
+// request to the decoded slave, and completes the descriptor. Derived
+// classes only describe their protocol timing via txn_cycles().
+//
+// Hot-path invariants (guarded by the pooled-Txn stress test):
+//   * the per-master pending queues are intrusive Txn lists — no
+//     allocation on enqueue/dequeue;
+//   * completion uses Txn's CompletionEvent — no Event construction, no
+//     liveness-registry churn;
+//   * per-transaction statistics go through cached accumulator/counter
+//     slots — no string building per transaction.
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,7 +41,7 @@ public:
   Time cycle() const override { return cycle_; }
   const AddressMap& address_map() const override { return map_; }
   trace::StatSet& stats() override { return stats_; }
-  void set_txn_logger(trace::TxnLogger* log) override { log_ = log; }
+  void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
 
   const Arbiter& arbiter() const { return *arbiter_; }
@@ -43,26 +50,17 @@ protected:
   // Bus cycles a transaction occupies. `back_to_back` is true when the
   // bus was still busy when this transaction was granted — pipelined
   // protocols (PLB) hide arbitration/address cycles in that case.
-  virtual std::uint64_t txn_cycles(const ocp::Request& req,
-                                   bool back_to_back) const = 0;
+  virtual std::uint64_t txn_cycles(const Txn& txn, bool back_to_back) const = 0;
 
 private:
-  struct Pending {
-    const ocp::Request* req;
-    ocp::Response resp;
-    Event done;
-    bool complete = false;
-    Time enqueued;
-    explicit Pending(Simulator& sim, const ocp::Request& r)
-        : req(&r), done(sim, "cam.pending"), enqueued(sim.now()) {}
-  };
-
   // Access point given to each master.
   struct MasterPort final : ocp::ocp_tl_master_if {
-    ocp::Response transport(const ocp::Request& req) override;
+    using ocp::ocp_tl_master_if::transport;
+    void transport(Txn& txn) override;
     CamBase* cam = nullptr;
     std::size_t index = 0;
     std::string label;
+    trace::Accumulator* latency = nullptr;  // cached per-master stat slot
   };
 
   void engine();
@@ -71,7 +69,7 @@ private:
   Time cycle_;
   std::unique_ptr<Arbiter> arbiter_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
-  std::vector<std::deque<Pending*>> queues_;
+  std::vector<TxnQueue> queues_;  // intrusive pending lists, one per master
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
   AddressMap map_;
   Event new_request_;
@@ -79,7 +77,17 @@ private:
   Time last_txn_end_ = Time::zero();
   bool engine_busy_ = false;
   trace::StatSet stats_;
-  trace::TxnLogger* log_ = nullptr;
+  trace::LogHandle log_;
+
+  // Cached hot statistic slots (stable addresses inside stats_).
+  trace::Accumulator* acc_grant_wait_;
+  trace::Accumulator* acc_txn_cycles_;
+  trace::Accumulator* acc_latency_;
+  std::uint64_t* cnt_transactions_;
+  std::uint64_t* cnt_reads_;
+  std::uint64_t* cnt_writes_;
+  std::uint64_t* cnt_bytes_;
+  std::uint64_t* cnt_decode_errors_;
 };
 
 }  // namespace stlm::cam

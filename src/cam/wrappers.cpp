@@ -17,34 +17,40 @@ ShipSlaveWrapper::ShipSlaveWrapper(Simulator& sim, std::string name,
               "mailbox window too small: " + full_name());
 }
 
-ocp::Response ShipSlaveWrapper::handle(const ocp::Request& req) {
-  const std::uint64_t a = req.addr;
+void ShipSlaveWrapper::handle(Txn& txn) {
+  const std::uint64_t a = txn.addr;
 
-  if (req.cmd == ocp::Cmd::Write) {
+  if (txn.op == Txn::Op::Write) {
     // DATA_IN window: stage chunk bytes.
     if (a >= layout_.data_in() &&
-        a + req.data.size() <= layout_.data_in() + layout_.window_bytes) {
+        a + txn.data.size() <= layout_.data_in() + layout_.window_bytes) {
       const std::size_t off = static_cast<std::size_t>(a - layout_.data_in());
-      std::copy(req.data.begin(), req.data.end(), chunk_buf_.begin() + off);
-      return ocp::Response::ok();
+      std::copy(txn.data.begin(), txn.data.end(), chunk_buf_.begin() + off);
+      txn.respond_ok();
+      return;
     }
     // CTRL: commit the staged chunk.
-    if (a == layout_.ctrl() && req.data.size() >= ocp::kWordBytes) {
-      std::uint32_t ctrl = 0;
-      for (int i = 3; i >= 0; --i) ctrl = (ctrl << 8) | req.data[static_cast<std::size_t>(i)];
+    if (a == layout_.ctrl() && txn.data.size() >= ocp::kWordBytes) {
+      const std::uint32_t ctrl = ocp::u32_from_le(txn.data.data());
       const std::uint32_t len = ctrl & MailboxLayout::kLenMask;
-      if (len > layout_.window_bytes) return ocp::Response::error();
+      if (len > layout_.window_bytes) {
+        txn.respond_error();
+        return;
+      }
       rx_accum_.insert(rx_accum_.end(), chunk_buf_.begin(),
                        chunk_buf_.begin() + len);
       if (ctrl & MailboxLayout::kLastFlag) {
-        rx_queue_.push_back(
-            Message{std::move(rx_accum_),
-                    (ctrl & MailboxLayout::kRequestFlag) != 0});
+        Txn& m = sim().txn_pool().acquire();
+        m.begin_msg((ctrl & MailboxLayout::kRequestFlag) ? Txn::kFlagRequest
+                                                         : 0);
+        m.data.assign(rx_accum_.begin(), rx_accum_.end());
         rx_accum_.clear();
+        rx_queue_.push_back(m);
         ++messages_rx_;
         rx_available_.notify_delta();
       }
-      return ocp::Response::ok();
+      txn.respond_ok();
+      return;
     }
     // RACK: current reply chunk consumed.
     if (a == layout_.rack()) {
@@ -53,35 +59,35 @@ ocp::Response ShipSlaveWrapper::handle(const ocp::Request& req) {
       reply_buf_.erase(reply_buf_.begin(),
                        reply_buf_.begin() + static_cast<std::ptrdiff_t>(chunk));
       reply_consumed_.notify_delta();
-      return ocp::Response::ok();
+      txn.respond_ok();
+      return;
     }
-    return ocp::Response::error();
+    txn.respond_error();
+    return;
   }
 
-  if (req.cmd == ocp::Cmd::Read) {
+  if (txn.op == Txn::Op::Read) {
     // RSTATUS: remaining reply bytes.
     if (a == layout_.rstatus()) {
-      const auto len = static_cast<std::uint32_t>(reply_buf_.size());
-      std::vector<std::uint8_t> bytes(4);
-      for (int i = 0; i < 4; ++i) {
-        bytes[static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>(len >> (8 * i));
-      }
-      return ocp::Response::ok_with(std::move(bytes));
+      std::uint8_t bytes[4];
+      ocp::u32_to_le(static_cast<std::uint32_t>(reply_buf_.size()), bytes);
+      txn.respond_data(bytes, sizeof bytes);
+      return;
     }
     // DATA_OUT window: serve reply bytes from the current chunk.
     if (a >= layout_.data_out() &&
-        a + req.read_bytes <= layout_.data_out() + layout_.window_bytes) {
+        a + txn.read_bytes <= layout_.data_out() + layout_.window_bytes) {
       const std::size_t off = static_cast<std::size_t>(a - layout_.data_out());
-      std::vector<std::uint8_t> bytes(req.read_bytes, 0);
+      std::vector<std::uint8_t>& bytes = txn.respond_buffer(txn.read_bytes);
       for (std::size_t i = 0; i < bytes.size(); ++i) {
         if (off + i < reply_buf_.size()) bytes[i] = reply_buf_[off + i];
       }
-      return ocp::Response::ok_with(std::move(bytes));
+      return;
     }
-    return ocp::Response::error();
+    txn.respond_error();
+    return;
   }
-  return ocp::Response::error();
+  txn.respond_error();
 }
 
 void ShipSlaveWrapper::send(const ship::ship_serializable_if&) {
@@ -97,10 +103,10 @@ void ShipSlaveWrapper::request(const ship::ship_serializable_if&,
 
 void ShipSlaveWrapper::recv(ship::ship_serializable_if& msg) {
   while (rx_queue_.empty()) wait(rx_available_);
-  Message m = std::move(rx_queue_.front());
-  rx_queue_.pop_front();
-  if (m.is_request) ++pending_replies_;
-  ship::from_bytes(msg, m.payload);
+  Txn* m = rx_queue_.pop_front();
+  if (m->is_request()) ++pending_replies_;
+  ship::from_bytes(msg, m->data);
+  sim().txn_pool().release(*m);
 }
 
 void ShipSlaveWrapper::reply(const ship::ship_serializable_if& resp) {
@@ -111,7 +117,7 @@ void ShipSlaveWrapper::reply(const ship::ship_serializable_if& resp) {
   --pending_replies_;
   // Wait until the previous reply was fully drained by the master.
   while (!reply_buf_.empty()) wait(reply_consumed_);
-  reply_buf_ = ship::to_bytes(resp);
+  ship::to_bytes_into(resp, reply_buf_);
   // Ensure even empty replies are observable via RSTATUS.
   if (reply_buf_.empty()) reply_buf_.push_back(0);
 }
@@ -127,82 +133,93 @@ ShipMasterWrapper::ShipMasterWrapper(Simulator& sim, std::string name,
       remote_(remote),
       poll_interval_(poll_interval) {}
 
-ocp::Response ShipMasterWrapper::transport_checked(const ocp::Request& req) {
+ShipMasterWrapper::BusyGuard::BusyGuard(ShipMasterWrapper& w, const char* call)
+    : w_(w) {
+  if (w_.busy_) {
+    throw ProtocolError("SHIP master wrapper " + w_.full_name() +
+                        ": overlapping " + call +
+                        " (the wrapper serves one PE at a time)");
+  }
+  w_.busy_ = true;
+}
+
+void ShipMasterWrapper::transport_checked(Txn& txn) {
   ++bus_txns_;
-  ocp::Response r = cam_.master_port(master_).transport(req);
-  if (!r.good()) {
+  cam_.master_port(master_).transport(txn);
+  if (!txn.ok()) {
     throw ProtocolError("SHIP master wrapper " + full_name() +
                         ": bus error at mailbox access");
   }
-  return r;
+}
+
+std::uint32_t ShipMasterWrapper::read_u32(std::uint64_t addr) {
+  bus_txn_.begin_read(addr, 4, static_cast<std::uint32_t>(master_));
+  transport_checked(bus_txn_);
+  return ocp::u32_from_le(bus_txn_.resp_data.data());
 }
 
 void ShipMasterWrapper::push_message(const ship::ship_serializable_if& msg,
                                      bool is_request) {
-  const std::vector<std::uint8_t> bytes = ship::to_bytes(msg);
+  const std::size_t total = ship::to_bytes_into(msg, tx_buf_);
   const std::size_t w = remote_.window_bytes;
   std::size_t sent = 0;
   do {
-    const std::size_t chunk = std::min(w, bytes.size() - sent);
+    const std::size_t chunk = std::min(w, total - sent);
     if (chunk > 0) {
-      transport_checked(ocp::Request::write(
-          remote_.data_in(),
-          std::vector<std::uint8_t>(bytes.begin() + static_cast<std::ptrdiff_t>(sent),
-                                    bytes.begin() + static_cast<std::ptrdiff_t>(sent + chunk)),
-          static_cast<std::uint32_t>(master_)));
+      bus_txn_.begin_write(remote_.data_in(), tx_buf_.data() + sent, chunk,
+                           static_cast<std::uint32_t>(master_));
+      transport_checked(bus_txn_);
     }
     sent += chunk;
     std::uint32_t ctrl = static_cast<std::uint32_t>(chunk);
-    if (sent == bytes.size()) ctrl |= MailboxLayout::kLastFlag;
+    if (sent == total) ctrl |= MailboxLayout::kLastFlag;
     if (is_request) ctrl |= MailboxLayout::kRequestFlag;
-    std::vector<std::uint8_t> cw(4);
-    for (int i = 0; i < 4; ++i) {
-      cw[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(ctrl >> (8 * i));
-    }
-    transport_checked(ocp::Request::write(remote_.ctrl(), std::move(cw),
-                                          static_cast<std::uint32_t>(master_)));
-  } while (sent < bytes.size());
+    std::uint8_t cw[4];
+    ocp::u32_to_le(ctrl, cw);
+    bus_txn_.begin_write(remote_.ctrl(), cw, sizeof cw,
+                         static_cast<std::uint32_t>(master_));
+    transport_checked(bus_txn_);
+  } while (sent < total);
 }
 
-std::vector<std::uint8_t> ShipMasterWrapper::pull_reply() {
-  std::vector<std::uint8_t> reply;
+void ShipMasterWrapper::pull_reply() {
+  rx_buf_.clear();
   for (;;) {
-    const ocp::Response st = transport_checked(
-        ocp::Request::read(remote_.rstatus(), 4, static_cast<std::uint32_t>(master_)));
-    std::uint32_t remaining = 0;
-    for (int i = 3; i >= 0; --i) {
-      remaining = (remaining << 8) | st.data[static_cast<std::size_t>(i)];
-    }
+    const std::uint32_t remaining = read_u32(remote_.rstatus());
     if (remaining == 0) {
-      if (!reply.empty()) break;  // fully drained
+      if (!rx_buf_.empty()) break;  // fully drained
       ++polls_;
       wait(poll_interval_);
       continue;
     }
     const std::uint32_t chunk =
         std::min<std::uint32_t>(remaining, remote_.window_bytes);
-    const ocp::Response data = transport_checked(ocp::Request::read(
-        remote_.data_out(), chunk, static_cast<std::uint32_t>(master_)));
-    reply.insert(reply.end(), data.data.begin(), data.data.end());
-    transport_checked(ocp::Request::write(
-        remote_.rack(), std::vector<std::uint8_t>(4, 0),
-        static_cast<std::uint32_t>(master_)));
+    bus_txn_.begin_read(remote_.data_out(), chunk,
+                        static_cast<std::uint32_t>(master_));
+    transport_checked(bus_txn_);
+    rx_buf_.insert(rx_buf_.end(), bus_txn_.resp_data.begin(),
+                   bus_txn_.resp_data.end());
+    static constexpr std::uint8_t kZeros[4] = {};
+    bus_txn_.begin_write(remote_.rack(), kZeros, sizeof kZeros,
+                         static_cast<std::uint32_t>(master_));
+    transport_checked(bus_txn_);
     if (chunk == remaining) break;
   }
-  return reply;
 }
 
 void ShipMasterWrapper::send(const ship::ship_serializable_if& msg) {
+  BusyGuard busy(*this, "send");
   push_message(msg, /*is_request=*/false);
 }
 
 void ShipMasterWrapper::request(const ship::ship_serializable_if& req,
                                 ship::ship_serializable_if& resp) {
+  BusyGuard busy(*this, "request");
   push_message(req, /*is_request=*/true);
-  std::vector<std::uint8_t> bytes = pull_reply();
+  pull_reply();
   // Empty replies are padded with one marker byte by the slave wrapper.
-  if (bytes.size() == 1 && ship::serialized_size(resp) == 0) bytes.clear();
-  ship::from_bytes(resp, bytes);
+  if (rx_buf_.size() == 1 && ship::serialized_size(resp) == 0) rx_buf_.clear();
+  ship::from_bytes(resp, rx_buf_);
 }
 
 void ShipMasterWrapper::recv(ship::ship_serializable_if&) {

@@ -56,7 +56,8 @@ public:
   ShipSlaveWrapper(Simulator& sim, std::string name, MailboxLayout layout);
 
   // --- OCP slave side (bus-facing) ------------------------------------
-  ocp::Response handle(const ocp::Request& req) override;
+  using ocp::ocp_tl_slave_if::handle;
+  void handle(Txn& txn) override;
 
   // --- SHIP slave side (PE-facing) ------------------------------------
   void send(const ship::ship_serializable_if&) override;
@@ -72,15 +73,10 @@ public:
   std::uint64_t messages_received() const { return messages_rx_; }
 
 private:
-  struct Message {
-    std::vector<std::uint8_t> payload;
-    bool is_request;
-  };
-
   MailboxLayout layout_;
   std::vector<std::uint8_t> chunk_buf_;   // DATA_IN staging
   std::vector<std::uint8_t> rx_accum_;    // chunks of the current message
-  std::deque<Message> rx_queue_;
+  TxnQueue rx_queue_;                     // completed messages (pooled Txns)
   Event rx_available_;
   std::vector<std::uint8_t> reply_buf_;   // remaining reply bytes
   Event reply_consumed_;
@@ -110,13 +106,31 @@ public:
 
 private:
   void push_message(const ship::ship_serializable_if& msg, bool is_request);
-  std::vector<std::uint8_t> pull_reply();
-  ocp::Response transport_checked(const ocp::Request& req);
+  void pull_reply();  // fills rx_buf_
+  void transport_checked(Txn& txn);
+  std::uint32_t read_u32(std::uint64_t addr);
+
+  // The wrapper serves one PE: its SHIP calls are strictly sequential, so
+  // one reusable descriptor and two scratch buffers suffice. BusyGuard
+  // turns accidental overlapping use (two processes on one wrapper) into
+  // a loud protocol error instead of silent descriptor corruption.
+  class BusyGuard {
+  public:
+    BusyGuard(ShipMasterWrapper& w, const char* call);
+    ~BusyGuard() { w_.busy_ = false; }
+
+  private:
+    ShipMasterWrapper& w_;
+  };
 
   CamIf& cam_;
   std::size_t master_;
   MailboxLayout remote_;
   Time poll_interval_;
+  Txn bus_txn_;                       // reusable bus descriptor
+  std::vector<std::uint8_t> tx_buf_;  // serialization scratch
+  std::vector<std::uint8_t> rx_buf_;  // reply reassembly scratch
+  bool busy_ = false;
   std::uint64_t bus_txns_ = 0;
   std::uint64_t polls_ = 0;
 };
@@ -127,9 +141,8 @@ private:
 class TlForwarder final : public ocp::ocp_tl_slave_if {
 public:
   explicit TlForwarder(ocp::ocp_tl_master_if& down) : down_(down) {}
-  ocp::Response handle(const ocp::Request& req) override {
-    return down_.transport(req);
-  }
+  using ocp::ocp_tl_slave_if::handle;
+  void handle(Txn& txn) override { down_.transport(txn); }
 
 private:
   ocp::ocp_tl_master_if& down_;

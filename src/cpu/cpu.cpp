@@ -16,42 +16,53 @@ void CpuModel::consume(std::uint64_t cycles) {
 
 std::uint32_t CpuModel::mmio_read32(std::uint64_t addr) {
   ++bus_txns_;
-  const ocp::Response r = bus_->transport(ocp::Request::read(addr, 4));
-  if (!r.good()) {
+  PooledTxn t(sim().txn_pool());
+  t->begin_read(addr, 4);
+  bus_->transport(*t);
+  if (!t->ok()) {
     throw ProtocolError(full_name() + ": bus error reading 0x" +
                         std::to_string(addr));
   }
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | r.data[static_cast<std::size_t>(i)];
-  }
-  return v;
+  return ocp::u32_from_le(t->resp_data.data());
 }
 
 void CpuModel::mmio_write32(std::uint64_t addr, std::uint32_t value) {
-  std::vector<std::uint8_t> bytes(4);
-  for (int i = 0; i < 4; ++i) {
-    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value >> (8 * i));
-  }
-  mmio_write(addr, std::move(bytes));
+  std::uint8_t bytes[4];
+  ocp::u32_to_le(value, bytes);
+  mmio_write_span(addr, bytes, sizeof bytes);
 }
 
 std::vector<std::uint8_t> CpuModel::mmio_read(std::uint64_t addr,
                                               std::uint32_t bytes) {
+  std::vector<std::uint8_t> out;
+  mmio_read_append(addr, bytes, out);
+  return out;
+}
+
+void CpuModel::mmio_read_append(std::uint64_t addr, std::uint32_t bytes,
+                                std::vector<std::uint8_t>& out) {
   ++bus_txns_;
-  const ocp::Response r = bus_->transport(ocp::Request::read(addr, bytes));
-  if (!r.good()) {
+  PooledTxn t(sim().txn_pool());
+  t->begin_read(addr, bytes);
+  bus_->transport(*t);
+  if (!t->ok()) {
     throw ProtocolError(full_name() + ": bus error reading block at 0x" +
                         std::to_string(addr));
   }
-  return r.data;
+  out.insert(out.end(), t->resp_data.begin(), t->resp_data.end());
 }
 
 void CpuModel::mmio_write(std::uint64_t addr, std::vector<std::uint8_t> bytes) {
+  mmio_write_span(addr, bytes.data(), bytes.size());
+}
+
+void CpuModel::mmio_write_span(std::uint64_t addr, const void* p,
+                               std::size_t n) {
   ++bus_txns_;
-  const ocp::Response r =
-      bus_->transport(ocp::Request::write(addr, std::move(bytes)));
-  if (!r.good()) {
+  PooledTxn t(sim().txn_pool());
+  t->begin_write(addr, p, n);
+  bus_->transport(*t);
+  if (!t->ok()) {
     throw ProtocolError(full_name() + ": bus error writing 0x" +
                         std::to_string(addr));
   }

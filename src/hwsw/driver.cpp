@@ -14,14 +14,6 @@ ShipDriver::ShipDriver(std::string name, rtos::Rtos& os, cpu::CpuModel& cpu,
       rx_normal_sem_(os, name_ + ".rx_normal", 0),
       rx_reply_sem_(os, name_ + ".rx_reply", 0) {}
 
-std::vector<std::uint8_t> ShipDriver::ctrl_word(std::uint32_t v) {
-  std::vector<std::uint8_t> bytes(4);
-  for (int i = 0; i < 4; ++i) {
-    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-  return bytes;
-}
-
 void ShipDriver::mark_sw(ship::Role r, const char* call) {
   if (sw_role_ != ship::Role::Unknown && sw_role_ != r) {
     throw ProtocolError("SHIP role conflict on driver " + name_ +
@@ -33,22 +25,31 @@ void ShipDriver::mark_sw(ship::Role r, const char* call) {
 void ShipDriver::push_to_hw(const ship::ship_serializable_if& msg,
                             std::uint32_t flags) {
   cpu_.consume(cfg_.call_overhead_cycles);
-  const std::vector<std::uint8_t> bytes = ship::to_bytes(msg);
+  // Serialize into the reusable scratch buffer; MMIO rides pooled Txns, so
+  // the whole driver entry is allocation-free once warmed up.
+  const std::size_t total = ship::to_bytes_into(msg, tx_buf_);
   const std::size_t w = mb_.window_bytes;
   std::size_t sent = 0;
   do {
-    const std::size_t chunk = std::min(w, bytes.size() - sent);
+    const std::size_t chunk = std::min(w, total - sent);
     if (chunk > 0) {
-      cpu_.mmio_write(mb_.data_in(),
-                      std::vector<std::uint8_t>(
-                          bytes.begin() + static_cast<std::ptrdiff_t>(sent),
-                          bytes.begin() + static_cast<std::ptrdiff_t>(sent + chunk)));
+      cpu_.mmio_write_span(mb_.data_in(), tx_buf_.data() + sent, chunk);
     }
     sent += chunk;
     std::uint32_t ctrl = static_cast<std::uint32_t>(chunk) | flags;
-    if (sent == bytes.size()) ctrl |= HwSwFlags::kLastFlag;
-    cpu_.mmio_write(mb_.ctrl(), ctrl_word(ctrl));
-  } while (sent < bytes.size());
+    if (sent == total) ctrl |= HwSwFlags::kLastFlag;
+    cpu_.mmio_write32(mb_.ctrl(), ctrl);
+  } while (sent < total);
+}
+
+void ShipDriver::pop_and_deserialize(TxnQueue& q,
+                                     ship::ship_serializable_if& msg) {
+  Txn* m = q.pop_front();
+  STLM_ASSERT(m != nullptr, "driver " + name_ + ": semaphore/queue mismatch");
+  // Empty payloads travel as a single marker byte (RSTATUS visibility).
+  if (m->data.size() == 1 && ship::serialized_size(msg) == 0) m->data.clear();
+  ship::from_bytes(msg, m->data);
+  cpu_.sim().txn_pool().release(*m);
 }
 
 void ShipDriver::send(const ship::ship_serializable_if& msg) {
@@ -63,20 +64,14 @@ void ShipDriver::request(const ship::ship_serializable_if& req,
   mark_sw(ship::Role::Master, "request");
   push_to_hw(req, HwSwFlags::kRequestFlag);
   rx_reply_sem_.wait();  // blocks the task; the ISR posts on reply
-  std::vector<std::uint8_t> bytes = std::move(rx_replies_.front());
-  rx_replies_.pop_front();
-  if (bytes.size() == 1 && ship::serialized_size(resp) == 0) bytes.clear();
-  ship::from_bytes(resp, bytes);
+  pop_and_deserialize(rx_replies_, resp);
 }
 
 void ShipDriver::recv(ship::ship_serializable_if& msg) {
   os_.require_task("ShipDriver::recv");
   mark_sw(ship::Role::Slave, "recv");
   rx_normal_sem_.wait();
-  std::vector<std::uint8_t> bytes = std::move(rx_normal_.front());
-  rx_normal_.pop_front();
-  if (bytes.size() == 1 && ship::serialized_size(msg) == 0) bytes.clear();
-  ship::from_bytes(msg, bytes);
+  pop_and_deserialize(rx_normal_, msg);
 }
 
 void ShipDriver::reply(const ship::ship_serializable_if& resp) {
@@ -98,23 +93,24 @@ void ShipDriver::on_irq() {
     std::uint32_t remaining = status & HwSwFlags::kLenMask;
     if (remaining == 0) break;
     const std::uint32_t flags = status & ~HwSwFlags::kLenMask;
-    std::vector<std::uint8_t> bytes;
+    Txn& m = cpu_.sim().txn_pool().acquire();
+    m.begin_msg(0);
+    m.flags = flags;
     // `remaining` covers exactly this message; the adapter pops its head
     // only once the final chunk is acknowledged.
     while (remaining > 0) {
       const std::uint32_t chunk =
           std::min<std::uint32_t>(remaining, mb_.window_bytes);
-      std::vector<std::uint8_t> part = cpu_.mmio_read(mb_.data_out(), chunk);
-      bytes.insert(bytes.end(), part.begin(), part.end());
-      cpu_.mmio_write(mb_.rack(), ctrl_word(0));
+      cpu_.mmio_read_append(mb_.data_out(), chunk, m.data);
+      cpu_.mmio_write32(mb_.rack(), 0);
       remaining -= chunk;
     }
     ++rx_count_;
     if (flags & HwSwFlags::kReplyFlag) {
-      rx_replies_.push_back(std::move(bytes));
+      rx_replies_.push_back(m);
       rx_reply_sem_.post_from_isr();
     } else {
-      rx_normal_.push_back(std::move(bytes));
+      rx_normal_.push_back(m);
       if (flags & HwSwFlags::kRequestFlag) ++pending_replies_;
       rx_normal_sem_.post_from_isr();
     }

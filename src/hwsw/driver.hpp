@@ -56,7 +56,7 @@ public:
 private:
   void mark_sw(ship::Role r, const char* call);
   void push_to_hw(const ship::ship_serializable_if& msg, std::uint32_t flags);
-  static std::vector<std::uint8_t> ctrl_word(std::uint32_t v);
+  void pop_and_deserialize(TxnQueue& q, ship::ship_serializable_if& msg);
 
   std::string name_;
   rtos::Rtos& os_;
@@ -66,8 +66,10 @@ private:
 
   rtos::Semaphore rx_normal_sem_;
   rtos::Semaphore rx_reply_sem_;
-  std::deque<std::vector<std::uint8_t>> rx_normal_;
-  std::deque<std::vector<std::uint8_t>> rx_replies_;
+  // Received messages are pooled Txn descriptors (data = payload bytes).
+  TxnQueue rx_normal_;
+  TxnQueue rx_replies_;
+  std::vector<std::uint8_t> tx_buf_;  // reusable serialization scratch
   std::uint64_t pending_replies_ = 0;
 
   ship::Role sw_role_ = ship::Role::Unknown;

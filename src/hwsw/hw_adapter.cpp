@@ -33,96 +33,108 @@ void HwAdapter::irq_pulser() {
   }
 }
 
-void HwAdapter::enqueue_outbound(std::vector<std::uint8_t> bytes,
+void HwAdapter::enqueue_outbound(const ship::ship_serializable_if& msg,
                                  std::uint32_t flags) {
+  Txn& t = sim().txn_pool().acquire();
+  t.begin_msg(0);
+  ship::to_bytes_into(msg, t.data);
   // Even empty payloads must be observable through RSTATUS.
-  if (bytes.empty()) bytes.push_back(0);
+  if (t.data.empty()) t.data.push_back(0);
+  t.flags = flags;
   const bool was_empty = out_queue_.empty();
-  out_queue_.push_back(Message{std::move(bytes), flags});
+  out_queue_.push_back(t);
   ++to_sw_;
   if (was_empty) irq_trigger_.notify_delta();
 }
 
 // ------------------------------------------------------------ bus side --
 
-ocp::Response HwAdapter::handle(const ocp::Request& req) {
-  const std::uint64_t a = req.addr;
+void HwAdapter::handle(Txn& txn) {
+  const std::uint64_t a = txn.addr;
 
-  if (req.cmd == ocp::Cmd::Write) {
+  if (txn.op == Txn::Op::Write) {
     if (a >= layout_.data_in() &&
-        a + req.data.size() <= layout_.data_in() + layout_.window_bytes) {
+        a + txn.data.size() <= layout_.data_in() + layout_.window_bytes) {
       const std::size_t off = static_cast<std::size_t>(a - layout_.data_in());
-      std::copy(req.data.begin(), req.data.end(), chunk_buf_.begin() + off);
-      return ocp::Response::ok();
+      std::copy(txn.data.begin(), txn.data.end(), chunk_buf_.begin() + off);
+      txn.respond_ok();
+      return;
     }
-    if (a == layout_.ctrl() && req.data.size() >= 4) {
-      std::uint32_t ctrl = 0;
-      for (int i = 3; i >= 0; --i) {
-        ctrl = (ctrl << 8) | req.data[static_cast<std::size_t>(i)];
-      }
+    if (a == layout_.ctrl() && txn.data.size() >= 4) {
+      const std::uint32_t ctrl = ocp::u32_from_le(txn.data.data());
       const std::uint32_t len = ctrl & HwSwFlags::kLenMask;
-      if (len > layout_.window_bytes) return ocp::Response::error();
+      if (len > layout_.window_bytes) {
+        txn.respond_error();
+        return;
+      }
       rx_accum_.insert(rx_accum_.end(), chunk_buf_.begin(),
                        chunk_buf_.begin() + len);
       if (ctrl & HwSwFlags::kLastFlag) {
-        Message m{std::move(rx_accum_), ctrl & ~HwSwFlags::kLenMask};
+        Txn& m = sim().txn_pool().acquire();
+        m.begin_msg(0);
+        m.data.assign(rx_accum_.begin(), rx_accum_.end());
+        m.flags = ctrl & ~HwSwFlags::kLenMask;
         rx_accum_.clear();
         ++from_sw_;
         if (ctrl & HwSwFlags::kReplyFlag) {
-          rx_replies_.push_back(std::move(m));
+          rx_replies_.push_back(m);
           rx_reply_ev_.notify_delta();
         } else {
-          rx_normal_.push_back(std::move(m));
+          rx_normal_.push_back(m);
           rx_normal_ev_.notify_delta();
         }
       }
-      return ocp::Response::ok();
+      txn.respond_ok();
+      return;
     }
     if (a == layout_.rack()) {
-      if (!out_queue_.empty()) {
-        auto& head = out_queue_.front().payload;
+      if (Txn* head = out_queue_.front()) {
+        const std::size_t remaining = head->data.size() - head->cursor;
         const std::size_t chunk =
-            std::min<std::size_t>(head.size(), layout_.window_bytes);
-        head.erase(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(chunk));
-        if (head.empty()) out_queue_.pop_front();
+            std::min<std::size_t>(remaining, layout_.window_bytes);
+        head->cursor += static_cast<std::uint32_t>(chunk);
+        if (head->cursor >= head->data.size()) {
+          out_queue_.pop_front();
+          sim().txn_pool().release(*head);
+        }
         out_consumed_.notify_delta();
       }
-      return ocp::Response::ok();
+      txn.respond_ok();
+      return;
     }
-    return ocp::Response::error();
+    txn.respond_error();
+    return;
   }
 
-  if (req.cmd == ocp::Cmd::Read) {
+  if (txn.op == Txn::Op::Read) {
     if (a == layout_.rstatus()) {
       std::uint32_t status = 0;
-      if (!out_queue_.empty()) {
-        const Message& head = out_queue_.front();
-        status = static_cast<std::uint32_t>(head.payload.size()) &
+      if (const Txn* head = out_queue_.front()) {
+        status = static_cast<std::uint32_t>(head->data.size() - head->cursor) &
                  HwSwFlags::kLenMask;
-        status |= head.flags & (HwSwFlags::kRequestFlag | HwSwFlags::kReplyFlag);
+        status |= head->flags & (HwSwFlags::kRequestFlag | HwSwFlags::kReplyFlag);
       }
-      std::vector<std::uint8_t> bytes(4);
-      for (int i = 0; i < 4; ++i) {
-        bytes[static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>(status >> (8 * i));
-      }
-      return ocp::Response::ok_with(std::move(bytes));
+      std::uint8_t bytes[4];
+      ocp::u32_to_le(status, bytes);
+      txn.respond_data(bytes, sizeof bytes);
+      return;
     }
     if (a >= layout_.data_out() &&
-        a + req.read_bytes <= layout_.data_out() + layout_.window_bytes) {
+        a + txn.read_bytes <= layout_.data_out() + layout_.window_bytes) {
       const std::size_t off = static_cast<std::size_t>(a - layout_.data_out());
-      std::vector<std::uint8_t> bytes(req.read_bytes, 0);
-      if (!out_queue_.empty()) {
-        const auto& head = out_queue_.front().payload;
+      std::vector<std::uint8_t>& bytes = txn.respond_buffer(txn.read_bytes);
+      if (const Txn* head = out_queue_.front()) {
+        const std::size_t base = head->cursor + off;
         for (std::size_t i = 0; i < bytes.size(); ++i) {
-          if (off + i < head.size()) bytes[i] = head[off + i];
+          if (base + i < head->data.size()) bytes[i] = head->data[base + i];
         }
       }
-      return ocp::Response::ok_with(std::move(bytes));
+      return;
     }
-    return ocp::Response::error();
+    txn.respond_error();
+    return;
   }
-  return ocp::Response::error();
+  txn.respond_error();
 }
 
 // ----------------------------------------------------------- SHIP side --
@@ -135,28 +147,31 @@ void HwAdapter::mark_hw(ship::Role r, const char* call) {
   hw_role_ = r;
 }
 
+Txn* HwAdapter::pop_rx(TxnQueue& q, Event& ev) {
+  while (q.empty()) wait(ev);
+  return q.pop_front();
+}
+
 void HwAdapter::send(const ship::ship_serializable_if& msg) {
   mark_hw(ship::Role::Master, "send");
-  enqueue_outbound(ship::to_bytes(msg), 0);
+  enqueue_outbound(msg, 0);
 }
 
 void HwAdapter::request(const ship::ship_serializable_if& req,
                         ship::ship_serializable_if& resp) {
   mark_hw(ship::Role::Master, "request");
-  enqueue_outbound(ship::to_bytes(req), HwSwFlags::kRequestFlag);
-  while (rx_replies_.empty()) wait(rx_reply_ev_);
-  Message m = std::move(rx_replies_.front());
-  rx_replies_.pop_front();
-  ship::from_bytes(resp, m.payload);
+  enqueue_outbound(req, HwSwFlags::kRequestFlag);
+  Txn* m = pop_rx(rx_replies_, rx_reply_ev_);
+  ship::from_bytes(resp, m->data);
+  sim().txn_pool().release(*m);
 }
 
 void HwAdapter::recv(ship::ship_serializable_if& msg) {
   mark_hw(ship::Role::Slave, "recv");
-  while (rx_normal_.empty()) wait(rx_normal_ev_);
-  Message m = std::move(rx_normal_.front());
-  rx_normal_.pop_front();
-  if (m.flags & HwSwFlags::kRequestFlag) ++pending_replies_;
-  ship::from_bytes(msg, m.payload);
+  Txn* m = pop_rx(rx_normal_, rx_normal_ev_);
+  if (m->flags & HwSwFlags::kRequestFlag) ++pending_replies_;
+  ship::from_bytes(msg, m->data);
+  sim().txn_pool().release(*m);
 }
 
 void HwAdapter::reply(const ship::ship_serializable_if& resp) {
@@ -166,7 +181,7 @@ void HwAdapter::reply(const ship::ship_serializable_if& resp) {
                         ": reply without outstanding request");
   }
   --pending_replies_;
-  enqueue_outbound(ship::to_bytes(resp), HwSwFlags::kReplyFlag);
+  enqueue_outbound(resp, HwSwFlags::kReplyFlag);
 }
 
 }  // namespace stlm::hwsw

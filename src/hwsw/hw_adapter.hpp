@@ -48,7 +48,8 @@ public:
   const cam::MailboxLayout& layout() const { return layout_; }
 
   // --- OCP slave side (bus-facing; driven by the SW driver) -----------
-  ocp::Response handle(const ocp::Request& req) override;
+  using ocp::ocp_tl_slave_if::handle;
+  void handle(Txn& txn) override;
 
   // --- SHIP side (HW PE-facing) ----------------------------------------
   void send(const ship::ship_serializable_if& msg) override;
@@ -65,13 +66,13 @@ public:
   std::uint64_t messages_from_sw() const { return from_sw_; }
 
 private:
-  struct Message {
-    std::vector<std::uint8_t> payload;
-    std::uint32_t flags = 0;
-  };
-
+  // Messages on both sides are pooled Txn descriptors: `data` holds the
+  // payload, `flags` the HwSwFlags bits, `cursor` the bytes the consumer
+  // already drained from the outbound head.
   void mark_hw(ship::Role r, const char* call);
-  void enqueue_outbound(std::vector<std::uint8_t> bytes, std::uint32_t flags);
+  void enqueue_outbound(const ship::ship_serializable_if& msg,
+                        std::uint32_t flags);
+  Txn* pop_rx(TxnQueue& q, Event& ev);
   void irq_pulser();
 
   cam::MailboxLayout layout_;
@@ -82,14 +83,14 @@ private:
   // Inbound (SW -> HW).
   std::vector<std::uint8_t> chunk_buf_;
   std::vector<std::uint8_t> rx_accum_;
-  std::deque<Message> rx_normal_;   // sends + requests from SW
-  std::deque<Message> rx_replies_;  // replies from SW
+  TxnQueue rx_normal_;   // sends + requests from SW
+  TxnQueue rx_replies_;  // replies from SW
   Event rx_normal_ev_;
   Event rx_reply_ev_;
   std::uint64_t pending_replies_ = 0;  // requests HW has recv'd, not replied
 
   // Outbound (HW -> SW).
-  std::deque<Message> out_queue_;
+  TxnQueue out_queue_;
   Event out_consumed_;
 
   ship::Role hw_role_ = ship::Role::Unknown;

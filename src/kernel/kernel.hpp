@@ -10,3 +10,4 @@
 #include "kernel/signal.hpp"
 #include "kernel/simulator.hpp"
 #include "kernel/time.hpp"
+#include "kernel/txn.hpp"

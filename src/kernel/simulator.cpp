@@ -82,7 +82,10 @@ void Simulator::unregister_process(ProcessBase& p) {
   live_processes_.erase(&p);
 }
 
-void Simulator::register_event(Event& e) { live_events_.insert(&e); }
+void Simulator::register_event(Event& e) {
+  ++events_registered_total_;
+  live_events_.insert(&e);
+}
 void Simulator::unregister_event(Event& e) { live_events_.erase(&e); }
 
 void Simulator::register_module(Module& m) { modules_.push_back(&m); }

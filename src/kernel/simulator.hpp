@@ -31,6 +31,7 @@
 #include "kernel/process.hpp"
 #include "kernel/report.hpp"
 #include "kernel/time.hpp"
+#include "kernel/txn.hpp"
 
 namespace stlm {
 
@@ -107,6 +108,20 @@ public:
   bool event_alive(const Event* e) const { return live_events_.contains(e); }
   void register_event(Event& e);
   void unregister_event(Event& e);
+
+  // --- pooled transaction descriptors ------------------------------------
+  // Free-list pool shared by every communication layer bound to this
+  // simulator; see kernel/txn.hpp. Steady-state transaction traffic must
+  // not grow the pool (asserted by the pooled-Txn stress test).
+  TxnPool& txn_pool() { return txn_pool_; }
+
+  // Observability for allocation-churn regression tests: current number of
+  // live Events and the total ever registered. A pooled transaction hot
+  // path keeps the total flat while transactions flow.
+  std::size_t live_event_count() const { return live_events_.size(); }
+  std::uint64_t events_registered_total() const {
+    return events_registered_total_;
+  }
   void register_module(Module& m);
   void unregister_module(Module& m);
   void register_owned(std::unique_ptr<ProcessBase> p);  // sim-owned processes
@@ -160,6 +175,8 @@ private:
       timed_;
 
   std::vector<ProcessBase*> all_processes_;
+  TxnPool txn_pool_;
+  std::uint64_t events_registered_total_ = 0;
   std::unordered_set<const Event*> live_events_;
   std::unordered_set<const ProcessBase*> live_processes_;
   std::vector<Module*> modules_;

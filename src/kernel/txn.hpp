@@ -1,0 +1,305 @@
+#pragma once
+// Pooled transaction descriptor — the single currency every communication
+// layer moves (OCP TL channels, CAMs, SHIP channels, the HW/SW interface).
+//
+// A Txn carries one transaction's request half (operation, address, write
+// or message payload) and response half (status, read/reply payload) in
+// buffers that keep their capacity across reuse, plus a CompletionEvent
+// the initiator blocks on. Unlike Event, a CompletionEvent does not
+// register with the Simulator's liveness registry and allocates nothing,
+// so the steady-state transaction hot path performs zero per-transaction
+// heap allocation and zero hash-set churn.
+//
+// Lifetime models:
+//   * blocking round-trips (CAM/OCP masters): the initiator owns the Txn
+//     (on its stack or as a member) and reuses it across transactions;
+//   * queued messages (SHIP channels, mailbox queues): acquire from the
+//     Simulator's TxnPool, link through the intrusive `next` pointer, and
+//     release after consumption — the free list recycles descriptors and
+//     their payload capacity.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace stlm {
+
+class Simulator;
+class Process;
+class Txn;
+class TxnPool;
+class TxnQueue;
+
+// Lightweight completion token: one waiter, no simulator registration, no
+// allocation. Safe to embed in pooled or stack-allocated descriptors.
+// Completion wakes the waiter immediately (same evaluation phase), exactly
+// like Event::notify() did for the old per-transaction done events.
+class CompletionEvent {
+public:
+  void complete(Simulator& sim);  // mark complete and wake the waiter
+  void wait(Simulator& sim);      // block the calling thread process
+  bool completed() const { return completed_; }
+  void reset() {
+    completed_ = false;
+    waiter_ = nullptr;
+  }
+
+  // Blocking layers strictly nest (e.g. a bus bridge forwards the granted
+  // Txn into a downstream CAM while the initiator still waits on the same
+  // descriptor). NestedScope shelves the outer waiter for the duration of
+  // the inner round-trip and restores it on exit, so one CompletionEvent
+  // serves every nesting level without extra allocation.
+  class NestedScope {
+  public:
+    explicit NestedScope(CompletionEvent& e)
+        : e_(e),
+          waiter_(e.waiter_),
+          waiter_gen_(e.waiter_gen_),
+          completed_(e.completed_) {
+      e_.waiter_ = nullptr;
+      e_.completed_ = false;
+    }
+    ~NestedScope() {
+      e_.waiter_ = waiter_;
+      e_.waiter_gen_ = waiter_gen_;
+      e_.completed_ = completed_;
+    }
+    NestedScope(const NestedScope&) = delete;
+    NestedScope& operator=(const NestedScope&) = delete;
+
+  private:
+    CompletionEvent& e_;
+    Process* waiter_;
+    std::uint64_t waiter_gen_;
+    bool completed_;
+  };
+
+private:
+  Process* waiter_ = nullptr;
+  std::uint64_t waiter_gen_ = 0;  // waiter's wake_gen at registration
+  bool completed_ = false;
+};
+
+class Txn {
+public:
+  enum class Op : std::uint8_t { Read, Write, Msg };
+  enum class Status : std::uint8_t { Pending, Ok, Error };
+
+  // 32-bit data path: one beat per 4 payload bytes (OCP basic profile).
+  static constexpr std::size_t kWordBytes = 4;
+  // SHIP round-trip request marker (flags bit).
+  static constexpr std::uint32_t kFlagRequest = 1u << 0;
+  // SHIP reply marker (flags bit) — used by mailbox-style adapters.
+  static constexpr std::uint32_t kFlagReply = 1u << 1;
+
+  // --- request half ------------------------------------------------------
+  Op op = Op::Read;
+  std::uint32_t flags = 0;
+  std::uint32_t master_id = 0;
+  std::uint64_t addr = 0;
+  std::uint32_t read_bytes = 0;            // requested bytes (reads only)
+  std::vector<std::uint8_t> data;          // write / message payload
+
+  // --- response half -----------------------------------------------------
+  Status status = Status::Pending;
+  std::vector<std::uint8_t> resp_data;     // read / reply payload
+
+  // --- bookkeeping -------------------------------------------------------
+  Time enqueued = Time::zero();            // set when a layer queues the txn
+  std::uint32_t cursor = 0;                // consumer progress (chunked IO)
+  std::uint64_t id = 0;                    // unique per begin_*(); for tracing
+  CompletionEvent done;
+
+  Txn() = default;
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  // --- initiator-side setup (resets response state, keeps capacity) ------
+  void begin_read(std::uint64_t a, std::uint32_t bytes,
+                  std::uint32_t master = 0) {
+    begin(Op::Read, a, master);
+    read_bytes = bytes;
+  }
+  void begin_write(std::uint64_t a, const void* p, std::size_t n,
+                   std::uint32_t master = 0) {
+    begin(Op::Write, a, master);
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    data.assign(b, b + n);
+  }
+  // Message payload is written by the caller into data after begin_msg()
+  // (typically via serialization straight into the buffer).
+  void begin_msg(std::uint32_t f = 0) {
+    begin(Op::Msg, 0, 0);
+    flags = f;
+  }
+
+  // --- observers ---------------------------------------------------------
+  std::size_t payload_bytes() const {
+    return op == Op::Read ? read_bytes : data.size();
+  }
+  std::uint32_t beats() const {
+    const std::size_t b = payload_bytes();
+    return b == 0 ? 1
+                  : static_cast<std::uint32_t>((b + kWordBytes - 1) /
+                                               kWordBytes);
+  }
+  bool ok() const { return status == Status::Ok; }
+  bool is_request() const { return (flags & kFlagRequest) != 0; }
+
+  // --- target-side responses (in place, capacity-preserving) -------------
+  void respond_ok() {
+    status = Status::Ok;
+    resp_data.clear();
+  }
+  void respond_error() {
+    status = Status::Error;
+    resp_data.clear();
+  }
+  void respond_data(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    resp_data.assign(b, b + n);
+    status = Status::Ok;
+  }
+  // For targets that fill the payload directly (sized, zeroed on demand).
+  std::vector<std::uint8_t>& respond_buffer(std::size_t n) {
+    resp_data.assign(n, 0);
+    status = Status::Ok;
+    return resp_data;
+  }
+
+private:
+  friend class TxnPool;
+  friend class TxnQueue;
+
+  void begin(Op o, std::uint64_t a, std::uint32_t master) {
+    op = o;
+    addr = a;
+    master_id = master;
+    flags = 0;
+    read_bytes = 0;
+    cursor = 0;
+    data.clear();
+    resp_data.clear();
+    status = Status::Pending;
+    done.reset();
+    id = next_id();
+  }
+
+  // Monotonic across every simulator (descriptors are recycled, logical
+  // transactions are not): gives trace rows a usable correlation key.
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  Txn* next_ = nullptr;  // intrusive link (pending queue / free list)
+};
+
+// Intrusive FIFO of pending transactions. No allocation — links through
+// Txn::next_. A Txn may sit in at most one queue at a time.
+class TxnQueue {
+public:
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return count_; }
+
+  void push_back(Txn& t) {
+    t.next_ = nullptr;
+    if (tail_) {
+      tail_->next_ = &t;
+    } else {
+      head_ = &t;
+    }
+    tail_ = &t;
+    ++count_;
+  }
+
+  Txn* pop_front() {
+    Txn* t = head_;
+    if (!t) return nullptr;
+    head_ = t->next_;
+    if (!head_) tail_ = nullptr;
+    t->next_ = nullptr;
+    --count_;
+    return t;
+  }
+
+  Txn* front() const { return head_; }
+
+private:
+  Txn* head_ = nullptr;
+  Txn* tail_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+// Free-list pool of transaction descriptors. Released descriptors keep
+// their payload capacity, so a warmed-up pool serves acquire/release
+// cycles with no heap traffic. `created()` is the number of descriptors
+// ever allocated — a steady-state phase must not move it.
+class TxnPool {
+public:
+  Txn& acquire() {
+    ++acquired_;
+    if (Txn* t = free_.pop_front()) {
+      return *t;
+    }
+    auto owned = std::make_unique<Txn>();
+    Txn& t = *owned;
+    storage_.push_back(std::move(owned));
+    return t;
+  }
+
+  void release(Txn& t) {
+    ++released_;
+    // Reset logical state but keep both payload buffers' capacity.
+    t.flags = 0;
+    t.read_bytes = 0;
+    t.cursor = 0;
+    t.data.clear();
+    t.resp_data.clear();
+    t.status = Txn::Status::Pending;
+    t.done.reset();
+    free_.push_back(t);
+  }
+
+  std::uint64_t created() const { return storage_.size(); }
+  std::uint64_t acquired() const { return acquired_; }
+  std::uint64_t released() const { return released_; }
+  std::size_t outstanding() const {
+    return static_cast<std::size_t>(acquired_ - released_);
+  }
+
+private:
+  TxnQueue free_;
+  std::vector<std::unique_ptr<Txn>> storage_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+// RAII pool handle for scoped acquisitions (compat shims, MMIO helpers).
+class PooledTxn {
+public:
+  explicit PooledTxn(TxnPool& pool) : pool_(&pool), t_(&pool.acquire()) {}
+  ~PooledTxn() {
+    if (t_) pool_->release(*t_);
+  }
+  PooledTxn(PooledTxn&& o) noexcept : pool_(o.pool_), t_(o.t_) {
+    o.t_ = nullptr;
+  }
+  PooledTxn& operator=(PooledTxn&&) = delete;
+  PooledTxn(const PooledTxn&) = delete;
+  PooledTxn& operator=(const PooledTxn&) = delete;
+
+  Txn& operator*() const { return *t_; }
+  Txn* operator->() const { return t_; }
+  Txn& get() const { return *t_; }
+
+private:
+  TxnPool* pool_;
+  Txn* t_;
+};
+
+}  // namespace stlm

@@ -24,21 +24,23 @@ public:
         mem_(size, 0),
         access_time_(access_time) {}
 
-  Response handle(const Request& req) override {
+  using ocp_tl_slave_if::handle;
+  void handle(Txn& txn) override {
     if (!access_time_.is_zero()) wait(access_time_);
-    const std::size_t len = req.payload_bytes();
-    if (req.addr < base_ || req.addr + len > base_ + mem_.size()) {
-      return Response::error();
+    const std::size_t len = txn.payload_bytes();
+    if (txn.addr < base_ || txn.addr + len > base_ + mem_.size()) {
+      txn.respond_error();
+      return;
     }
-    const std::size_t off = static_cast<std::size_t>(req.addr - base_);
-    if (req.cmd == Cmd::Write) {
-      std::copy(req.data.begin(), req.data.end(), mem_.begin() + off);
+    const std::size_t off = static_cast<std::size_t>(txn.addr - base_);
+    if (txn.op == Txn::Op::Write) {
+      std::copy(txn.data.begin(), txn.data.end(), mem_.begin() + off);
       ++writes_;
-      return Response::ok();
+      txn.respond_ok();
+      return;
     }
     ++reads_;
-    return Response::ok_with(std::vector<std::uint8_t>(
-        mem_.begin() + off, mem_.begin() + off + len));
+    txn.respond_data(mem_.data() + off, len);
   }
 
   // Test/back-door access (no simulated time).

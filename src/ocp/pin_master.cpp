@@ -21,23 +21,24 @@ std::uint32_t OcpPinMaster::word_at(const std::vector<std::uint8_t>& bytes,
   return w;
 }
 
-Response OcpPinMaster::transport(const Request& req) {
-  STLM_ASSERT(req.cmd != Cmd::Idle, "transport of IDLE request on " + full_name());
-  STLM_ASSERT(req.beats() <= 255, "pin-level burst longer than MBurstLen: " +
+void OcpPinMaster::transport(Txn& txn) {
+  STLM_ASSERT(txn.op != Txn::Op::Msg,
+              "pin-level transport needs a read/write txn on " + full_name());
+  STLM_ASSERT(txn.beats() <= 255, "pin-level burst longer than MBurstLen: " +
                                       full_name());
   LockGuard g(busy_);
-  const std::uint32_t beats = req.beats();
+  const std::uint32_t beats = txn.beats();
   Event& edge = clk_.posedge_event();
 
-  pins_.MAddr.write(static_cast<std::uint32_t>(req.addr));
+  pins_.MAddr.write(static_cast<std::uint32_t>(txn.addr));
   pins_.MBurstLen.write(static_cast<std::uint8_t>(beats));
-  pins_.MByteCnt.write(static_cast<std::uint32_t>(req.payload_bytes()));
+  pins_.MByteCnt.write(static_cast<std::uint32_t>(txn.payload_bytes()));
 
-  if (req.cmd == Cmd::Write) {
+  if (txn.op == Txn::Op::Write) {
     // Command/data phase: one beat per accepted edge.
     for (std::uint32_t beat = 0; beat < beats;) {
       pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Write));
-      pins_.MData.write(word_at(req.data, beat));
+      pins_.MData.write(word_at(txn.data, beat));
       wait(edge);
       if (pins_.SCmdAccept.read()) ++beat;
     }
@@ -49,11 +50,13 @@ Response OcpPinMaster::transport(const Request& req) {
       if (r == RespCode::DVA) break;
       if (r == RespCode::Err || r == RespCode::Fail) {
         ++transactions_;
-        return Response::error();
+        txn.respond_error();
+        return;
       }
     }
     ++transactions_;
-    return Response::ok();
+    txn.respond_ok();
+    return;
   }
 
   // Read: command phase.
@@ -63,15 +66,18 @@ Response OcpPinMaster::transport(const Request& req) {
   } while (!pins_.SCmdAccept.read());
   pins_.MCmd.write(static_cast<std::uint8_t>(Cmd::Idle));
 
-  // Response phase: capture one word per DVA edge.
-  std::vector<std::uint8_t> bytes;
+  // Response phase: capture one word per DVA edge, straight into the
+  // transaction's (capacity-retaining) response buffer.
+  std::vector<std::uint8_t>& bytes = txn.resp_data;
+  bytes.clear();
   bytes.reserve(static_cast<std::size_t>(beats) * kWordBytes);
   for (std::uint32_t beat = 0; beat < beats;) {
     wait(edge);
     const auto r = static_cast<RespCode>(pins_.SResp.read());
     if (r == RespCode::Err || r == RespCode::Fail) {
       ++transactions_;
-      return Response::error();
+      txn.respond_error();
+      return;
     }
     if (r != RespCode::DVA) continue;
     const std::uint32_t w = pins_.SData.read();
@@ -80,9 +86,9 @@ Response OcpPinMaster::transport(const Request& req) {
     }
     ++beat;
   }
-  bytes.resize(req.read_bytes);  // trim padding of the final word
+  bytes.resize(txn.read_bytes);  // trim padding of the final word
+  txn.status = Txn::Status::Ok;
   ++transactions_;
-  return Response::ok_with(std::move(bytes));
 }
 
 }  // namespace stlm::ocp

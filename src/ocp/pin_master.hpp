@@ -21,7 +21,8 @@ public:
   OcpPinMaster(Simulator& sim, std::string name, OcpPins& pins, Clock& clk,
                Module* parent = nullptr);
 
-  Response transport(const Request& req) override;
+  using ocp_tl_master_if::transport;
+  void transport(Txn& txn) override;
 
   std::uint64_t transactions() const { return transactions_; }
 

@@ -37,8 +37,10 @@ void OcpPinSlave::fsm() {
     const std::uint32_t byte_cnt = pins_.MByteCnt.read();
 
     if (cmd == Cmd::Write) {
-      // Capture beat 0 at this edge, remaining beats on following edges.
-      std::vector<std::uint8_t> bytes;
+      // Capture beat 0 at this edge, remaining beats on following edges —
+      // straight into the reusable descriptor's payload buffer.
+      txn_.begin_write(addr, nullptr, 0);
+      std::vector<std::uint8_t>& bytes = txn_.data;
       bytes.reserve(static_cast<std::size_t>(beats) * kWordBytes);
       std::uint32_t w = pins_.MData.read();
       for (std::uint32_t beat = 0;;) {
@@ -52,9 +54,9 @@ void OcpPinSlave::fsm() {
       bytes.resize(byte_cnt);  // drop final-word padding
       pins_.SCmdAccept.write(false);
       for (std::uint32_t i = 0; i < latency_; ++i) wait(edge);
-      const Response r = device_.handle(Request::write(addr, std::move(bytes)));
+      device_.handle(txn_);
       pins_.SResp.write(static_cast<std::uint8_t>(
-          r.good() ? RespCode::DVA : RespCode::Err));
+          txn_.ok() ? RespCode::DVA : RespCode::Err));
       wait(edge);
       pins_.SResp.write(static_cast<std::uint8_t>(RespCode::Null));
       pins_.SCmdAccept.write(true);
@@ -65,13 +67,14 @@ void OcpPinSlave::fsm() {
     // Read.
     pins_.SCmdAccept.write(false);
     for (std::uint32_t i = 0; i < latency_; ++i) wait(edge);
-    const Response r = device_.handle(Request::read(addr, byte_cnt));
-    if (!r.good()) {
+    txn_.begin_read(addr, byte_cnt);
+    device_.handle(txn_);
+    if (!txn_.ok()) {
       pins_.SResp.write(static_cast<std::uint8_t>(RespCode::Err));
       wait(edge);
     } else {
       for (std::uint32_t beat = 0; beat < beats; ++beat) {
-        pins_.SData.write(word_at(r.data, beat));
+        pins_.SData.write(word_at(txn_.resp_data, beat));
         pins_.SResp.write(static_cast<std::uint8_t>(RespCode::DVA));
         wait(edge);
       }

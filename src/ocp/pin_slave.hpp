@@ -35,6 +35,7 @@ private:
   ocp_tl_slave_if& device_;
   std::uint32_t latency_;
   std::uint64_t transactions_ = 0;
+  Txn txn_;  // reusable descriptor (the FSM runs one transaction at a time)
 };
 
 }  // namespace stlm::ocp

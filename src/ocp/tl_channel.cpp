@@ -12,26 +12,27 @@ OcpTlChannel::OcpTlChannel(Simulator& sim, std::string name,
   STLM_ASSERT(!timing_.cycle.is_zero(), "OCP TL cycle must be positive: " + name_);
 }
 
-Response OcpTlChannel::transport(const Request& req) {
-  STLM_ASSERT(req.cmd != Cmd::Idle, "transport of IDLE request on " + name_);
+void OcpTlChannel::set_txn_logger(trace::TxnLogger* log) {
+  log_.bind(log, name_);
+}
+
+void OcpTlChannel::transport(Txn& txn) {
   const Time start = sim_.now();
   LockGuard g(busy_);
 
   const std::uint64_t cycles = timing_.request_cycles +
-                               static_cast<std::uint64_t>(req.beats()) *
+                               static_cast<std::uint64_t>(txn.beats()) *
                                    timing_.cycles_per_beat +
                                timing_.response_cycles;
   wait(timing_.cycle * cycles);
-  Response resp = slave_.handle(req);  // may consume further wait states
+  slave_.handle(txn);  // may consume further wait states
 
   ++transactions_;
   if (log_) {
-    log_->record(name_,
-                 req.cmd == Cmd::Read ? trace::TxnKind::Read
-                                      : trace::TxnKind::Write,
-                 req.payload_bytes(), start, sim_.now());
+    log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
+                                        : trace::TxnKind::Write,
+                txn.id, txn.payload_bytes(), start, sim_.now());
   }
-  return resp;
 }
 
 }  // namespace stlm::ocp

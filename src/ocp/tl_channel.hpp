@@ -31,9 +31,10 @@ public:
   OcpTlChannel(Simulator& sim, std::string name, ocp_tl_slave_if& slave,
                TlTiming timing = {});
 
-  Response transport(const Request& req) override;
+  using ocp_tl_master_if::transport;
+  void transport(Txn& txn) override;
 
-  void set_txn_logger(trace::TxnLogger* log) { log_ = log; }
+  void set_txn_logger(trace::TxnLogger* log);
   const std::string& name() const { return name_; }
   std::uint64_t transactions() const { return transactions_; }
   const TlTiming& timing() const { return timing_; }
@@ -44,7 +45,7 @@ private:
   ocp_tl_slave_if& slave_;
   TlTiming timing_;
   Mutex busy_;  // serializes masters sharing this channel
-  trace::TxnLogger* log_ = nullptr;
+  trace::LogHandle log_;
   std::uint64_t transactions_ = 0;
 };
 

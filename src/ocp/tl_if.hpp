@@ -9,6 +9,14 @@
 //   * ocp_tl_slave_if  — the device-side callback a target implements.
 //     handle() may consume simulated time with wait() to model wait
 //     states.
+//
+// The virtual hot path moves a pooled stlm::Txn by reference through
+// every layer — no payload copies, no per-transaction events or heap
+// allocation. The Request/Response overloads are non-virtual convenience
+// shims for edge code; they route through a pooled descriptor and copy at
+// the boundary only. Implementations that are poked directly by tests
+// (rather than through this interface) should `using` the base overloads
+// so both spellings stay visible.
 
 #include "kernel/module.hpp"
 #include "ocp/types.hpp"
@@ -18,13 +26,15 @@ namespace stlm::ocp {
 class ocp_tl_master_if {
 public:
   virtual ~ocp_tl_master_if() = default;
-  virtual Response transport(const Request& req) = 0;
+  virtual void transport(Txn& txn) = 0;
+  Response transport(const Request& req);
 };
 
 class ocp_tl_slave_if {
 public:
   virtual ~ocp_tl_slave_if() = default;
-  virtual Response handle(const Request& req) = 0;
+  virtual void handle(Txn& txn) = 0;
+  Response handle(const Request& req);
 };
 
 using OcpMasterPort = Port<ocp_tl_master_if>;

@@ -6,16 +6,40 @@
 // "OCP TLM interfaces" and refines them to "pin-level OCP". This module
 // models the OCP basic profile: single request group (MCmd/MAddr/MData),
 // single response group (SResp/SData), word size 32 bit, precise bursts.
+//
+// Since the pooled-transaction refactor, the descriptor that actually
+// crosses every layer is stlm::Txn (kernel/txn.hpp): layers hand the same
+// Txn through the TL channel, the CAM grant engine, and the pin adapters
+// without copying payloads. Request/Response survive as convenience value
+// types for edge code (PE bodies, tests); the conversion helpers below
+// map them onto a Txn at the boundary.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "kernel/report.hpp"
+#include "kernel/txn.hpp"
 
 namespace stlm::ocp {
 
-inline constexpr std::size_t kWordBytes = 4;
+inline constexpr std::size_t kWordBytes = Txn::kWordBytes;
+
+// Little-endian 32-bit wire helpers shared by the MMIO/mailbox register
+// codecs (CPU model, HW adapter, SHIP wrappers).
+inline std::uint32_t u32_from_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void u32_to_le(std::uint32_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
 
 enum class Cmd : std::uint8_t { Idle = 0, Write = 1, Read = 2 };
 enum class RespCode : std::uint8_t { Null = 0, DVA = 1, Fail = 2, Err = 3 };
@@ -84,5 +108,36 @@ struct Response {
   }
   bool good() const { return resp == RespCode::DVA; }
 };
+
+// ---- Txn <-> Request/Response boundary conversion -----------------------
+
+inline Cmd txn_cmd(const Txn& t) {
+  return t.op == Txn::Op::Read ? Cmd::Read : Cmd::Write;
+}
+
+inline RespCode txn_resp_code(const Txn& t) {
+  switch (t.status) {
+    case Txn::Status::Ok: return RespCode::DVA;
+    case Txn::Status::Error: return RespCode::Err;
+    case Txn::Status::Pending: return RespCode::Null;
+  }
+  return RespCode::Null;
+}
+
+inline void request_to_txn(const Request& req, Txn& t) {
+  STLM_ASSERT(req.cmd != Cmd::Idle, "transport of IDLE request");
+  if (req.cmd == Cmd::Read) {
+    t.begin_read(req.addr, req.read_bytes, req.master_id);
+  } else {
+    t.begin_write(req.addr, req.data.data(), req.data.size(), req.master_id);
+  }
+}
+
+inline Response response_from_txn(const Txn& t) {
+  Response r;
+  r.resp = txn_resp_code(t);
+  r.data = t.resp_data;  // copy out; the pooled buffer keeps its capacity
+  return r;
+}
 
 }  // namespace stlm::ocp

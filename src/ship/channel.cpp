@@ -34,6 +34,10 @@ void ShipChannel::set_timing(std::unique_ptr<TimingModel> t) {
   timing_ = std::move(t);
 }
 
+void ShipChannel::set_txn_logger(trace::TxnLogger* log) {
+  log_.bind(log, name_);
+}
+
 const std::string& ShipChannel::Terminal::channel_name() const {
   return ch->name_;
 }
@@ -54,65 +58,74 @@ void ShipChannel::mark_slave(Terminal& t, const char* call) {
   t.role_ = Role::Slave;
 }
 
-void ShipChannel::push(Direction& d, Message m, std::size_t depth) {
-  while (d.queue.size() >= depth) wait(*d.consumed);
-  d.queue.push_back(std::move(m));
+ShipChannel::Sent ShipChannel::send_msg(Direction& d,
+                                        const ship_serializable_if& msg,
+                                        bool is_request) {
+  // Serialize into a pooled descriptor: the payload buffer's capacity is
+  // recycled across messages, so a warmed-up channel moves bytes with no
+  // allocation at all.
+  Txn& t = sim_.txn_pool().acquire();
+  t.begin_msg(is_request ? Txn::kFlagRequest : 0);
+  const std::size_t n = to_bytes_into(msg, t.data);
+  const std::uint64_t id = t.id;
+  const Time lat = timing_->transfer_latency(n);
+  if (!lat.is_zero()) wait(lat);
+  while (d.queue.size() >= depth_) wait(*d.consumed);
+  d.queue.push_back(t);
   d.written->notify_delta();
+  return Sent{n, id};
 }
 
-ShipChannel::Message ShipChannel::pop(Direction& d) {
+Txn* ShipChannel::pop(Direction& d) {
   while (d.queue.empty()) wait(*d.written);
-  Message m = std::move(d.queue.front());
-  d.queue.pop_front();
+  Txn* t = d.queue.pop_front();
   d.consumed->notify_delta();
-  return m;
+  return t;
 }
 
-void ShipChannel::log_txn(trace::TxnKind kind, std::size_t bytes, Time start) {
+void ShipChannel::log_txn(trace::TxnKind kind, std::uint64_t txn_id,
+                          std::size_t bytes, Time start) {
   ++messages_;
   bytes_ += bytes;
-  if (log_) log_->record(name_, kind, bytes, start, sim_.now());
+  if (log_) log_.record(kind, txn_id, bytes, start, sim_.now());
 }
 
 void ShipChannel::Terminal::send(const ship_serializable_if& msg) {
   ch->mark_master(*this, "send");
   const Time start = ch->sim_.now();
-  Message m{to_bytes(msg), /*is_request=*/false};
-  const std::size_t n = m.payload.size();
-  const Time lat = ch->timing_->transfer_latency(n);
-  if (!lat.is_zero()) wait(lat);
-  ch->push(ch->dir_[index], std::move(m), ch->depth_);
-  ch->log_txn(trace::TxnKind::Send, n, start);
+  const Sent s = ch->send_msg(ch->dir_[index], msg, /*is_request=*/false);
+  ch->log_txn(trace::TxnKind::Send, s.id, s.bytes, start);
 }
 
 void ShipChannel::Terminal::recv(ship_serializable_if& msg) {
   ch->mark_slave(*this, "recv");
-  Message m = ch->pop(ch->dir_[1 - index]);
-  if (m.is_request) ++pending_replies;
-  from_bytes(msg, m.payload);
+  Txn* t = ch->pop(ch->dir_[1 - index]);
+  if (t->is_request()) ++pending_replies;
+  from_bytes(msg, t->data);
+  ch->sim_.txn_pool().release(*t);
 }
 
 void ShipChannel::Terminal::request(const ship_serializable_if& req,
                                     ship_serializable_if& resp) {
   ch->mark_master(*this, "request");
   const Time start = ch->sim_.now();
-  Message m{to_bytes(req), /*is_request=*/true};
-  const std::size_t req_bytes = m.payload.size();
-  const Time lat = ch->timing_->transfer_latency(req_bytes);
-  if (!lat.is_zero()) wait(lat);
-  ch->push(ch->dir_[index], std::move(m), ch->depth_);
-  ch->log_txn(trace::TxnKind::Request, req_bytes, start);
+  const Sent s = ch->send_msg(ch->dir_[index], req, /*is_request=*/true);
+  ch->log_txn(trace::TxnKind::Request, s.id, s.bytes, start);
 
   // Block for the reply travelling the opposite direction.
   const Time reply_start = ch->sim_.now();
-  Message r = ch->pop(ch->dir_[1 - index]);
-  if (r.is_request) {
+  Txn* r = ch->pop(ch->dir_[1 - index]);
+  if (r->is_request()) {
+    ch->sim_.txn_pool().release(*r);
     throw ProtocolError("SHIP channel " + ch->name_ +
                         ": request crossed with opposing request "
                         "(both terminals acting as master)");
   }
-  from_bytes(resp, r.payload);
-  ch->log_txn(trace::TxnKind::Reply, r.payload.size(), reply_start);
+  const std::size_t reply_bytes = r->data.size();
+  const std::uint64_t reply_id = r->id;
+  from_bytes(resp, r->data);
+  ch->sim_.txn_pool().release(*r);
+  ch->log_txn(trace::TxnKind::Reply, reply_id, reply_bytes, reply_start);
 }
 
 void ShipChannel::Terminal::reply(const ship_serializable_if& resp) {
@@ -122,11 +135,7 @@ void ShipChannel::Terminal::reply(const ship_serializable_if& resp) {
                         ": reply without outstanding request");
   }
   --pending_replies;
-  Message m{to_bytes(resp), /*is_request=*/false};
-  const std::size_t n = m.payload.size();
-  const Time lat = ch->timing_->transfer_latency(n);
-  if (!lat.is_zero()) wait(lat);
-  ch->push(ch->dir_[index], std::move(m), ch->depth_);
+  ch->send_msg(ch->dir_[index], resp, /*is_request=*/false);
 }
 
 bool ShipChannel::Terminal::message_available() const {

@@ -77,18 +77,13 @@ public:
   void set_timing(std::unique_ptr<TimingModel> t);
   const TimingModel& timing() const { return *timing_; }
 
-  void set_txn_logger(trace::TxnLogger* log) { log_ = log; }
+  void set_txn_logger(trace::TxnLogger* log);
 
   // Lifetime counters.
   std::uint64_t messages_transferred() const { return messages_; }
   std::uint64_t bytes_transferred() const { return bytes_; }
 
 private:
-  struct Message {
-    std::vector<std::uint8_t> payload;
-    bool is_request;
-  };
-
   struct Terminal final : ship_if {
     void send(const ship_serializable_if& msg) override;
     void recv(ship_serializable_if& msg) override;
@@ -106,17 +101,27 @@ private:
     std::uint64_t pending_replies = 0;
   };
 
+  // In-flight messages are pooled Txn descriptors (op == Msg) linked
+  // through their intrusive next pointer — no per-message allocation.
   struct Direction {
-    std::deque<Message> queue;
+    TxnQueue queue;
     std::unique_ptr<Event> written;
     std::unique_ptr<Event> consumed;
   };
 
   void mark_master(Terminal& t, const char* call);
   void mark_slave(Terminal& t, const char* call);
-  void push(Direction& d, Message m, std::size_t depth);
-  Message pop(Direction& d);
-  void log_txn(trace::TxnKind kind, std::size_t bytes, Time start);
+  struct Sent {
+    std::size_t bytes;
+    std::uint64_t id;  // Txn id of the enqueued descriptor (trace key)
+  };
+  // Serializes `msg` into a pooled descriptor, charges the timing model,
+  // and enqueues; returns the payload size and descriptor id.
+  Sent send_msg(Direction& d, const ship_serializable_if& msg,
+                bool is_request);
+  Txn* pop(Direction& d);
+  void log_txn(trace::TxnKind kind, std::uint64_t txn_id, std::size_t bytes,
+               Time start);
 
   Simulator& sim_;
   std::string name_;
@@ -124,7 +129,7 @@ private:
   std::unique_ptr<TimingModel> timing_;
   Terminal term_[2];
   Direction dir_[2];  // dir_[i]: messages flowing *out of* terminal i
-  trace::TxnLogger* log_ = nullptr;
+  trace::LogHandle log_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
 };

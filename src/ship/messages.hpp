@@ -37,7 +37,7 @@ public:
   explicit VectorMsg(std::size_t n, T fill = T{}) : data(n, fill) {}
 
   void serialize(Serializer& s) const override { s.put_vector(data); }
-  void deserialize(Deserializer& d) override { data = d.get_vector<T>(); }
+  void deserialize(Deserializer& d) override { d.get_vector_into(data); }
 
   std::vector<T> data;
 };

@@ -8,6 +8,14 @@ std::vector<std::uint8_t> to_bytes(const ship_serializable_if& obj) {
   return s.take();
 }
 
+std::size_t to_bytes_into(const ship_serializable_if& obj,
+                          std::vector<std::uint8_t>& out) {
+  Serializer s(std::move(out));
+  obj.serialize(s);
+  out = s.take();
+  return out.size();
+}
+
 void from_bytes(ship_serializable_if& obj,
                 std::span<const std::uint8_t> bytes) {
   Deserializer d(bytes);

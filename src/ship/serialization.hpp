@@ -26,6 +26,13 @@ namespace stlm::ship {
 
 class Serializer {
 public:
+  Serializer() = default;
+  // Adopt an existing buffer (cleared, capacity kept) so hot paths can
+  // serialize into pooled transaction payloads without reallocating.
+  explicit Serializer(std::vector<std::uint8_t>&& buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void put_bytes(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
@@ -92,10 +99,19 @@ public:
   template <class T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
-    const auto n = get<std::uint32_t>();
-    std::vector<T> v(n);
-    get_bytes(v.data(), static_cast<std::size_t>(n) * sizeof(T));
+    std::vector<T> v;
+    get_vector_into(v);
     return v;
+  }
+
+  // In-place variant: refills `out`, reusing its capacity (hot receive
+  // paths deserialize into the same message object every iteration).
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void get_vector_into(std::vector<T>& out) {
+    const auto n = get<std::uint32_t>();
+    out.resize(n);
+    get_bytes(out.data(), static_cast<std::size_t>(n) * sizeof(T));
   }
 
   std::size_t remaining() const { return bytes_.size() - pos_; }
@@ -116,6 +132,10 @@ public:
 
 // Flatten an object to bytes (used by wrappers and the HW/SW adapters).
 std::vector<std::uint8_t> to_bytes(const ship_serializable_if& obj);
+// Flatten into an existing buffer, reusing its capacity; returns the
+// serialized size. This is the hot-path variant feeding pooled Txns.
+std::size_t to_bytes_into(const ship_serializable_if& obj,
+                          std::vector<std::uint8_t>& out);
 // Rebuild an object from bytes; throws ProtocolError on trailing garbage.
 void from_bytes(ship_serializable_if& obj, std::span<const std::uint8_t> bytes);
 // Serialized size of an object (serializes into a scratch buffer).

@@ -85,6 +85,11 @@ public:
   void count(const std::string& name, std::uint64_t delta = 1) {
     counters_[name] += delta;
   }
+  // Stable reference to a counter's storage (map nodes never move): hot
+  // paths look the slot up once and bump it without string hashing.
+  std::uint64_t& counter_slot(const std::string& name) {
+    return counters_[name];
+  }
   std::uint64_t counter(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
@@ -97,9 +102,12 @@ public:
   }
 
   void report(std::ostream& os, const std::string& title) const;
+  // Zeroes every statistic IN PLACE (keys survive): hot paths cache
+  // references to the map nodes via acc()/counter_slot(), so reset must
+  // never erase nodes out from under them.
   void reset() {
-    accs_.clear();
-    counters_.clear();
+    for (auto& [name, a] : accs_) a.reset();
+    for (auto& [name, v] : counters_) v = 0;
   }
 
 private:

@@ -1,5 +1,7 @@
 #include "trace/txn_log.hpp"
 
+#include <algorithm>
+
 namespace stlm::trace {
 
 const char* txn_kind_name(TxnKind k) {
@@ -13,10 +15,31 @@ const char* txn_kind_name(TxnKind k) {
   return "?";
 }
 
+std::uint32_t TxnLogger::intern(const std::string& channel) {
+  const auto it = std::find(channels_.begin(), channels_.end(), channel);
+  if (it != channels_.end()) {
+    return static_cast<std::uint32_t>(it - channels_.begin());
+  }
+  channels_.push_back(channel);
+  return static_cast<std::uint32_t>(channels_.size() - 1);
+}
+
+const std::string& TxnLogger::channel_name(std::uint32_t id) const {
+  static const std::string unknown = "?";
+  return id < channels_.size() ? channels_[id] : unknown;
+}
+
+void TxnLogger::record(std::uint32_t channel_id, TxnKind kind,
+                       std::uint64_t txn_id, std::uint64_t bytes, Time start,
+                       Time end) {
+  if (!enabled_) return;
+  records_.push_back(TxnRecord{channel_id, kind, txn_id, bytes, start, end});
+}
+
 void TxnLogger::record(const std::string& channel, TxnKind kind,
                        std::uint64_t bytes, Time start, Time end) {
   if (!enabled_) return;
-  records_.push_back(TxnRecord{channel, kind, bytes, start, end});
+  record(intern(channel), kind, /*txn_id=*/0, bytes, start, end);
 }
 
 TxnLogger::Summary TxnLogger::summarize() const {
@@ -34,11 +57,11 @@ TxnLogger::Summary TxnLogger::summarize() const {
 }
 
 void TxnLogger::dump_csv(std::ostream& os) const {
-  os << "channel,kind,bytes,start_ns,end_ns,latency_ns\n";
+  os << "channel,kind,bytes,start_ns,end_ns,latency_ns,txn\n";
   for (const auto& r : records_) {
-    os << r.channel << "," << txn_kind_name(r.kind) << "," << r.bytes << ","
-       << r.start.to_ns() << "," << r.end.to_ns() << ","
-       << (r.end - r.start).to_ns() << "\n";
+    os << channel_name(r.channel) << "," << txn_kind_name(r.kind) << ","
+       << r.bytes << "," << r.start.to_ns() << "," << r.end.to_ns() << ","
+       << (r.end - r.start).to_ns() << "," << r.txn << "\n";
   }
 }
 

@@ -3,6 +3,11 @@
 // channels, CAMs, the HW/SW interface) can record begin/end of
 // transactions here. The log powers the per-architecture tables produced
 // by the exploration engine and the CSV dumps used in EXPERIMENTS.md.
+//
+// Hot-path design: channels intern their name once (intern()) and then
+// record fixed-width rows only — a record carries the interned channel
+// id and the pooled transaction's id instead of copying strings per
+// transaction.
 
 #include <cstdint>
 #include <ostream>
@@ -25,8 +30,9 @@ enum class TxnKind : std::uint8_t {
 const char* txn_kind_name(TxnKind k);
 
 struct TxnRecord {
-  std::string channel;
+  std::uint32_t channel;  // interned channel id (see TxnLogger::intern)
   TxnKind kind;
+  std::uint64_t txn;      // stlm::Txn::id of the pooled descriptor (0 = n/a)
   std::uint64_t bytes;
   Time start;
   Time end;
@@ -37,6 +43,15 @@ public:
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  // Register (or look up) a channel name; the returned id is stable for
+  // the logger's lifetime. Channels call this once at wiring time.
+  std::uint32_t intern(const std::string& channel);
+  const std::string& channel_name(std::uint32_t id) const;
+
+  // Hot path: fixed-width row, no string traffic.
+  void record(std::uint32_t channel_id, TxnKind kind, std::uint64_t txn_id,
+              std::uint64_t bytes, Time start, Time end);
+  // Convenience overload for edge/test code; interns per call.
   void record(const std::string& channel, TxnKind kind, std::uint64_t bytes,
               Time start, Time end);
 
@@ -57,7 +72,28 @@ public:
 
 private:
   bool enabled_ = true;
+  std::vector<std::string> channels_;
   std::vector<TxnRecord> records_;
+};
+
+// A channel's bound view of a TxnLogger: pairs the logger pointer with
+// the channel's interned id so every logging layer carries one member and
+// one wiring call instead of repeating the intern boilerplate.
+class LogHandle {
+public:
+  void bind(TxnLogger* log, const std::string& channel) {
+    log_ = log;
+    if (log_) channel_ = log_->intern(channel);
+  }
+  explicit operator bool() const { return log_ != nullptr; }
+  void record(TxnKind kind, std::uint64_t txn_id, std::uint64_t bytes,
+              Time start, Time end) const {
+    log_->record(channel_, kind, txn_id, bytes, start, end);
+  }
+
+private:
+  TxnLogger* log_ = nullptr;
+  std::uint32_t channel_ = 0;
 };
 
 }  // namespace stlm::trace

@@ -109,6 +109,79 @@ TEST(Events, LaterNotificationIsIgnoredWhilePending) {
   EXPECT_EQ(woke_at, 5_ns);
 }
 
+TEST(Events, DeltaNotifyOverridesPendingTimed) {
+  // A delta notification is always earlier than a timed one, so it must
+  // displace a pending timed notification (SystemC override rule).
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at = Time::max();
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("notifier", [&] {
+    ev.notify(5_ns);
+    ev.notify_delta();  // earlier: overrides the 5 ns entry
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, Time::zero());
+}
+
+TEST(Events, CancelThenRenotifyFiresAtNewTime) {
+  // cancel() bumps the scheduling generation: the stale 10 ns entry must
+  // not fire, and a fresh notification after cancel must.
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at = Time::max();
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("controller", [&] {
+    ev.notify(10_ns);
+    wait(5_ns);
+    ev.cancel();
+    ev.notify(10_ns);  // re-arm: fires at 15 ns, not at the stale 10 ns
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 15_ns);
+}
+
+TEST(Events, CancelThenEarlierRenotifyIsNotBlockedByStaleEntry) {
+  // After cancel(), a new notification may be scheduled for any time —
+  // including one earlier than the cancelled entry.
+  Simulator sim;
+  Event ev(sim, "ev");
+  Time woke_at = Time::max();
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke_at = sim.now();
+  });
+  sim.spawn_thread("controller", [&] {
+    ev.notify(30_ns);
+    ev.cancel();
+    ev.notify(7_ns);
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 7_ns);
+}
+
+TEST(Events, CancelDeltaSuppressesDelivery) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  bool woke = false;
+  sim.spawn_thread("waiter", [&] {
+    wait(ev);
+    woke = true;
+  });
+  sim.spawn_thread("controller", [&] {
+    ev.notify_delta();
+    ev.cancel();  // same evaluation phase: delta must not be delivered
+  });
+  sim.run();
+  EXPECT_FALSE(woke);
+}
+
 TEST(Events, WaitWithTimeoutReturnsTrueOnEvent) {
   Simulator sim;
   Event ev(sim, "ev");
