@@ -1,15 +1,22 @@
 // E2 — Fast communication architecture exploration (paper §3).
 //
 // One benchmark iteration = a complete exploration: the synthetic SoC is
-// mapped onto every architecture in the CAM library and simulated to
+// mapped onto every architecture in the candidate set and simulated to
 // completion. The benchmark time is the *exploration cost on the host* —
 // the paper's "fast yet timing-accurate exploration" claim. The
-// per-architecture simulated results (the designer-facing table) are
+// BM_ExploreGrid/threads:* family runs the 40-platform cross-product grid
+// through Explorer::sweep_parallel at several worker counts, so the
+// emitted JSON (CI's BENCH_exploration.json) carries the threads=1 vs
+// threads=N trajectory across PRs. The per-architecture simulated results
+// (the designer-facing table) and the measured parallel speedup are
 // printed once at the end.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "explore/explore.hpp"
 #include "kernel/kernel.hpp"
@@ -47,6 +54,7 @@ expl::Explorer::GraphFactory soc_factory() {
 }
 
 std::vector<expl::ExplorationRow> g_last_rows;
+bool g_grid_bench_ran = false;
 
 void BM_ExploreCamLibrary(benchmark::State& state) {
   expl::Explorer explorer(soc_factory());
@@ -60,6 +68,28 @@ void BM_ExploreCamLibrary(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(candidates.size()));
   state.counters["architectures"] = static_cast<double>(candidates.size());
+}
+
+// The 40-platform cross-product grid sharded over `threads` workers.
+// threads=1 is the sequential baseline; the ratio of the two real-time
+// entries in BENCH_exploration.json is the parallel-exploration speedup
+// CI tracks across PRs.
+void BM_ExploreGrid(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  g_grid_bench_ran = true;
+  expl::Explorer explorer(soc_factory());
+  const auto candidates = expl::grid_candidates();
+  for (auto _ : state) {
+    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    for (const auto& r : rows) {
+      if (!r.completed) state.SkipWithError("candidate did not complete");
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates.size()));
+  state.counters["architectures"] = static_cast<double>(candidates.size());
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 // Exploring at CCATB instead (no CAM structure, SHIP annotation only):
@@ -84,18 +114,58 @@ void BM_ExploreAtCcatbLevel(benchmark::State& state) {
                           static_cast<std::int64_t>(candidates.size()));
 }
 
+// One-shot wall-clock comparison printed after the benchmark run (only
+// when a grid benchmark was actually selected — a narrow
+// --benchmark_filter must not pay for four extra full-grid sweeps): the
+// human-readable speedup table for README/EXPERIMENTS updates.
+void report_parallel_speedup() {
+  if (!g_grid_bench_ran) return;
+  expl::Explorer explorer(soc_factory());
+  const auto candidates = expl::grid_candidates();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  auto timed_sweep = [&](unsigned threads) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_last_rows = std::move(rows);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  // stderr keeps stdout clean for --benchmark_format=json artifacts.
+  std::fprintf(stderr,
+               "\nParallel sweep speedup over the %zu-platform grid (host "
+               "has %u hardware threads):\n",
+               candidates.size(), hw);
+  std::fprintf(stderr, "  %8s %12s %9s\n", "threads", "wall_ms", "speedup");
+  const double base = timed_sweep(1);
+  std::fprintf(stderr, "  %8u %12.1f %9s\n", 1u, base, "1.00x");
+  for (unsigned t : {2u, 4u, 8u}) {
+    if (t > candidates.size()) break;
+    const double ms = timed_sweep(t);
+    std::fprintf(stderr, "  %8u %12.1f %8.2fx\n", t, ms, base / ms);
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_ExploreCamLibrary)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExploreGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_ExploreAtCcatbLevel)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  report_parallel_speedup();
   if (!g_last_rows.empty()) {
-    std::cout << "\nExploration table (simulated, CAM level):\n";
-    expl::Explorer::print_table(std::cout, g_last_rows);
+    std::cerr << "\nExploration table (simulated, CAM level):\n";
+    expl::Explorer::print_table(std::cerr, g_last_rows);
   }
   return 0;
 }

@@ -2,8 +2,11 @@
 
 namespace stlm::cam {
 
-CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle)
-    : Module(sim, std::move(name)), cycle_(cycle) {
+CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle,
+                         std::size_t width_bytes)
+    : Module(sim, std::move(name)),
+      cycle_(cycle),
+      width_(width_bytes ? width_bytes : kDefaultWidthBytes) {
   STLM_ASSERT(!cycle_.is_zero(), "crossbar cycle must be positive: " + full_name());
 }
 
@@ -56,8 +59,7 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
     return;
   }
   LockGuard lane(*lanes_[*slave]);
-  const std::uint64_t beats =
-      bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
+  const std::uint64_t beats = beats_for(bytes, width_);
   const Time occupancy = cycle_ * (1 + beats);  // route setup + data
   wait(occupancy);
   busy_time_ += occupancy;

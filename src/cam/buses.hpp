@@ -20,33 +20,43 @@
 
 namespace stlm::cam {
 
+// Data beats a payload occupies on a bus of `width_bytes` (min one beat —
+// even zero-payload control transactions own the data phase for a cycle).
+inline std::uint64_t beats_for(std::size_t payload_bytes,
+                               std::size_t width_bytes) {
+  if (payload_bytes == 0) return 1;
+  return (payload_bytes + width_bytes - 1) / width_bytes;
+}
+
 class SharedBusCam final : public CamBase {
 public:
+  static constexpr std::size_t kDefaultWidthBytes = 4;
+
   SharedBusCam(Simulator& sim, std::string name, Time cycle,
-               std::unique_ptr<Arbiter> arbiter)
-      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+               std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
+                kDefaultWidthBytes) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
-    // arbitration + address + one cycle per 32-bit beat + response.
-    return 2 + txn.beats() + 1;
+    // arbitration + address + one cycle per data beat + response.
+    return 2 + beats_for(txn.payload_bytes(), width_bytes()) + 1;
   }
 };
 
 class PlbCam final : public CamBase {
 public:
-  PlbCam(Simulator& sim, std::string name, Time cycle,
-         std::unique_ptr<Arbiter> arbiter)
-      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+  static constexpr std::size_t kDefaultWidthBytes = 8;
 
-  static constexpr std::size_t kWidthBytes = 8;
+  PlbCam(Simulator& sim, std::string name, Time cycle,
+         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
+                kDefaultWidthBytes) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn,
                            bool back_to_back) const override {
-    const std::size_t bytes = txn.payload_bytes();
-    const std::uint64_t beats =
-        bytes == 0 ? 1 : (bytes + kWidthBytes - 1) / kWidthBytes;
+    const std::uint64_t beats = beats_for(txn.payload_bytes(), width_bytes());
     // Pipelined: request/address overlap the previous data phase.
     const std::uint64_t setup = back_to_back ? 0 : 2;
     return setup + beats;
@@ -55,14 +65,17 @@ protected:
 
 class OpbCam final : public CamBase {
 public:
+  static constexpr std::size_t kDefaultWidthBytes = 4;
+
   OpbCam(Simulator& sim, std::string name, Time cycle,
-         std::unique_ptr<Arbiter> arbiter)
-      : CamBase(sim, std::move(name), cycle, std::move(arbiter)) {}
+         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+      : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
+                kDefaultWidthBytes) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
     // Single master/slave handshake per word: 2 cycles per beat.
-    return 2 + 2ull * txn.beats();
+    return 2 + 2ull * beats_for(txn.payload_bytes(), width_bytes());
   }
 };
 
@@ -70,7 +83,10 @@ protected:
 // slave. Transactions to different targets proceed concurrently.
 class CrossbarCam final : public Module, public CamIf {
 public:
-  CrossbarCam(Simulator& sim, std::string name, Time cycle);
+  static constexpr std::size_t kDefaultWidthBytes = 8;
+
+  CrossbarCam(Simulator& sim, std::string name, Time cycle,
+              std::size_t width_bytes = kDefaultWidthBytes);
 
   std::size_t add_master(const std::string& name) override;
   ocp::ocp_tl_master_if& master_port(std::size_t i) override;
@@ -83,8 +99,6 @@ public:
   trace::StatSet& stats() override { return stats_; }
   void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
-
-  static constexpr std::size_t kWidthBytes = 8;
 
 private:
   struct MasterPort final : ocp::ocp_tl_master_if {
@@ -99,6 +113,7 @@ private:
   void route(std::size_t master, Txn& txn);
 
   Time cycle_;
+  std::size_t width_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
   std::vector<std::unique_ptr<Mutex>> lanes_;

@@ -3,9 +3,11 @@
 namespace stlm::cam {
 
 CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
-                 std::unique_ptr<Arbiter> arbiter)
+                 std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
+                 std::size_t default_width_bytes)
     : Module(sim, std::move(name)),
       cycle_(cycle),
+      width_(width_bytes ? width_bytes : default_width_bytes),
       arbiter_(std::move(arbiter)),
       new_request_(sim, full_name() + ".new_request") {
   STLM_ASSERT(!cycle_.is_zero(), "CAM cycle must be positive: " + full_name());

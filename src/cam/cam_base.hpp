@@ -28,8 +28,11 @@ namespace stlm::cam {
 
 class CamBase : public Module, public CamIf {
 public:
+  // `width_bytes == 0` selects `default_width_bytes`, the protocol's
+  // native data-path width (the Platform grid sweeps explicit widths).
   CamBase(Simulator& sim, std::string name, Time cycle,
-          std::unique_ptr<Arbiter> arbiter);
+          std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
+          std::size_t default_width_bytes);
 
   // --- CamIf ---------------------------------------------------------
   std::size_t add_master(const std::string& name) override;
@@ -52,6 +55,9 @@ protected:
   // protocols (PLB) hide arbitration/address cycles in that case.
   virtual std::uint64_t txn_cycles(const Txn& txn, bool back_to_back) const = 0;
 
+  // Data-path width for the derived protocol's beat math.
+  std::size_t width_bytes() const { return width_; }
+
 private:
   // Access point given to each master.
   struct MasterPort final : ocp::ocp_tl_master_if {
@@ -67,6 +73,7 @@ private:
   std::uint64_t now_cycle() const { return sim().now() / cycle_; }
 
   Time cycle_;
+  std::size_t width_;
   std::unique_ptr<Arbiter> arbiter_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
   std::vector<TxnQueue> queues_;  // intrusive pending lists, one per master

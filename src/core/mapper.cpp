@@ -58,6 +58,9 @@ bool MappedSystem::run_until_done(Time max_time, Time slice) {
 }
 
 void MappedSystem::report(std::ostream& out) const {
+  // The nested StatSet::report guards itself, but keep the whole report
+  // transparent to the caller's stream formatting as well.
+  trace::ScopedOstreamFormat guard(out);
   out << "=== mapped system: level=" << level_name(level_)
       << " platform=" << plat_.name << " ===\n";
   for (const auto& note : mapping_notes_) out << "  " << note << "\n";
@@ -104,18 +107,20 @@ std::unique_ptr<cam::Arbiter> Mapper::make_arbiter(const Platform& p) {
 
 std::unique_ptr<cam::CamIf> Mapper::make_bus(Simulator& sim,
                                              const Platform& p) {
+  const std::size_t width = p.bus_width_bytes();
   switch (p.bus) {
     case BusKind::SharedBus:
       return std::make_unique<cam::SharedBusCam>(sim, "bus", p.bus_cycle,
-                                                 make_arbiter(p));
+                                                 make_arbiter(p), width);
     case BusKind::Plb:
       return std::make_unique<cam::PlbCam>(sim, "plb", p.bus_cycle,
-                                           make_arbiter(p));
+                                           make_arbiter(p), width);
     case BusKind::Opb:
       return std::make_unique<cam::OpbCam>(sim, "opb", p.bus_cycle,
-                                           make_arbiter(p));
+                                           make_arbiter(p), width);
     case BusKind::Crossbar:
-      return std::make_unique<cam::CrossbarCam>(sim, "xbar", p.bus_cycle);
+      return std::make_unique<cam::CrossbarCam>(sim, "xbar", p.bus_cycle,
+                                                width);
   }
   throw ElaborationError("unknown bus kind");
 }

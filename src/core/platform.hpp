@@ -42,7 +42,13 @@ struct Platform {
   // CCATB approximation used at the mid level: per-message setup cycles.
   std::uint64_t ccatb_setup_cycles = 2;
 
+  // Data-path width in bytes; 0 selects the bus kind's native width
+  // (64-bit PLB/crossbar, 32-bit shared bus/OPB). The exploration grid
+  // sweeps this axis explicitly.
+  std::size_t data_width_bytes = 0;
+
   std::size_t bus_width_bytes() const {
+    if (data_width_bytes) return data_width_bytes;
     return bus == BusKind::Plb || bus == BusKind::Crossbar ? 8 : 4;
   }
 };

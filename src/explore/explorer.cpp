@@ -1,7 +1,13 @@
 #include "explore/explorer.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <iomanip>
+#include <mutex>
+#include <thread>
+
+#include "trace/stats.hpp"
 
 namespace stlm::expl {
 
@@ -41,15 +47,77 @@ std::vector<ExplorationRow> Explorer::sweep(
   return rows;
 }
 
+std::vector<ExplorationRow> Explorer::sweep_parallel(
+    const std::vector<core::Platform>& cands, Time max_time,
+    unsigned n_threads) {
+  const std::size_t n = cands.size();
+  if (n_threads <= 1 || n <= 1) return sweep(cands, max_time);
+
+  std::vector<ExplorationRow> rows(n);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        rows[i] = evaluate(cands[i], max_time);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Park the cursor past the end so every worker drains promptly
+        // instead of evaluating candidates whose results will be thrown
+        // away.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(n_threads, n));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::exception_ptr spawn_error;
+  for (unsigned t = 0; t < workers; ++t) {
+    try {
+      pool.emplace_back(worker);
+    } catch (...) {
+      // Thread creation can fail (EAGAIN under a thread limit). Stop
+      // spawning, let the already-started workers drain the remaining
+      // candidates, and report the failure as an exception rather than
+      // letting ~thread() terminate the process. With zero workers
+      // started there is nobody to finish the sweep — propagate.
+      spawn_error = std::current_exception();
+      break;
+    }
+  }
+  for (auto& th : pool) th.join();
+
+  if (pool.empty() && spawn_error) std::rethrow_exception(spawn_error);
+  if (first_error) std::rethrow_exception(first_error);
+  return rows;
+}
+
 void Explorer::print_table(std::ostream& os,
                            const std::vector<ExplorationRow>& rows) {
-  os << std::left << std::setw(24) << "platform" << std::right << std::setw(6)
+  trace::ScopedOstreamFormat guard(os);
+  // Size the name column to the longest platform (the grid generator
+  // produces names well past the old fixed 24 columns).
+  std::size_t name_w = 20;
+  for (const auto& r : rows) name_w = std::max(name_w, r.platform.size());
+  const int nw = static_cast<int>(name_w + 2);
+  os << std::left << std::setw(nw) << "platform" << std::right << std::setw(6)
      << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
      << std::setw(14) << "mean_lat_ns" << std::setw(10) << "bus_util"
      << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
-  os << std::string(102, '-') << "\n";
+  os << std::string(static_cast<std::size_t>(nw) + 78, '-') << "\n";
   for (const auto& r : rows) {
-    os << std::left << std::setw(24) << r.platform << std::right
+    os << std::left << std::setw(nw) << r.platform << std::right
        << std::setw(6) << (r.completed ? "yes" : "NO") << std::setw(14)
        << std::fixed << std::setprecision(2) << r.sim_time_us << std::setw(12)
        << std::setprecision(2) << r.wall_ms << std::setw(14)
@@ -102,6 +170,37 @@ std::vector<core::Platform> default_candidates() {
     p.name = "crossbar";
     p.bus = core::BusKind::Crossbar;
     cands.push_back(p);
+  }
+  return cands;
+}
+
+std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
+  std::vector<core::Platform> cands;
+  for (core::BusKind bus : spec.buses) {
+    const bool arbitrated = bus != core::BusKind::Crossbar;
+    const std::size_t arb_count = arbitrated ? spec.arbs.size() : 1;
+    for (std::size_t ai = 0; ai < arb_count; ++ai) {
+      for (Time cycle : spec.bus_cycles) {
+        for (std::size_t width : spec.data_widths) {
+          core::Platform p;
+          p.bus = bus;
+          p.bus_cycle = cycle;
+          p.data_width_bytes = width;
+          p.name = core::bus_kind_name(bus);
+          if (arbitrated) {
+            p.arb = spec.arbs[ai];
+            p.name += '-';
+            p.name += core::arb_kind_name(p.arb);
+          }
+          p.name += '-';
+          p.name += std::to_string(cycle / Time::ns(1));
+          p.name += "ns-";
+          p.name += std::to_string(width * 8);
+          p.name += 'b';
+          cands.push_back(std::move(p));
+        }
+      }
+    }
   }
   return cands;
 }

@@ -47,6 +47,24 @@ public:
   std::vector<ExplorationRow> sweep(const std::vector<core::Platform>& cands,
                                     Time max_time);
 
+  // Sweep the candidate list sharded across `n_threads` worker threads.
+  //
+  // Each worker pulls candidate indices off a shared atomic cursor and
+  // runs a complete evaluate() — fresh SystemGraph, Simulator and
+  // MappedSystem — so no simulation state crosses threads (the kernel's
+  // "current simulator" is thread-local by design). Results land at their
+  // candidate's index: the returned rows are in candidate order and, for
+  // the simulated metrics, bit-identical to a sequential sweep. The first
+  // exception thrown by any worker is rethrown on the calling thread
+  // after all workers have joined; remaining work is abandoned.
+  //
+  // The factory is invoked concurrently from multiple threads and must be
+  // thread-safe (stateless factories, like every one in this repo, are).
+  // `n_threads <= 1` degrades to the sequential sweep.
+  std::vector<ExplorationRow> sweep_parallel(
+      const std::vector<core::Platform>& cands, Time max_time,
+      unsigned n_threads);
+
   static void print_table(std::ostream& os,
                           const std::vector<ExplorationRow>& rows);
 
@@ -56,5 +74,21 @@ private:
 
 // Canonical candidate list covering the CAM library.
 std::vector<core::Platform> default_candidates();
+
+// Cross-product candidate grid: BusKind x ArbKind x bus cycle x data
+// width. The crossbar has no arbiter, so it contributes one point per
+// (cycle, width) pair instead of one per arbiter. The defaults span 40
+// platforms — the workload the parallel sweep is built to chew through.
+struct GridSpec {
+  std::vector<core::BusKind> buses{
+      core::BusKind::SharedBus, core::BusKind::Plb, core::BusKind::Opb,
+      core::BusKind::Crossbar};
+  std::vector<core::ArbKind> arbs{
+      core::ArbKind::Priority, core::ArbKind::RoundRobin, core::ArbKind::Tdma};
+  std::vector<Time> bus_cycles{Time::ns(10), Time::ns(20)};
+  std::vector<std::size_t> data_widths{4, 8};
+};
+
+std::vector<core::Platform> grid_candidates(const GridSpec& spec = {});
 
 }  // namespace stlm::expl

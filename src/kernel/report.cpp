@@ -1,11 +1,15 @@
 #include "kernel/report.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace stlm {
 
 namespace {
-Severity g_level = Severity::Warning;
+// Shared by every simulator on every thread (parallel exploration runs one
+// Simulator per worker), hence atomic. Relaxed ordering is fine: the level
+// is a filter threshold, not a synchronization point.
+std::atomic<Severity> g_level{Severity::Warning};
 
 const char* severity_name(Severity s) {
   switch (s) {
@@ -18,11 +22,11 @@ const char* severity_name(Severity s) {
 }
 }  // namespace
 
-void set_log_level(Severity s) { g_level = s; }
-Severity log_level() { return g_level; }
+void set_log_level(Severity s) { g_level.store(s, std::memory_order_relaxed); }
+Severity log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(Severity s, const std::string& source, const std::string& message) {
-  if (static_cast<int>(s) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(s) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s: %s\n", severity_name(s), source.c_str(),
                message.c_str());
 }

@@ -32,7 +32,9 @@ public:
 enum class Severity { Debug, Info, Warning, Error };
 
 // Global log threshold; messages below it are dropped. Defaults to Warning
-// so tests and benchmarks stay quiet.
+// so tests and benchmarks stay quiet. The threshold is atomic — it is the
+// one piece of state shared across the per-thread simulators that parallel
+// exploration sweeps run concurrently.
 void set_log_level(Severity s);
 Severity log_level();
 

@@ -14,13 +14,44 @@
 
 namespace stlm::trace {
 
+// Restores a stream's formatting state (flags, precision, fill) on scope
+// exit. Every report/table printer in the library uses manipulators such
+// as std::fixed and std::setprecision; without this guard they would leak
+// that state into the caller's stream permanently.
+class ScopedOstreamFormat {
+public:
+  explicit ScopedOstreamFormat(std::ostream& os)
+      : os_(os), flags_(os.flags()), precision_(os.precision()),
+        fill_(os.fill()) {}
+  ~ScopedOstreamFormat() {
+    os_.flags(flags_);
+    os_.precision(precision_);
+    os_.fill(fill_);
+  }
+  ScopedOstreamFormat(const ScopedOstreamFormat&) = delete;
+  ScopedOstreamFormat& operator=(const ScopedOstreamFormat&) = delete;
+
+private:
+  std::ostream& os_;
+  std::ios_base::fmtflags flags_;
+  std::streamsize precision_;
+  char fill_;
+};
+
 // Streaming accumulator: count / sum / min / max / mean / stddev.
+//
+// The variance is maintained with Welford's online algorithm: the naive
+// sum-of-squares formula cancels catastrophically once the mean dwarfs the
+// spread (e.g. nanosecond latencies offset by seconds of simulated time),
+// returning 0 or NaN where the true stddev is well-defined.
 class Accumulator {
 public:
   void add(double v) {
     ++n_;
     sum_ += v;
-    sum2_ += v * v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
   }
@@ -29,12 +60,10 @@ public:
   double sum() const { return sum_; }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
-  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
   double stddev() const {
     if (n_ < 2) return 0.0;
-    const double m = mean();
-    const double var =
-        (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+    const double var = m2_ / static_cast<double>(n_ - 1);
     return var > 0.0 ? std::sqrt(var) : 0.0;
   }
 
@@ -43,24 +72,39 @@ public:
 private:
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
-  double sum2_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
 // Fixed-width bin histogram over [lo, hi); out-of-range values clamp into
-// the edge bins.
+// the edge bins. Degenerate shapes are repaired at construction: zero bins
+// becomes one bin, and a non-increasing range (hi <= lo, or NaN bounds)
+// collapses to the unit interval above `lo` — so add() can never divide
+// by zero or clamp over an inverted range (both undefined behavior).
 class Histogram {
 public:
   Histogram(double lo, double hi, std::size_t bins)
-      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+      : lo_(lo),
+        // Pure comparison — no `hi - lo` arithmetic, which would overflow
+        // to inf for valid ranges spanning most of the double domain and
+        // misclassify them as degenerate. NaN compares false and repairs.
+        hi_(hi > lo ? hi : lo + 1.0),
+        counts_(bins ? bins : 1, 0) {}
 
   void add(double v) {
-    const double t = (v - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
-    idx = std::clamp<std::int64_t>(idx, 0,
-                                   static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    // Halved operands keep the span finite even for ranges approaching
+    // the full double domain (hi - lo would overflow to inf and send
+    // every sample to bin 0).
+    const double t = (v * 0.5 - lo_ * 0.5) / (hi_ * 0.5 - lo_ * 0.5);
+    // Clamp in floating point *before* the integer conversion: casting a
+    // NaN or an out-of-int64-range product is undefined behavior.
+    const double bins_d = static_cast<double>(counts_.size());
+    double scaled = t * bins_d;
+    if (!(scaled > 0.0)) scaled = 0.0;  // also catches NaN
+    if (scaled > bins_d - 1.0) scaled = bins_d - 1.0;
+    ++counts_[static_cast<std::size_t>(scaled)];
     ++total_;
   }
 

@@ -2,7 +2,9 @@
 // identical PE code and getting per-architecture metrics.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "explore/explore.hpp"
 #include "kernel/kernel.hpp"
@@ -99,4 +101,113 @@ TEST(Explorer, TableRendersAllRows) {
   const std::string t = os.str();
   EXPECT_NE(t.find("platform"), std::string::npos);
   EXPECT_NE(t.find("plb-priority"), std::string::npos);
+}
+
+TEST(Explorer, PrintTableRestoresStreamFormatting) {
+  Explorer ex(two_stream_factory(4, 32));
+  const auto rows = ex.sweep({Platform{}}, 10_ms);
+  std::ostringstream os;
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  const char fill = os.fill();
+  Explorer::print_table(os, rows);
+  // print_table uses std::fixed/std::setprecision internally; none of it
+  // may leak into the caller's stream.
+  EXPECT_EQ(os.flags(), flags);
+  EXPECT_EQ(os.precision(), precision);
+  EXPECT_EQ(os.fill(), fill);
+  os << 1.23456789;
+  EXPECT_EQ(os.str().substr(os.str().size() - 7), "1.23457");  // default fmt
+}
+
+TEST(Explorer, GridCoversCrossProduct) {
+  const auto cands = grid_candidates();
+  // 3 arbitrated buses x 3 arbiters + crossbar, each x 2 cycles x 2 widths.
+  EXPECT_EQ(cands.size(), 40u);
+  std::set<std::string> names;
+  for (const auto& p : cands) names.insert(p.name);
+  EXPECT_EQ(names.size(), cands.size()) << "grid names must be unique";
+  EXPECT_TRUE(names.count("plb-round-robin-10ns-64b"));
+  EXPECT_TRUE(names.count("crossbar-20ns-32b"));
+}
+
+TEST(Explorer, GridSpecIsParameterizable) {
+  GridSpec spec;
+  spec.buses = {BusKind::Plb};
+  spec.arbs = {ArbKind::Priority};
+  spec.bus_cycles = {10_ns};
+  spec.data_widths = {4, 8, 16};
+  const auto cands = grid_candidates(spec);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[2].data_width_bytes, 16u);
+  EXPECT_EQ(cands[2].bus_width_bytes(), 16u);
+}
+
+TEST(Explorer, DataWidthChangesTiming) {
+  Explorer ex(two_stream_factory(10, 256));
+  Platform narrow;
+  narrow.name = "plb-32b";
+  narrow.data_width_bytes = 4;
+  Platform wide;
+  wide.name = "plb-64b";
+  wide.data_width_bytes = 8;
+  const auto r_narrow = ex.evaluate(narrow, 100_ms);
+  const auto r_wide = ex.evaluate(wide, 100_ms);
+  ASSERT_TRUE(r_narrow.completed);
+  ASSERT_TRUE(r_wide.completed);
+  // Halving the data path doubles the beats per payload: the narrow bus
+  // must finish the same workload later.
+  EXPECT_LT(r_wide.sim_time_us, r_narrow.sim_time_us);
+}
+
+TEST(Explorer, ParallelSweepMatchesSequentialBitExactly) {
+  Explorer ex(two_stream_factory(5, 96));
+  const auto cands = grid_candidates();
+  const Time budget = 200_ms;
+  const auto seq = ex.sweep(cands, budget);
+  const auto par = ex.sweep_parallel(cands, budget, 4);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].platform, seq[i].platform) << i;
+    EXPECT_EQ(par[i].completed, seq[i].completed) << seq[i].platform;
+    // Simulated metrics must be bit-identical — each worker runs its own
+    // Simulator from fresh state, so thread interleaving cannot perturb
+    // simulated time, traffic, or latency.
+    EXPECT_EQ(par[i].sim_time_us, seq[i].sim_time_us) << seq[i].platform;
+    EXPECT_EQ(par[i].transactions, seq[i].transactions) << seq[i].platform;
+    EXPECT_EQ(par[i].bytes, seq[i].bytes) << seq[i].platform;
+    EXPECT_EQ(par[i].mean_latency_ns, seq[i].mean_latency_ns)
+        << seq[i].platform;
+    EXPECT_EQ(par[i].bus_utilization, seq[i].bus_utilization)
+        << seq[i].platform;
+  }
+}
+
+TEST(Explorer, ParallelSweepSingleThreadDegradesToSequential) {
+  Explorer ex(two_stream_factory(4, 64));
+  const auto cands = default_candidates();
+  const auto rows = ex.sweep_parallel(cands, 50_ms, 1);
+  ASSERT_EQ(rows.size(), cands.size());
+  for (const auto& r : rows) EXPECT_TRUE(r.completed) << r.platform;
+}
+
+TEST(Explorer, ParallelSweepPropagatesWorkerExceptions) {
+  Explorer ex(two_stream_factory(4, 64));
+  // A mailbox window below one OCP word fails wrapper elaboration inside
+  // the worker thread; the error must resurface on the calling thread.
+  auto cands = default_candidates();
+  Platform bad;
+  bad.name = "bad-mailbox";
+  bad.mailbox_window = 1;
+  cands.insert(cands.begin() + 2, bad);
+  EXPECT_THROW(ex.sweep_parallel(cands, 50_ms, 4), SimulationError);
+}
+
+TEST(Explorer, ParallelSweepPropagatesFactoryExceptions) {
+  Explorer ex([](SystemGraph&,
+                 std::vector<std::unique_ptr<ProcessingElement>>&) {
+    throw std::runtime_error("factory boom");
+  });
+  EXPECT_THROW(ex.sweep_parallel(default_candidates(), 10_ms, 4),
+               std::runtime_error);
 }

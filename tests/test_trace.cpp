@@ -2,8 +2,10 @@
 // histograms, and the transaction logger.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "kernel/kernel.hpp"
@@ -47,6 +49,87 @@ TEST(Stats, AccumulatorMoments) {
   EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
   a.reset();
   EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, AccumulatorStddevSurvivesLargeOffset) {
+  // Samples with a tiny spread riding on a huge mean: the old
+  // sum-of-squares variance cancelled catastrophically here (returning 0
+  // or NaN); Welford's online algorithm keeps full precision.
+  trace::Accumulator a;
+  const double offset = 1e9;
+  a.add(offset + 1.0);
+  a.add(offset + 2.0);
+  a.add(offset + 3.0);
+  EXPECT_FALSE(std::isnan(a.stddev()));
+  EXPECT_NEAR(a.stddev(), 1.0, 1e-6);
+  EXPECT_NEAR(a.mean(), offset + 2.0, 1e-3);
+
+  trace::Accumulator b;
+  b.add(1e15);
+  b.add(1e15 + 4.0);
+  EXPECT_NEAR(b.stddev(), 4.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Stats, HistogramDegenerateConstructionIsSafe) {
+  // bins == 0 used to divide by zero in add(); hi <= lo used to call
+  // std::clamp with an inverted range (both undefined behavior). The
+  // constructor now repairs the shape.
+  {
+    trace::Histogram h(0.0, 10.0, 0);
+    h.add(5.0);
+    EXPECT_EQ(h.bins(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.bin(0), 1u);
+  }
+  {
+    trace::Histogram h(5.0, 5.0, 4);  // hi == lo
+    h.add(4.0);
+    h.add(5.0);
+    h.add(6.0);
+    EXPECT_EQ(h.total(), 3u);
+  }
+  {
+    trace::Histogram h(10.0, -10.0, 4);  // inverted
+    h.add(0.0);
+    EXPECT_EQ(h.total(), 1u);
+  }
+}
+
+TEST(Stats, HistogramHugeValidRangeStillBins) {
+  // A valid range whose span overflows double (hi - lo == inf) must not
+  // be treated as degenerate, and samples must land in their true bins.
+  trace::Histogram h(-1e308, 1e308, 10);
+  h.add(0.0);       // dead center -> bin 5
+  h.add(-9e307);    // near the bottom -> bin 0
+  h.add(9e307);     // near the top -> bin 9
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+}
+
+TEST(Stats, HistogramExtremeValuesClampIntoEdgeBins) {
+  trace::Histogram h(0.0, 1.0, 8);
+  h.add(1e308);   // scaled value overflows int64 — must clamp, not UB
+  h.add(-1e308);
+  h.add(std::numeric_limits<double>::quiet_NaN());  // lands in bin 0
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin(7), 1u);
+  EXPECT_EQ(h.bin(0), 2u);
+}
+
+TEST(Stats, StatSetReportRestoresStreamFormatting) {
+  trace::StatSet s;
+  s.count("transactions", 7);
+  s.acc("latency").add(5.0);
+  std::ostringstream os;
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  s.report(os, "fmt");
+  // report() uses std::left/std::setw; the caller's stream state must
+  // come back untouched.
+  EXPECT_EQ(os.flags(), flags);
+  EXPECT_EQ(os.precision(), precision);
 }
 
 TEST(Stats, HistogramBinsAndClamping) {
