@@ -92,6 +92,31 @@ void BM_ExploreGrid(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// The two-dimensional grid: 40 platforms x 4 canonical seeded workloads
+// (uniform / bursty / reqreply / pipeline) = 160 cells, sharded over
+// `threads` workers. This is the workload-axis cost CI tracks alongside
+// the single-workload grid.
+void BM_ExploreWorkloadGrid(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  expl::Explorer explorer;
+  const auto candidates = expl::grid_candidates();
+  const auto workloads = expl::workload_candidates();
+  for (auto _ : state) {
+    auto rows = explorer.sweep_parallel(candidates, workloads, 200_ms,
+                                        threads);
+    for (const auto& r : rows) {
+      if (!r.completed) state.SkipWithError("grid cell did not complete");
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(candidates.size() * workloads.size()));
+  state.counters["cells"] =
+      static_cast<double>(candidates.size() * workloads.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 // Exploring at CCATB instead (no CAM structure, SHIP annotation only):
 // even faster, less detailed — the level above in Figure 1.
 void BM_ExploreAtCcatbLevel(benchmark::State& state) {
@@ -153,6 +178,11 @@ BENCHMARK(BM_ExploreCamLibrary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExploreGrid)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ExploreWorkloadGrid)
+    ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON result against a checked-in baseline.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20] [--strict]
+
+Matches benchmarks by name and compares wall-clock (`real_time`,
+normalized to nanoseconds via each entry's `time_unit`). Prints one row
+per benchmark and emits a GitHub Actions `::warning::` annotation for
+every benchmark whose real time regressed by more than the threshold
+(default 20%).
+
+The baselines under bench/baselines/ are advisory anchors for the perf
+trajectory, not hard gates: absolute times shift with the runner
+hardware, so regressions warn instead of failing. Pass --strict to turn
+warnings into a non-zero exit (useful on dedicated perf runners).
+Refresh a baseline by copying the build's BENCH_*.json over it when a
+deliberate change moves the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        rows[b["name"]] = b["real_time"] * scale
+    return rows
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative real-time regression that triggers a "
+                         "warning (default: 0.20 = +20%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero when any benchmark regresses")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    print("-" * 86)
+    for name in sorted(cur):
+        if name not in base:
+            print(f"{name:50s} {'-':>12s} {fmt_ns(cur[name]):>12s} {'new':>8s}")
+            continue
+        ratio = cur[name] / base[name] if base[name] else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:50s} {fmt_ns(base[name]):>12s} {fmt_ns(cur[name]):>12s} "
+              f"{ratio:7.2f}x{flag}")
+    for name in sorted(set(base) - set(cur)):
+        print(f"{name:50s} {fmt_ns(base[name]):>12s} {'-':>12s} {'gone':>8s}")
+
+    for name, ratio in regressions:
+        print(f"::warning title=bench regression::{name} real_time is "
+              f"{ratio:.2f}x the checked-in baseline "
+              f"(threshold {1.0 + args.threshold:.2f}x)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"+{args.threshold:.0%}.")
+        if args.strict:
+            return 1
+    else:
+        print("\nNo regressions beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

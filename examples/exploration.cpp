@@ -122,5 +122,30 @@ int main() {
     std::printf("selected: %s (%.1f us simulated)\n", best->platform.c_str(),
                 best->sim_time_us);
   }
+
+  // ---- the second exploration axis: platform x workload ----------------
+  // The same candidate platforms crossed with the canonical synthetic
+  // workloads (seeded uniform / bursty / request-reply / pipeline): the
+  // interconnect that wins under smooth streaming is not necessarily the
+  // one that wins under bursts or RPC traffic.
+  std::printf("\n== platform x workload grid ==\n");
+  const auto loads = expl::workload_candidates();
+  expl::Explorer gx;
+  const auto cells = expl::default_candidates();
+  const auto grid_rows = gx.sweep_parallel(cells, loads, 500_ms, threads);
+  expl::Explorer::print_table(std::cout, grid_rows);
+
+  // Per-workload winner: does the architecture choice depend on traffic?
+  for (const auto& w : loads) {
+    const expl::ExplorationRow* win = nullptr;
+    for (const auto& r : grid_rows) {
+      if (r.workload != w.name || !r.completed) continue;
+      if (!win || r.sim_time_us < win->sim_time_us) win = &r;
+    }
+    if (win) {
+      std::printf("best for %-9s: %s (%.1f us)\n", w.name.c_str(),
+                  win->platform.c_str(), win->sim_time_us);
+    }
+  }
   return 0;
 }

@@ -8,14 +8,22 @@
 // every abstraction level. The example:
 //   1. runs the pipeline at component-assembly, CCATB, and CAM levels and
 //      prints the simulated completion time of each (the Figure-1 flow);
-//   2. sweeps the CAM library to pick a communication architecture.
+//   2. captures the CCATB run's transaction trace, dumps it to CSV
+//      (mjpeg_trace.csv), reloads it, and replays it on the same
+//      platform — the replay must reproduce the captured transaction
+//      count and byte total exactly;
+//   3. sweeps the CAM library to pick a communication architecture.
 //
 // Build & run:  ./example_mjpeg_pipeline
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
+
+#include "workload/workload.hpp"
 
 #include "core/core.hpp"
 #include "explore/explore.hpp"
@@ -163,6 +171,8 @@ int main() {
   PipelineStats stats;
   auto factory = make_factory(&stats);
 
+  std::string captured_csv;
+  trace::TxnLogger::Summary captured;
   for (auto level : {core::AbstractionLevel::ComponentAssembly,
                      core::AbstractionLevel::Ccatb,
                      core::AbstractionLevel::Cam}) {
@@ -179,6 +189,45 @@ int main() {
                 core::level_name(level), done ? "yes" : "NO",
                 sim.now().to_string().c_str(), stats.blocks_done,
                 stats.nonzero_coeffs);
+
+    if (level == core::AbstractionLevel::Ccatb) {
+      // Capture the timed SHIP-level trace: this is the portable workload.
+      std::ostringstream os;
+      ms->txn_log().dump_csv(os);
+      captured_csv = os.str();
+      captured = ms->txn_log().summarize();
+    }
+  }
+
+  std::printf("\n== trace capture -> CSV -> replay (CCATB, same platform) ==\n");
+  {
+    const char* path = "mjpeg_trace.csv";
+    std::ofstream(path) << captured_csv;
+    std::ifstream in(path);
+    trace::TxnLogger loaded;
+    loaded.load_csv(in);
+    std::printf("  captured %zu records (%llu bytes) -> %s\n", loaded.size(),
+                static_cast<unsigned long long>(captured.bytes), path);
+
+    std::vector<std::unique_ptr<core::ProcessingElement>> owned;
+    core::SystemGraph graph;
+    workload::replay_factory(loaded)(graph, owned);
+    Simulator sim;
+    auto ms = core::Mapper::map(sim, graph, core::Platform{},
+                                core::AbstractionLevel::Ccatb);
+    const bool done = ms->run_until_done(100_ms);
+    const auto replayed = ms->txn_log().summarize();
+    const bool exact = replayed.count == captured.count &&
+                       replayed.bytes == captured.bytes;
+    std::printf("  replay: done=%s txns=%llu bytes=%llu  (capture: txns=%llu "
+                "bytes=%llu) -> %s\n",
+                done ? "yes" : "NO",
+                static_cast<unsigned long long>(replayed.count),
+                static_cast<unsigned long long>(replayed.bytes),
+                static_cast<unsigned long long>(captured.count),
+                static_cast<unsigned long long>(captured.bytes),
+                exact ? "EXACT MATCH" : "MISMATCH");
+    if (!exact) return 1;
   }
 
   std::printf("\n== communication architecture exploration (CAM level) ==\n");

@@ -11,14 +11,18 @@
 
 namespace stlm::expl {
 
-ExplorationRow Explorer::evaluate(const core::Platform& platform,
-                                  Time max_time) {
+ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
+                                       const std::string& workload_name,
+                                       const core::Platform& platform,
+                                       Time max_time) {
+  STLM_ASSERT(factory != nullptr, "Explorer: no workload factory bound");
   ExplorationRow row;
   row.platform = platform.name;
+  row.workload = workload_name;
 
   std::vector<std::unique_ptr<core::ProcessingElement>> owned;
   core::SystemGraph graph;
-  factory_(graph, owned);
+  factory(graph, owned);
   graph.discover_roles();
 
   Simulator sim;
@@ -39,6 +43,17 @@ ExplorationRow Explorer::evaluate(const core::Platform& platform,
   return row;
 }
 
+ExplorationRow Explorer::evaluate(const core::Platform& platform,
+                                  Time max_time) {
+  return evaluate_with(factory_, "", platform, max_time);
+}
+
+ExplorationRow Explorer::evaluate(const core::Platform& platform,
+                                  const WorkloadCase& workload,
+                                  Time max_time) {
+  return evaluate_with(workload.factory, workload.name, platform, max_time);
+}
+
 std::vector<ExplorationRow> Explorer::sweep(
     const std::vector<core::Platform>& cands, Time max_time) {
   std::vector<ExplorationRow> rows;
@@ -47,13 +62,19 @@ std::vector<ExplorationRow> Explorer::sweep(
   return rows;
 }
 
-std::vector<ExplorationRow> Explorer::sweep_parallel(
-    const std::vector<core::Platform>& cands, Time max_time,
-    unsigned n_threads) {
-  const std::size_t n = cands.size();
-  if (n_threads <= 1 || n <= 1) return sweep(cands, max_time);
+std::vector<ExplorationRow> Explorer::sweep(
+    const std::vector<core::Platform>& cands,
+    const std::vector<WorkloadCase>& workloads, Time max_time) {
+  std::vector<ExplorationRow> rows;
+  rows.reserve(cands.size() * workloads.size());
+  for (const auto& p : cands) {
+    for (const auto& w : workloads) rows.push_back(evaluate(p, w, max_time));
+  }
+  return rows;
+}
 
-  std::vector<ExplorationRow> rows(n);
+void Explorer::run_sharded(std::size_t n, unsigned n_threads,
+                           const std::function<void(std::size_t)>& eval) {
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -63,7 +84,7 @@ std::vector<ExplorationRow> Explorer::sweep_parallel(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        rows[i] = evaluate(cands[i], max_time);
+        eval(i);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -100,6 +121,32 @@ std::vector<ExplorationRow> Explorer::sweep_parallel(
 
   if (pool.empty() && spawn_error) std::rethrow_exception(spawn_error);
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ExplorationRow> Explorer::sweep_parallel(
+    const std::vector<core::Platform>& cands, Time max_time,
+    unsigned n_threads) {
+  const std::size_t n = cands.size();
+  if (n_threads <= 1 || n <= 1) return sweep(cands, max_time);
+
+  std::vector<ExplorationRow> rows(n);
+  run_sharded(n, n_threads,
+              [&](std::size_t i) { rows[i] = evaluate(cands[i], max_time); });
+  return rows;
+}
+
+std::vector<ExplorationRow> Explorer::sweep_parallel(
+    const std::vector<core::Platform>& cands,
+    const std::vector<WorkloadCase>& workloads, Time max_time,
+    unsigned n_threads) {
+  const std::size_t nw = workloads.size();
+  const std::size_t n = cands.size() * nw;
+  if (n_threads <= 1 || n <= 1) return sweep(cands, workloads, max_time);
+
+  std::vector<ExplorationRow> rows(n);
+  run_sharded(n, n_threads, [&](std::size_t i) {
+    rows[i] = evaluate(cands[i / nw], workloads[i % nw], max_time);
+  });
   return rows;
 }
 
@@ -107,17 +154,32 @@ void Explorer::print_table(std::ostream& os,
                            const std::vector<ExplorationRow>& rows) {
   trace::ScopedOstreamFormat guard(os);
   // Size the name column to the longest platform (the grid generator
-  // produces names well past the old fixed 24 columns).
+  // produces names well past the old fixed 24 columns). The workload
+  // column only appears when a row carries a workload name.
   std::size_t name_w = 20;
-  for (const auto& r : rows) name_w = std::max(name_w, r.platform.size());
+  std::size_t wl_w = 0;
+  for (const auto& r : rows) {
+    name_w = std::max(name_w, r.platform.size());
+    wl_w = std::max(wl_w, r.workload.size());
+  }
+  const bool with_workload = wl_w > 0;
   const int nw = static_cast<int>(name_w + 2);
-  os << std::left << std::setw(nw) << "platform" << std::right << std::setw(6)
+  const int ww = static_cast<int>(std::max<std::size_t>(wl_w, 8) + 2);
+  os << std::left << std::setw(nw) << "platform";
+  if (with_workload) os << std::setw(ww) << "workload";
+  os << std::right << std::setw(6)
      << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
      << std::setw(14) << "mean_lat_ns" << std::setw(10) << "bus_util"
      << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
-  os << std::string(static_cast<std::size_t>(nw) + 78, '-') << "\n";
+  os << std::string(static_cast<std::size_t>(nw) +
+                        (with_workload ? static_cast<std::size_t>(ww) : 0) +
+                        78,
+                    '-')
+     << "\n";
   for (const auto& r : rows) {
-    os << std::left << std::setw(nw) << r.platform << std::right
+    os << std::left << std::setw(nw) << r.platform;
+    if (with_workload) os << std::setw(ww) << r.workload;
+    os << std::right
        << std::setw(6) << (r.completed ? "yes" : "NO") << std::setw(14)
        << std::fixed << std::setprecision(2) << r.sim_time_us << std::setw(12)
        << std::setprecision(2) << r.wall_ms << std::setw(14)

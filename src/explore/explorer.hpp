@@ -7,6 +7,11 @@
 // transaction latency, bus utilization, traffic — plus the host wall
 // clock it took, which is the "fast yet timing-accurate exploration"
 // claim made measurable.
+//
+// The sweep is two-dimensional: a candidate *platform* list crossed with
+// a candidate *workload* list (workload::WorkloadCase — synthetic seeded
+// generators, trace replays, or hand-built factories). The single-factory
+// overloads remain for one-workload exploration.
 
 #include <functional>
 #include <memory>
@@ -15,11 +20,16 @@
 #include <vector>
 
 #include "core/core.hpp"
+#include "workload/spec.hpp"
 
 namespace stlm::expl {
 
+using workload::WorkloadCase;
+using workload::workload_candidates;
+
 struct ExplorationRow {
   std::string platform;
+  std::string workload;           // empty for single-factory sweeps
   bool completed = false;
   double sim_time_us = 0.0;       // simulated completion time
   double wall_ms = 0.0;           // host time spent simulating
@@ -34,17 +44,25 @@ public:
   // The factory fills `graph` (PE registration, partitions, connections)
   // and parks PE ownership in `owned`. It is invoked once per candidate
   // platform so every run starts from fresh state.
-  using GraphFactory = std::function<void(
-      core::SystemGraph& graph,
-      std::vector<std::unique_ptr<core::ProcessingElement>>& owned)>;
+  using GraphFactory = workload::GraphFactory;
 
+  // Workload-grid sweeps carry their factories in the WorkloadCase list.
+  Explorer() = default;
   explicit Explorer(GraphFactory factory) : factory_(std::move(factory)) {}
 
   // Map + simulate one candidate.
   ExplorationRow evaluate(const core::Platform& platform, Time max_time);
+  ExplorationRow evaluate(const core::Platform& platform,
+                          const WorkloadCase& workload, Time max_time);
 
-  // Sweep a candidate list.
+  // Sweep a candidate list with the bound factory.
   std::vector<ExplorationRow> sweep(const std::vector<core::Platform>& cands,
+                                    Time max_time);
+
+  // Sweep the full platform x workload grid. Rows are platform-major:
+  // row index = platform_index * workloads.size() + workload_index.
+  std::vector<ExplorationRow> sweep(const std::vector<core::Platform>& cands,
+                                    const std::vector<WorkloadCase>& workloads,
                                     Time max_time);
 
   // Sweep the candidate list sharded across `n_threads` worker threads.
@@ -65,10 +83,25 @@ public:
       const std::vector<core::Platform>& cands, Time max_time,
       unsigned n_threads);
 
+  // The platform x workload grid sharded the same way; one grid cell =
+  // one unit of work. Row order matches the sequential grid sweep.
+  std::vector<ExplorationRow> sweep_parallel(
+      const std::vector<core::Platform>& cands,
+      const std::vector<WorkloadCase>& workloads, Time max_time,
+      unsigned n_threads);
+
   static void print_table(std::ostream& os,
                           const std::vector<ExplorationRow>& rows);
 
 private:
+  ExplorationRow evaluate_with(const GraphFactory& factory,
+                               const std::string& workload_name,
+                               const core::Platform& platform, Time max_time);
+  // Run eval(0..n-1) across a worker pool with the exception semantics
+  // documented on sweep_parallel.
+  static void run_sharded(std::size_t n, unsigned n_threads,
+                          const std::function<void(std::size_t)>& eval);
+
   GraphFactory factory_;
 };
 

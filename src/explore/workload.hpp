@@ -1,143 +1,16 @@
 #pragma once
-// Reusable workload PEs for exploration, benchmarks, and tests.
-//
-// All behaviours are written against core::ExecContext only — the same
-// objects run untimed, CCATB-annotated, over a CAM, or as RTOS tasks.
+// Compatibility shim: the workload PEs moved into the dedicated
+// src/workload/ subsystem (generators, specs, trace replay). Existing
+// code keeps using them under stlm::expl.
 
-#include <cstdint>
-#include <string>
-
-#include "core/pe.hpp"
-#include "ship/messages.hpp"
+#include "workload/generators.hpp"
 
 namespace stlm::expl {
 
-// Sends `count` messages of `payload_bytes` on channel "out", spending
-// `compute_cycles` between messages.
-class ProducerPe final : public core::ProcessingElement {
-public:
-  ProducerPe(std::string name, std::uint64_t count, std::size_t payload_bytes,
-             std::uint64_t compute_cycles = 0)
-      : ProcessingElement(std::move(name)),
-        count_(count),
-        bytes_(payload_bytes),
-        compute_(compute_cycles) {}
-
-  void run(core::ExecContext& ctx) override {
-    ship::ship_if& out = ctx.channel("out");
-    ship::VectorMsg<> msg(bytes_, 0xa5);
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      if (compute_) ctx.consume(compute_);
-      out.send(msg);
-    }
-  }
-
-private:
-  std::uint64_t count_;
-  std::size_t bytes_;
-  std::uint64_t compute_;
-};
-
-// Receives `count` messages on channel "in".
-class SinkPe final : public core::ProcessingElement {
-public:
-  SinkPe(std::string name, std::uint64_t count,
-         std::uint64_t compute_cycles = 0)
-      : ProcessingElement(std::move(name)),
-        count_(count),
-        compute_(compute_cycles) {}
-
-  std::uint64_t received() const { return received_; }
-
-  void run(core::ExecContext& ctx) override {
-    ship::ship_if& in = ctx.channel("in");
-    ship::VectorMsg<> msg;
-    received_ = 0;
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      in.recv(msg);
-      if (compute_) ctx.consume(compute_);
-      ++received_;
-    }
-  }
-
-private:
-  std::uint64_t count_;
-  std::uint64_t compute_;
-  std::uint64_t received_ = 0;
-};
-
-// Pipeline stage: forwards `count` messages from "in" to "out" after
-// `compute_cycles` of work per message.
-class StagePe final : public core::ProcessingElement {
-public:
-  StagePe(std::string name, std::uint64_t count, std::uint64_t compute_cycles)
-      : ProcessingElement(std::move(name)),
-        count_(count),
-        compute_(compute_cycles) {}
-
-  void run(core::ExecContext& ctx) override {
-    ship::ship_if& in = ctx.channel("in");
-    ship::ship_if& out = ctx.channel("out");
-    ship::VectorMsg<> msg;
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      in.recv(msg);
-      ctx.consume(compute_);
-      out.send(msg);
-    }
-  }
-
-private:
-  std::uint64_t count_;
-  std::uint64_t compute_;
-};
-
-// Issues `count` request/reply round trips on channel "out".
-class RequesterPe final : public core::ProcessingElement {
-public:
-  RequesterPe(std::string name, std::uint64_t count, std::size_t payload_bytes,
-              std::uint64_t compute_cycles = 0)
-      : ProcessingElement(std::move(name)),
-        count_(count),
-        bytes_(payload_bytes),
-        compute_(compute_cycles) {}
-
-  void run(core::ExecContext& ctx) override {
-    ship::ship_if& out = ctx.channel("out");
-    ship::VectorMsg<> req(bytes_, 0x11), resp;
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      if (compute_) ctx.consume(compute_);
-      out.request(req, resp);
-    }
-  }
-
-private:
-  std::uint64_t count_;
-  std::size_t bytes_;
-  std::uint64_t compute_;
-};
-
-// Serves `count` requests on channel "in" (recv + compute + reply).
-class EchoServerPe final : public core::ProcessingElement {
-public:
-  EchoServerPe(std::string name, std::uint64_t count,
-               std::uint64_t compute_cycles = 0)
-      : ProcessingElement(std::move(name)),
-        count_(count),
-        compute_(compute_cycles) {}
-
-  void run(core::ExecContext& ctx) override {
-    ship::ship_if& in = ctx.channel("in");
-    ship::VectorMsg<> msg;
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      in.recv(msg);
-      if (compute_) ctx.consume(compute_);
-      in.reply(msg);
-    }
-  }
-
-private:
-  std::uint64_t count_;
-  std::uint64_t compute_;
-};
+using workload::EchoServerPe;
+using workload::ProducerPe;
+using workload::RequesterPe;
+using workload::SinkPe;
+using workload::StagePe;
 
 }  // namespace stlm::expl

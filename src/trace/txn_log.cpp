@@ -1,6 +1,8 @@
 #include "trace/txn_log.hpp"
 
-#include <algorithm>
+#include <charconv>
+
+#include "kernel/report.hpp"
 
 namespace stlm::trace {
 
@@ -15,13 +17,26 @@ const char* txn_kind_name(TxnKind k) {
   return "?";
 }
 
-std::uint32_t TxnLogger::intern(const std::string& channel) {
-  const auto it = std::find(channels_.begin(), channels_.end(), channel);
-  if (it != channels_.end()) {
-    return static_cast<std::uint32_t>(it - channels_.begin());
+bool txn_kind_from_name(const std::string& name, TxnKind& out) {
+  for (TxnKind k : {TxnKind::Send, TxnKind::Request, TxnKind::Reply,
+                    TxnKind::Read, TxnKind::Write}) {
+    if (name == txn_kind_name(k)) {
+      out = k;
+      return true;
+    }
   }
+  return false;
+}
+
+std::uint32_t TxnLogger::intern(const std::string& channel) {
+  if (const auto it = channel_index_.find(channel);
+      it != channel_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(channels_.size());
   channels_.push_back(channel);
-  return static_cast<std::uint32_t>(channels_.size() - 1);
+  channel_index_.emplace(channel, id);
+  return id;
 }
 
 const std::string& TxnLogger::channel_name(std::uint32_t id) const {
@@ -56,12 +71,209 @@ TxnLogger::Summary TxnLogger::summarize() const {
   return s;
 }
 
+namespace {
+
+constexpr const char* kCsvHeader =
+    "channel,kind,bytes,start_fs,end_fs,latency_ns,txn";
+
+// RFC4180 quoting: only names carrying a delimiter, quote, or line break
+// get wrapped (quotes inside doubled), so typical dumps stay byte-for-byte
+// what they were before escaping existed.
+void write_csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+// Split one CSV line (no trailing newline) into fields, honouring quoting.
+// Returns false on a malformed line (unbalanced quote, garbage after a
+// closing quote) with `err` describing the problem.
+bool split_csv_line(const std::string& line, std::vector<std::string>& out,
+                    std::string& err) {
+  out.clear();
+  std::string field;
+  bool quoted = false;   // inside an open quote
+  bool was_quoted = false;  // current field started with a quote
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || was_quoted) {
+        err = "unexpected quote inside unquoted field";
+        return false;
+      }
+      quoted = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (was_quoted) {
+      err = "garbage after closing quote";
+      return false;
+    }
+    field += c;
+    ++i;
+  }
+  if (quoted) {
+    err = "unterminated quote";
+    return false;
+  }
+  out.push_back(std::move(field));
+  return true;
+}
+
+// Read one logical CSV record: a newline inside an open quote belongs to
+// the record (dump_csv writes channel names containing line breaks
+// verbatim inside quotes), the first newline outside quotes terminates
+// it. A carriage return directly before the terminator (or EOF) is
+// treated as part of the line ending. Returns false at end of input.
+bool read_csv_record(std::istream& is, std::string& out) {
+  out.clear();
+  bool quoted = false;
+  bool any = false;
+  int c;
+  while ((c = is.get()) != std::char_traits<char>::eof()) {
+    any = true;
+    if (c == '\n' && !quoted) {
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return true;
+    }
+    if (c == '"') quoted = !quoted;  // doubled quotes toggle twice: no-op
+    out += static_cast<char>(c);
+  }
+  if (!any) return false;
+  if (!quoted && !out.empty() && out.back() == '\r') out.pop_back();
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto res = std::from_chars(first, last, out);
+  return res.ec == std::errc{} && res.ptr == last;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto res = std::from_chars(first, last, out);
+  return res.ec == std::errc{} && res.ptr == last;
+}
+
+[[noreturn]] void csv_error(std::size_t line_no, const std::string& what) {
+  throw SimulationError("TxnLogger::load_csv: line " +
+                        std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
 void TxnLogger::dump_csv(std::ostream& os) const {
-  os << "channel,kind,bytes,start_ns,end_ns,latency_ns,txn\n";
+  os << kCsvHeader << "\n";
   for (const auto& r : records_) {
-    os << channel_name(r.channel) << "," << txn_kind_name(r.kind) << ","
-       << r.bytes << "," << r.start.to_ns() << "," << r.end.to_ns() << ","
+    write_csv_field(os, channel_name(r.channel));
+    os << "," << txn_kind_name(r.kind) << "," << r.bytes << ","
+       << r.start.femtoseconds() << "," << r.end.femtoseconds() << ","
        << (r.end - r.start).to_ns() << "," << r.txn << "\n";
+  }
+}
+
+void TxnLogger::load_csv(std::istream& is) {
+  records_.clear();
+  channels_.clear();
+  channel_index_.clear();
+  try {
+    load_csv_impl(is);
+  } catch (...) {
+    records_.clear();
+    channels_.clear();
+    channel_index_.clear();
+    throw;
+  }
+}
+
+void TxnLogger::load_csv_impl(std::istream& is) {
+  std::string line;
+  if (!read_csv_record(is, line)) {
+    throw SimulationError("TxnLogger::load_csv: empty input (missing header)");
+  }
+  if (line != kCsvHeader) {
+    throw SimulationError(
+        "TxnLogger::load_csv: unrecognized header '" + line +
+        "' (expected '" + kCsvHeader + "')");
+  }
+
+  std::vector<std::string> fields;
+  std::string err;
+  std::size_t line_no = 1;
+  while (read_csv_record(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    if (!split_csv_line(line, fields, err)) csv_error(line_no, err);
+    if (fields.size() != 7) {
+      csv_error(line_no, "expected 7 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    TxnRecord r{};
+    r.channel = intern(fields[0]);
+    if (!txn_kind_from_name(fields[1], r.kind)) {
+      csv_error(line_no, "unknown kind '" + fields[1] + "'");
+    }
+    std::uint64_t bytes = 0, start_fs = 0, end_fs = 0, txn = 0;
+    if (!parse_u64(fields[2], bytes)) {
+      csv_error(line_no, "bad bytes '" + fields[2] + "'");
+    }
+    if (!parse_u64(fields[3], start_fs)) {
+      csv_error(line_no, "bad start_fs '" + fields[3] + "'");
+    }
+    if (!parse_u64(fields[4], end_fs)) {
+      csv_error(line_no, "bad end_fs '" + fields[4] + "'");
+    }
+    double latency_ns = 0.0;
+    if (!parse_double(fields[5], latency_ns)) {
+      csv_error(line_no, "bad latency_ns '" + fields[5] + "'");
+    }
+    if (!parse_u64(fields[6], txn)) {
+      csv_error(line_no, "bad txn '" + fields[6] + "'");
+    }
+    if (end_fs < start_fs) {
+      csv_error(line_no, "end_fs precedes start_fs");
+    }
+    r.bytes = bytes;
+    r.start = Time::fs(start_fs);
+    r.end = Time::fs(end_fs);
+    r.txn = txn;
+    records_.push_back(r);
   }
 }
 

@@ -10,8 +10,10 @@
 // transaction.
 
 #include <cstdint>
+#include <istream>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernel/time.hpp"
@@ -28,6 +30,8 @@ enum class TxnKind : std::uint8_t {
 };
 
 const char* txn_kind_name(TxnKind k);
+// Inverse of txn_kind_name. Returns false if `name` is no known kind.
+bool txn_kind_from_name(const std::string& name, TxnKind& out);
 
 struct TxnRecord {
   std::uint32_t channel;  // interned channel id (see TxnLogger::intern)
@@ -68,11 +72,28 @@ public:
   };
   Summary summarize() const;
 
+  // CSV schema (one header line, then one line per record):
+  //
+  //   channel,kind,bytes,start_fs,end_fs,latency_ns,txn
+  //
+  // start/end are integer femtoseconds, so dump_csv -> load_csv round-trips
+  // records bit-identically; latency_ns is a derived human-readable column
+  // that load_csv validates syntactically but does not store. Channel
+  // names containing commas, quotes, or newlines are RFC4180-quoted.
   void dump_csv(std::ostream& os) const;
 
+  // Replace this logger's records (and channel table) with the contents
+  // of a dump_csv stream. Validates the header and every row; throws
+  // SimulationError naming the offending line and field on malformed
+  // input, leaving the logger empty.
+  void load_csv(std::istream& is);
+
 private:
+  void load_csv_impl(std::istream& is);
+
   bool enabled_ = true;
   std::vector<std::string> channels_;
+  std::unordered_map<std::string, std::uint32_t> channel_index_;
   std::vector<TxnRecord> records_;
 };
 

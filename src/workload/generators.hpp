@@ -1,0 +1,272 @@
+#pragma once
+// Workload generator PEs: fixed-rate primitives plus seeded synthetic
+// traffic sources (uniform, bursty ON/OFF, request/reply) with
+// configurable payload-size distributions.
+//
+// All behaviours are written against core::ExecContext only — the same
+// objects run untimed, CCATB-annotated, over a CAM, or as RTOS tasks.
+// Seeded generators draw every random quantity from a SplitMix64 stream
+// created locally in run() (PEs must be re-entrant), so a given seed
+// produces the identical message sequence on every platform, abstraction
+// level, and sweep-worker thread.
+
+#include <cstdint>
+#include <string>
+
+#include "core/pe.hpp"
+#include "ship/messages.hpp"
+#include "workload/rng.hpp"
+
+namespace stlm::workload {
+
+// Sends `count` messages of `payload_bytes` on channel "out", spending
+// `compute_cycles` between messages.
+class ProducerPe final : public core::ProcessingElement {
+public:
+  ProducerPe(std::string name, std::uint64_t count, std::size_t payload_bytes,
+             std::uint64_t compute_cycles = 0)
+      : ProcessingElement(std::move(name)),
+        count_(count),
+        bytes_(payload_bytes),
+        compute_(compute_cycles) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& out = ctx.channel("out");
+    ship::VectorMsg<> msg(bytes_, 0xa5);
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      if (compute_) ctx.consume(compute_);
+      out.send(msg);
+    }
+  }
+
+private:
+  std::uint64_t count_;
+  std::size_t bytes_;
+  std::uint64_t compute_;
+};
+
+// Receives `count` messages on channel "in".
+class SinkPe final : public core::ProcessingElement {
+public:
+  SinkPe(std::string name, std::uint64_t count,
+         std::uint64_t compute_cycles = 0)
+      : ProcessingElement(std::move(name)),
+        count_(count),
+        compute_(compute_cycles) {}
+
+  std::uint64_t received() const { return received_; }
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& in = ctx.channel("in");
+    ship::VectorMsg<> msg;
+    received_ = 0;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      in.recv(msg);
+      if (compute_) ctx.consume(compute_);
+      ++received_;
+    }
+  }
+
+private:
+  std::uint64_t count_;
+  std::uint64_t compute_;
+  std::uint64_t received_ = 0;
+};
+
+// Pipeline stage: forwards `count` messages from "in" to "out" after
+// `compute_cycles` of work per message.
+class StagePe final : public core::ProcessingElement {
+public:
+  StagePe(std::string name, std::uint64_t count, std::uint64_t compute_cycles)
+      : ProcessingElement(std::move(name)),
+        count_(count),
+        compute_(compute_cycles) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& in = ctx.channel("in");
+    ship::ship_if& out = ctx.channel("out");
+    ship::VectorMsg<> msg;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      in.recv(msg);
+      ctx.consume(compute_);
+      out.send(msg);
+    }
+  }
+
+private:
+  std::uint64_t count_;
+  std::uint64_t compute_;
+};
+
+// Issues `count` request/reply round trips on channel "out".
+class RequesterPe final : public core::ProcessingElement {
+public:
+  RequesterPe(std::string name, std::uint64_t count, std::size_t payload_bytes,
+              std::uint64_t compute_cycles = 0)
+      : ProcessingElement(std::move(name)),
+        count_(count),
+        bytes_(payload_bytes),
+        compute_(compute_cycles) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& out = ctx.channel("out");
+    ship::VectorMsg<> req(bytes_, 0x11), resp;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      if (compute_) ctx.consume(compute_);
+      out.request(req, resp);
+    }
+  }
+
+private:
+  std::uint64_t count_;
+  std::size_t bytes_;
+  std::uint64_t compute_;
+};
+
+// Serves `count` requests on channel "in" (recv + compute + reply).
+class EchoServerPe final : public core::ProcessingElement {
+public:
+  EchoServerPe(std::string name, std::uint64_t count,
+               std::uint64_t compute_cycles = 0)
+      : ProcessingElement(std::move(name)),
+        count_(count),
+        compute_(compute_cycles) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& in = ctx.channel("in");
+    ship::VectorMsg<> msg;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      in.recv(msg);
+      if (compute_) ctx.consume(compute_);
+      in.reply(msg);
+    }
+  }
+
+private:
+  std::uint64_t count_;
+  std::uint64_t compute_;
+};
+
+// ------------------------------------------------------------------------
+// Seeded synthetic traffic sources. Shared size/gap ranges are inclusive.
+
+struct ByteRange {
+  std::size_t min = 64;
+  std::size_t max = 64;
+};
+
+struct CycleRange {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+// Uniform traffic: every message draws its payload size and the compute
+// gap preceding it independently from the configured ranges.
+class UniformTrafficPe final : public core::ProcessingElement {
+public:
+  UniformTrafficPe(std::string name, std::uint64_t seed, std::uint64_t count,
+                   ByteRange payload, CycleRange gap)
+      : ProcessingElement(std::move(name)),
+        seed_(seed),
+        count_(count),
+        payload_(payload),
+        gap_(gap) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& out = ctx.channel("out");
+    SplitMix64 rng(seed_);
+    ship::VectorMsg<> msg;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      const std::uint64_t gap = rng.uniform(gap_.min, gap_.max);
+      if (gap) ctx.consume(gap);
+      msg.data.assign(rng.uniform(payload_.min, payload_.max),
+                      static_cast<std::uint8_t>(rng.next()));
+      out.send(msg);
+    }
+  }
+
+private:
+  std::uint64_t seed_;
+  std::uint64_t count_;
+  ByteRange payload_;
+  CycleRange gap_;
+};
+
+// Bursty ON/OFF traffic: bursts of back-to-back messages (burst length
+// drawn from `burst`, `on_gap` compute cycles between messages inside a
+// burst) separated by long OFF gaps drawn from `off_gap`. Models DMA-like
+// sources that stress arbiter fairness far harder than uniform streams.
+class BurstyTrafficPe final : public core::ProcessingElement {
+public:
+  BurstyTrafficPe(std::string name, std::uint64_t seed, std::uint64_t count,
+                  ByteRange payload, CycleRange burst, CycleRange off_gap,
+                  std::uint64_t on_gap = 1)
+      : ProcessingElement(std::move(name)),
+        seed_(seed),
+        count_(count),
+        payload_(payload),
+        burst_(burst),
+        off_(off_gap),
+        on_gap_(on_gap) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& out = ctx.channel("out");
+    SplitMix64 rng(seed_);
+    ship::VectorMsg<> msg;
+    std::uint64_t sent = 0;
+    while (sent < count_) {
+      const std::uint64_t off = rng.uniform(off_.min, off_.max);
+      if (off) ctx.consume(off);
+      std::uint64_t burst = rng.uniform(burst_.min, burst_.max);
+      if (burst == 0) burst = 1;
+      for (std::uint64_t j = 0; j < burst && sent < count_; ++j, ++sent) {
+        if (j && on_gap_) ctx.consume(on_gap_);
+        msg.data.assign(rng.uniform(payload_.min, payload_.max),
+                        static_cast<std::uint8_t>(rng.next()));
+        out.send(msg);
+      }
+    }
+  }
+
+private:
+  std::uint64_t seed_;
+  std::uint64_t count_;
+  ByteRange payload_;
+  CycleRange burst_;
+  CycleRange off_;
+  std::uint64_t on_gap_;
+};
+
+// Request/reply client: paced round trips with randomized request sizes.
+// Pair with EchoServerPe on the far terminal.
+class SeededRequesterPe final : public core::ProcessingElement {
+public:
+  SeededRequesterPe(std::string name, std::uint64_t seed, std::uint64_t count,
+                    ByteRange payload, CycleRange gap)
+      : ProcessingElement(std::move(name)),
+        seed_(seed),
+        count_(count),
+        payload_(payload),
+        gap_(gap) {}
+
+  void run(core::ExecContext& ctx) override {
+    ship::ship_if& out = ctx.channel("out");
+    SplitMix64 rng(seed_);
+    ship::VectorMsg<> req, resp;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+      const std::uint64_t gap = rng.uniform(gap_.min, gap_.max);
+      if (gap) ctx.consume(gap);
+      req.data.assign(rng.uniform(payload_.min, payload_.max),
+                      static_cast<std::uint8_t>(rng.next()));
+      out.request(req, resp);
+    }
+  }
+
+private:
+  std::uint64_t seed_;
+  std::uint64_t count_;
+  ByteRange payload_;
+  CycleRange gap_;
+};
+
+}  // namespace stlm::workload

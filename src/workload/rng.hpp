@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic PRNG for synthetic workload generation.
+//
+// splitmix64 (Steele/Lea/Flood) — tiny state, full 64-bit output, and the
+// same sequence on every platform and standard library. Workload
+// generators must not touch std::rand or std::mt19937: exploration rows
+// have to be bit-identical between sequential and parallel sweeps, across
+// hosts, and across toolchains, so the generator stream may depend on the
+// seed and nothing else.
+
+#include <cstdint>
+
+namespace stlm::workload {
+
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi] (inclusive). Modulo bias is irrelevant at workload
+  // ranges (hi - lo << 2^64) and keeps the mapping trivially portable.
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range: span wrapped to 0
+    return lo + next() % span;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Derive an independent stream seed (per traffic source) from a root
+  // seed: feed the root through one splitmix step per index.
+  static constexpr std::uint64_t derive(std::uint64_t root,
+                                        std::uint64_t index) {
+    SplitMix64 g(root ^ (0xd1b54a32d192ed03ull * (index + 1)));
+    return g.next();
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace stlm::workload

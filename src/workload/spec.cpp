@@ -1,0 +1,167 @@
+#include "workload/spec.hpp"
+
+#include "kernel/report.hpp"
+
+namespace stlm::workload {
+
+const char* traffic_shape_name(TrafficShape s) {
+  switch (s) {
+    case TrafficShape::Uniform: return "uniform";
+    case TrafficShape::Bursty: return "bursty";
+    case TrafficShape::RequestReply: return "reqreply";
+    case TrafficShape::Pipeline: return "pipeline";
+  }
+  return "?";
+}
+
+namespace {
+
+using Owned = std::vector<std::unique_ptr<core::ProcessingElement>>;
+
+void build_uniform(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
+  for (std::size_t i = 0; i < s.streams; ++i) {
+    const std::string id = std::to_string(i);
+    auto src = std::make_unique<UniformTrafficPe>(
+        "uni" + id, SplitMix64::derive(s.seed, i), s.messages, s.payload,
+        s.gap);
+    auto sink = std::make_unique<SinkPe>("uni" + id + ".sink", s.messages);
+    g.add_pe(*src);
+    g.add_pe(*sink);
+    g.connect("uni" + id, *src, "out", *sink, "in", s.queue_depth,
+              ship::Role::Master);
+    o.push_back(std::move(src));
+    o.push_back(std::move(sink));
+  }
+}
+
+void build_bursty(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
+  for (std::size_t i = 0; i < s.streams; ++i) {
+    const std::string id = std::to_string(i);
+    auto src = std::make_unique<BurstyTrafficPe>(
+        "burst" + id, SplitMix64::derive(s.seed, i), s.messages, s.payload,
+        s.burst, s.off_gap, s.on_gap);
+    auto sink = std::make_unique<SinkPe>("burst" + id + ".sink", s.messages);
+    g.add_pe(*src);
+    g.add_pe(*sink);
+    g.connect("burst" + id, *src, "out", *sink, "in", s.queue_depth,
+              ship::Role::Master);
+    o.push_back(std::move(src));
+    o.push_back(std::move(sink));
+  }
+}
+
+void build_reqreply(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
+  for (std::size_t i = 0; i < s.streams; ++i) {
+    const std::string id = std::to_string(i);
+    auto client = std::make_unique<SeededRequesterPe>(
+        "client" + id, SplitMix64::derive(s.seed, i), s.messages, s.payload,
+        s.gap);
+    auto server = std::make_unique<EchoServerPe>("server" + id, s.messages,
+                                                 s.serve_cycles);
+    g.add_pe(*client);
+    g.add_pe(*server);
+    g.connect("rpc" + id, *client, "out", *server, "in", s.queue_depth,
+              ship::Role::Master);
+    o.push_back(std::move(client));
+    o.push_back(std::move(server));
+  }
+}
+
+void build_pipeline(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
+  auto src = std::make_unique<UniformTrafficPe>(
+      "source", SplitMix64::derive(s.seed, 0), s.messages, s.payload, s.gap);
+  auto sink = std::make_unique<SinkPe>("sink", s.messages);
+  std::vector<std::unique_ptr<StagePe>> stages;
+  for (std::size_t i = 0; i < s.streams; ++i) {
+    stages.push_back(std::make_unique<StagePe>(
+        "stage" + std::to_string(i), s.messages, s.stage_cycles));
+  }
+
+  g.add_pe(*src);
+  for (auto& st : stages) g.add_pe(*st);
+  g.add_pe(*sink);
+
+  core::ProcessingElement* up = src.get();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    g.connect("pipe" + std::to_string(i), *up, "out", *stages[i], "in",
+              s.queue_depth, ship::Role::Master);
+    up = stages[i].get();
+  }
+  g.connect("pipe" + std::to_string(stages.size()), *up, "out", *sink, "in",
+            s.queue_depth, ship::Role::Master);
+
+  o.push_back(std::move(src));
+  for (auto& st : stages) o.push_back(std::move(st));
+  o.push_back(std::move(sink));
+}
+
+}  // namespace
+
+GraphFactory WorkloadSpec::factory() const {
+  STLM_ASSERT(streams > 0, "workload spec needs at least one stream: " + name);
+  STLM_ASSERT(messages > 0, "workload spec needs at least one message: " + name);
+  return [spec = *this](core::SystemGraph& g, Owned& o) {
+    switch (spec.shape) {
+      case TrafficShape::Uniform: build_uniform(spec, g, o); return;
+      case TrafficShape::Bursty: build_bursty(spec, g, o); return;
+      case TrafficShape::RequestReply: build_reqreply(spec, g, o); return;
+      case TrafficShape::Pipeline: build_pipeline(spec, g, o); return;
+    }
+    throw ElaborationError("unknown traffic shape in workload " + spec.name);
+  };
+}
+
+WorkloadCase make_case(const WorkloadSpec& spec) {
+  return WorkloadCase{spec.name, spec.factory()};
+}
+
+std::vector<WorkloadCase> workload_candidates(std::uint64_t seed) {
+  std::vector<WorkloadCase> cases;
+
+  WorkloadSpec uniform;
+  uniform.name = "uniform";
+  uniform.shape = TrafficShape::Uniform;
+  uniform.seed = SplitMix64::derive(seed, 1);
+  uniform.streams = 2;
+  uniform.messages = 8;
+  uniform.payload = {32, 128};
+  uniform.gap = {20, 200};
+  cases.push_back(make_case(uniform));
+
+  WorkloadSpec bursty;
+  bursty.name = "bursty";
+  bursty.shape = TrafficShape::Bursty;
+  bursty.seed = SplitMix64::derive(seed, 2);
+  bursty.streams = 2;
+  bursty.messages = 8;
+  bursty.payload = {64, 256};
+  bursty.burst = {2, 4};
+  bursty.off_gap = {400, 1200};
+  cases.push_back(make_case(bursty));
+
+  WorkloadSpec rpc;
+  rpc.name = "reqreply";
+  rpc.shape = TrafficShape::RequestReply;
+  rpc.seed = SplitMix64::derive(seed, 3);
+  rpc.streams = 2;
+  rpc.messages = 6;
+  rpc.payload = {16, 64};
+  rpc.gap = {50, 150};
+  rpc.serve_cycles = 50;
+  cases.push_back(make_case(rpc));
+
+  WorkloadSpec pipe;
+  pipe.name = "pipeline";
+  pipe.shape = TrafficShape::Pipeline;
+  pipe.seed = SplitMix64::derive(seed, 4);
+  pipe.streams = 3;  // stages
+  pipe.messages = 8;
+  pipe.payload = {64, 64};
+  pipe.gap = {10, 50};
+  pipe.stage_cycles = 150;
+  cases.push_back(make_case(pipe));
+
+  return cases;
+}
+
+}  // namespace stlm::workload

@@ -1,0 +1,144 @@
+#include "workload/trace_replay.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "kernel/report.hpp"
+
+namespace stlm::workload {
+
+std::vector<ChannelScript> build_replay(const trace::TxnLogger& log,
+                                        const ReplayConfig& cfg) {
+  STLM_ASSERT(!cfg.clock.is_zero(), "replay clock must be positive");
+
+  // Gather the replayable rows per channel. Records are appended at
+  // completion time, so re-sort per channel by start (stable: equal
+  // starts keep log order, which is issue order on a blocking master).
+  struct Row {
+    const trace::TxnRecord* rec;
+    std::size_t seq;
+  };
+  std::map<std::string, std::vector<Row>> rows_of;
+  bool any = false;
+  Time epoch = Time::max();
+  const auto& records = log.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const trace::TxnRecord& r = records[i];
+    if (r.kind != trace::TxnKind::Send && r.kind != trace::TxnKind::Request &&
+        r.kind != trace::TxnKind::Reply) {
+      continue;  // bus-level row: the mapping regenerates these
+    }
+    rows_of[log.channel_name(r.channel)].push_back(Row{&r, i});
+    if (r.kind != trace::TxnKind::Reply && r.start < epoch) epoch = r.start;
+    any = true;
+  }
+  if (!any) {
+    throw ElaborationError(
+        "trace replay: no SHIP-level records (send/request/reply) in the "
+        "trace — capture at component-assembly or CCATB level");
+  }
+
+  std::vector<ChannelScript> scripts;
+  for (auto& [channel, rows] : rows_of) {
+    std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (a.rec->start != b.rec->start) return a.rec->start < b.rec->start;
+      return a.seq < b.seq;
+    });
+
+    ChannelScript script;
+    script.channel = channel;
+    // Gaps are measured from the previous operation's *completion* (the
+    // send's end; for a request, its reply's end — that is when the
+    // blocking master resumed) to the next start: the re-issued call
+    // pays its own service time again, so charging start-to-start would
+    // double-count every transaction's duration.
+    Time prev = epoch;
+    std::deque<std::size_t> outstanding;  // indices of unreplied requests
+    for (const Row& row : rows) {
+      const trace::TxnRecord& r = *row.rec;
+      if (r.kind == trace::TxnKind::Reply) {
+        if (outstanding.empty()) {
+          throw ElaborationError("trace replay: reply without outstanding "
+                                 "request on channel '" + channel + "'");
+        }
+        script.actions[outstanding.front()].reply_bytes = r.bytes;
+        outstanding.pop_front();
+        prev = r.end;  // the requester resumed here
+        continue;
+      }
+      ReplayAction a;
+      a.kind = r.kind;
+      a.bytes = r.bytes;
+      a.gap_cycles = r.start > prev ? (r.start - prev) / cfg.clock : 0;
+      prev = r.end;
+      if (r.kind == trace::TxnKind::Request) {
+        outstanding.push_back(script.actions.size());
+      }
+      script.actions.push_back(a);
+    }
+    if (!outstanding.empty()) {
+      throw ElaborationError("trace replay: request without captured reply "
+                             "on channel '" + channel + "'");
+    }
+    if (!script.actions.empty()) scripts.push_back(std::move(script));
+  }
+  if (scripts.empty()) {
+    throw ElaborationError(
+        "trace replay: trace carries only replies — nothing to re-issue");
+  }
+  return scripts;
+}
+
+void TraceReplayPe::run(core::ExecContext& ctx) {
+  ship::ship_if& out = ctx.channel("out");
+  RawMsg msg, resp;
+  std::uint8_t fill = 0;
+  for (const ReplayAction& a : script_.actions) {
+    if (a.gap_cycles) ctx.consume(a.gap_cycles);
+    msg.data.assign(a.bytes, ++fill);
+    if (a.kind == trace::TxnKind::Request) {
+      out.request(msg, resp);
+    } else {
+      out.send(msg);
+    }
+  }
+}
+
+void ReplaySinkPe::run(core::ExecContext& ctx) {
+  ship::ship_if& in = ctx.channel("in");
+  RawMsg msg, resp;
+  for (const ReplayAction& a : script_.actions) {
+    in.recv(msg);
+    if (a.kind == trace::TxnKind::Request) {
+      resp.data.assign(a.reply_bytes, 0x5a);
+      in.reply(resp);
+    }
+  }
+}
+
+GraphFactory replay_factory(const trace::TxnLogger& log,
+                            const ReplayConfig& cfg) {
+  auto scripts = build_replay(log, cfg);
+  return [scripts = std::move(scripts), depth = cfg.queue_depth](
+             core::SystemGraph& g,
+             std::vector<std::unique_ptr<core::ProcessingElement>>& o) {
+    for (const ChannelScript& s : scripts) {
+      auto master = std::make_unique<TraceReplayPe>(s.channel + ".replay", s);
+      auto slave = std::make_unique<ReplaySinkPe>(s.channel + ".sink", s);
+      g.add_pe(*master);
+      g.add_pe(*slave);
+      g.connect(s.channel, *master, "out", *slave, "in", depth,
+                ship::Role::Master);
+      o.push_back(std::move(master));
+      o.push_back(std::move(slave));
+    }
+  };
+}
+
+WorkloadCase replay_case(std::string name, const trace::TxnLogger& log,
+                         const ReplayConfig& cfg) {
+  return WorkloadCase{std::move(name), replay_factory(log, cfg)};
+}
+
+}  // namespace stlm::workload

@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the workload engine: seeded synthetic generators,
+// declarative workload specs, and trace capture/replay.
+
+#include "workload/generators.hpp"
+#include "workload/rng.hpp"
+#include "workload/spec.hpp"
+#include "workload/trace_replay.hpp"

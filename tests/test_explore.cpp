@@ -183,6 +183,81 @@ TEST(Explorer, ParallelSweepMatchesSequentialBitExactly) {
   }
 }
 
+TEST(Explorer, WorkloadGridRowsArePlatformMajorAndComplete) {
+  Explorer ex;
+  const auto plats = default_candidates();
+  const auto loads = workload_candidates();
+  const auto rows = ex.sweep(plats, loads, 200_ms);
+  ASSERT_EQ(rows.size(), plats.size() * loads.size());
+  for (std::size_t pi = 0; pi < plats.size(); ++pi) {
+    for (std::size_t wi = 0; wi < loads.size(); ++wi) {
+      const auto& r = rows[pi * loads.size() + wi];
+      EXPECT_EQ(r.platform, plats[pi].name);
+      EXPECT_EQ(r.workload, loads[wi].name);
+      EXPECT_TRUE(r.completed) << r.platform << "/" << r.workload;
+      EXPECT_GT(r.transactions, 0u) << r.platform << "/" << r.workload;
+    }
+  }
+}
+
+TEST(Explorer, WorkloadChoiceChangesTiming) {
+  // The same platform must rank workloads differently — otherwise the
+  // new axis adds rows but no information.
+  Explorer ex;
+  const auto loads = workload_candidates();
+  const auto rows = ex.sweep({Platform{}}, loads, 200_ms);
+  std::set<double> times;
+  for (const auto& r : rows) times.insert(r.sim_time_us);
+  EXPECT_EQ(times.size(), rows.size()) << "workloads are indistinguishable";
+}
+
+// The acceptance bar for the workload axis: the full 40-platform x
+// 4-workload grid (160 rows) is bit-identical between the sequential
+// sweep and a 4-thread parallel sweep.
+TEST(Explorer, WorkloadGrid160RowsParallelMatchesSequentialBitExactly) {
+  Explorer ex;
+  const auto plats = grid_candidates();
+  const auto loads = workload_candidates();
+  ASSERT_EQ(plats.size() * loads.size(), 160u);
+  const Time budget = 200_ms;
+  const auto seq = ex.sweep(plats, loads, budget);
+  const auto par = ex.sweep_parallel(plats, loads, budget, 4);
+  ASSERT_EQ(seq.size(), 160u);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].platform, seq[i].platform) << i;
+    EXPECT_EQ(par[i].workload, seq[i].workload) << i;
+    EXPECT_EQ(par[i].completed, seq[i].completed) << i;
+    EXPECT_EQ(par[i].sim_time_us, seq[i].sim_time_us)
+        << seq[i].platform << "/" << seq[i].workload;
+    EXPECT_EQ(par[i].transactions, seq[i].transactions)
+        << seq[i].platform << "/" << seq[i].workload;
+    EXPECT_EQ(par[i].bytes, seq[i].bytes)
+        << seq[i].platform << "/" << seq[i].workload;
+    EXPECT_EQ(par[i].mean_latency_ns, seq[i].mean_latency_ns)
+        << seq[i].platform << "/" << seq[i].workload;
+    EXPECT_EQ(par[i].bus_utilization, seq[i].bus_utilization)
+        << seq[i].platform << "/" << seq[i].workload;
+  }
+}
+
+TEST(Explorer, PrintTableShowsWorkloadColumnOnlyWhenPresent) {
+  Explorer ex(two_stream_factory(4, 32));
+  const auto plain = ex.sweep({Platform{}}, 10_ms);
+  std::ostringstream os_plain;
+  Explorer::print_table(os_plain, plain);
+  EXPECT_EQ(os_plain.str().find("workload"), std::string::npos);
+
+  Explorer gx;
+  const auto rows =
+      gx.sweep({Platform{}}, workload_candidates(), 200_ms);
+  std::ostringstream os;
+  Explorer::print_table(os, rows);
+  EXPECT_NE(os.str().find("workload"), std::string::npos);
+  EXPECT_NE(os.str().find("bursty"), std::string::npos);
+  EXPECT_NE(os.str().find("pipeline"), std::string::npos);
+}
+
 TEST(Explorer, ParallelSweepSingleThreadDegradesToSequential) {
   Explorer ex(two_stream_factory(4, 64));
   const auto cands = default_candidates();
