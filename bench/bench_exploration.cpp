@@ -70,11 +70,43 @@ void BM_ExploreCamLibrary(benchmark::State& state) {
   state.counters["architectures"] = static_cast<double>(candidates.size());
 }
 
+// The atomic grid (max_outstanding pinned to 1: the historical
+// 40-platform cross product) keeps this row family comparable across
+// PRs even as the default grid grows new axes.
+std::vector<core::Platform> atomic_grid() {
+  expl::GridSpec spec;
+  spec.max_outstanding = {1};
+  return expl::grid_candidates(spec);
+}
+
 // The 40-platform cross-product grid sharded over `threads` workers.
 // threads=1 is the sequential baseline; the ratio of the two real-time
 // entries in BENCH_exploration.json is the parallel-exploration speedup
 // CI tracks across PRs.
 void BM_ExploreGrid(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  g_grid_bench_ran = true;
+  expl::Explorer explorer(soc_factory());
+  const auto candidates = atomic_grid();
+  for (auto _ : state) {
+    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    for (const auto& r : rows) {
+      if (!r.completed) state.SkipWithError("candidate did not complete");
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates.size()));
+  state.counters["architectures"] = static_cast<double>(candidates.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+// The full default grid — 68 platforms, i.e. the 40 atomic points plus
+// the -split4 variants of every split-capable bus — sharded over
+// `threads` workers. The delta between this family and BM_ExploreGrid
+// is the host cost of simulating the split pipelines (more processes,
+// more context switches per simulated transaction).
+void BM_ExploreSplitGrid(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   g_grid_bench_ran = true;
   expl::Explorer explorer(soc_factory());
@@ -92,14 +124,14 @@ void BM_ExploreGrid(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
-// The two-dimensional grid: 40 platforms x 4 canonical seeded workloads
-// (uniform / bursty / reqreply / pipeline) = 160 cells, sharded over
-// `threads` workers. This is the workload-axis cost CI tracks alongside
-// the single-workload grid.
+// The two-dimensional grid: 40 atomic platforms x 4 canonical seeded
+// workloads (uniform / bursty / reqreply / pipeline) = 160 cells,
+// sharded over `threads` workers. This is the workload-axis cost CI
+// tracks alongside the single-workload grid.
 void BM_ExploreWorkloadGrid(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   expl::Explorer explorer;
-  const auto candidates = expl::grid_candidates();
+  const auto candidates = atomic_grid();
   const auto workloads = expl::workload_candidates();
   for (auto _ : state) {
     auto rows = explorer.sweep_parallel(candidates, workloads, 200_ms,
@@ -178,6 +210,11 @@ BENCHMARK(BM_ExploreCamLibrary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExploreGrid)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ExploreSplitGrid)
+    ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -16,6 +16,12 @@ hardware, so regressions warn instead of failing. Pass --strict to turn
 warnings into a non-zero exit (useful on dedicated perf runners).
 Refresh a baseline by copying the build's BENCH_*.json over it when a
 deliberate change moves the numbers.
+
+Input validation is NOT advisory: a missing file, unparseable JSON, or a
+file without any benchmark entries exits with status 2 (for either
+argument). A silently-empty comparison would otherwise report "no
+regressions" forever — e.g. after a typo'd baseline path or a truncated
+artifact upload.
 """
 
 import argparse
@@ -25,15 +31,38 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot anchor a comparison."""
+
+
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchFileError(f"{path}: cannot read ({e.strerror})") from e
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"{path}: malformed JSON ({e})") from e
+    if not isinstance(data, dict):
+        raise BenchFileError(f"{path}: top level is not a JSON object")
+    benchmarks = data.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise BenchFileError(f"{path}: 'benchmarks' is not an array")
     rows = {}
-    for b in data.get("benchmarks", []):
+    for b in benchmarks:
+        if not isinstance(b, dict):
+            raise BenchFileError(f"{path}: non-object benchmark entry ({b!r})")
         if b.get("run_type") == "aggregate":
             continue
-        scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
-        rows[b["name"]] = b["real_time"] * scale
+        try:
+            scale = _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+            rows[b["name"]] = b["real_time"] * scale
+        except (KeyError, TypeError) as e:
+            raise BenchFileError(
+                f"{path}: benchmark entry missing name/real_time ({e})"
+            ) from e
+    if not rows:
+        raise BenchFileError(f"{path}: no benchmark entries")
     return rows
 
 
@@ -52,11 +81,17 @@ def main():
                     help="relative real-time regression that triggers a "
                          "warning (default: 0.20 = +20%%)")
     ap.add_argument("--strict", action="store_true",
-                    help="exit non-zero when any benchmark regresses")
+                    help="exit non-zero when any benchmark regresses; "
+                         "independent of validation: a missing, malformed "
+                         "or empty baseline/current file always exits 2")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+    except BenchFileError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
     regressions = []
     print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")

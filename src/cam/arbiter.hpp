@@ -14,17 +14,27 @@
 
 namespace stlm::cam {
 
+/// Bus arbitration policy. Stateless from the bus's point of view: the
+/// grant engine passes the mask of masters that may be granted *now*
+/// and the policy picks one. In split mode the mask already excludes
+/// masters at their outstanding cap, so one policy implementation
+/// serves both the atomic and the split engines unchanged.
 class Arbiter {
 public:
   virtual ~Arbiter() = default;
-  // `requesting[i]` is true if master i has a pending transaction;
-  // `cycle` is the current bus cycle (used by time-sliced policies).
-  // Returns the granted master index, or -1 if none requesting.
+
+  /// Pick the next master to grant.
+  /// @param requesting  requesting[i] is true if master i is eligible
+  ///                    (has a pending transaction, and in split mode
+  ///                    is under its outstanding cap)
+  /// @param cycle       current bus cycle (used by time-sliced policies)
+  /// @return the granted master index, or -1 if none requesting
   virtual int pick(const std::vector<bool>& requesting, std::uint64_t cycle) = 0;
+  /// Policy name for reports ("priority", "round-robin", "tdma").
   virtual std::string name() const = 0;
 };
 
-// Static priority: lowest index wins (index order = priority order).
+/// Static priority: lowest index wins (index order = priority order).
 class PriorityArbiter final : public Arbiter {
 public:
   int pick(const std::vector<bool>& requesting, std::uint64_t) override {
@@ -36,7 +46,7 @@ public:
   std::string name() const override { return "priority"; }
 };
 
-// Round robin: rotate the highest priority after each grant.
+/// Round robin: rotate the highest priority after each grant.
 class RoundRobinArbiter final : public Arbiter {
 public:
   int pick(const std::vector<bool>& requesting, std::uint64_t) override {
@@ -56,8 +66,8 @@ private:
   std::size_t last_ = 0;
 };
 
-// TDMA: a repeating slot table of master ids; the slot owner wins its
-// slot, otherwise round robin among the others (slot reclamation).
+/// TDMA: a repeating slot table of master ids; the slot owner wins its
+/// slot, otherwise round robin among the others (slot reclamation).
 class TdmaArbiter final : public Arbiter {
 public:
   TdmaArbiter(std::vector<std::size_t> slot_table, std::uint64_t slot_cycles)

@@ -3,10 +3,12 @@
 namespace stlm::cam {
 
 CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle,
-                         std::size_t width_bytes)
+                         std::size_t width_bytes, SplitConfig split)
     : Module(sim, std::move(name)),
       cycle_(cycle),
-      width_(width_bytes ? width_bytes : kDefaultWidthBytes) {
+      width_(width_bytes ? width_bytes : kDefaultWidthBytes),
+      split_(split),
+      slot_free_(sim, full_name() + ".slot_free") {
   STLM_ASSERT(!cycle_.is_zero(), "crossbar cycle must be positive: " + full_name());
 }
 
@@ -17,6 +19,7 @@ std::size_t CrossbarCam::add_master(const std::string& name) {
   mp->label = name;
   mp->latency = &stats_.acc("master_" + name + "_latency_ns");
   masters_.push_back(std::move(mp));
+  inflight_.push_back(0);
   return masters_.size() - 1;
 }
 
@@ -31,6 +34,13 @@ void CrossbarCam::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
   slaves_.push_back(&slave);
   lanes_.push_back(
       std::make_unique<Mutex>(sim(), full_name() + ".lane" + label));
+  if (split_.active()) {
+    lane_q_.push_back(std::make_unique<TxnQueue>());
+    lane_avail_.push_back(
+        std::make_unique<Event>(sim(), full_name() + ".lane" + label + ".avail"));
+    const std::size_t lane = lane_q_.size() - 1;
+    spawn_thread("lane_" + label, [this, lane] { lane_engine(lane); });
+  }
 }
 
 double CrossbarCam::utilization() const {
@@ -46,7 +56,71 @@ void CrossbarCam::set_txn_logger(trace::TxnLogger* log) {
 }
 
 void CrossbarCam::MasterPort::transport(Txn& txn) {
-  xbar->route(index, txn);
+  CrossbarCam& x = *xbar;
+  if (!x.split_.active()) {
+    x.route(index, txn);
+    return;
+  }
+  // Split mode: a blocking transport is post + wait. Shelve the outer
+  // waiter/bookkeeping like CamBase does, so bridges can forward the
+  // same descriptor into a split crossbar.
+  const Time outer_enqueued = txn.enqueued;
+  const std::uint32_t outer_master = txn.master_id;
+  CompletionEvent::NestedScope nest(txn.done);
+  x.post(index, txn);
+  txn.done.wait(x.sim());
+  txn.enqueued = outer_enqueued;
+  txn.master_id = outer_master;
+}
+
+void CrossbarCam::post(std::size_t master, Txn& txn) {
+  STLM_ASSERT(master < masters_.size(),
+              "master index out of range on " + full_name());
+  if (!split_.active()) {
+    // CamIf::post contract: without split support the call may run the
+    // transaction to completion before returning — the initiator's
+    // later done.wait() then returns immediately.
+    route(master, txn);
+    txn.done.complete(sim());
+    return;
+  }
+  const std::size_t bytes = txn.payload_bytes();
+  const auto slave = map_.decode(txn.addr, bytes ? bytes : 1);
+  txn.enqueued = sim().now();
+  txn.status = Txn::Status::Pending;
+  if (!slave) {
+    stats_.count("decode_errors");
+    txn.respond_error();
+    txn.done.complete(sim());
+    return;
+  }
+  // The access point stamps its port index so the lane engine can retire
+  // the right master's slot and statistics (restored by transport()).
+  txn.master_id = static_cast<std::uint32_t>(master);
+  // Enforce the per-master outstanding cap at the issue point — a master
+  // cannot launch deeper than its outstanding capability.
+  while (inflight_[master] >= split_.max_outstanding) wait(slot_free_);
+  ++inflight_[master];
+  lane_q_[*slave]->push_back(txn);
+  lane_avail_[*slave]->notify_delta();
+}
+
+void CrossbarCam::lane_engine(std::size_t lane) {
+  for (;;) {
+    while (lane_q_[lane]->empty()) wait(*lane_avail_[lane]);
+    Txn* txn = lane_q_[lane]->pop_front();
+    const std::size_t bytes = txn->payload_bytes();
+    const std::uint64_t beats = beats_for(bytes, width_);
+    const Time occupancy = cycle_ * (1 + beats);  // route setup + data
+    wait(occupancy);
+    busy_time_ += occupancy;
+    slaves_[lane]->handle(*txn);
+    const auto master = static_cast<std::size_t>(txn->master_id);
+    finish(master, *txn, txn->enqueued);
+    --inflight_[master];
+    slot_free_.notify_delta();
+    txn->done.complete(sim());
+  }
 }
 
 void CrossbarCam::route(std::size_t master, Txn& txn) {
@@ -64,7 +138,12 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
   wait(occupancy);
   busy_time_ += occupancy;
   slaves_[*slave]->handle(txn);
+  finish(master, txn, start);
+}
 
+// Statistics/logging shared by the atomic route and the split lanes.
+void CrossbarCam::finish(std::size_t master, Txn& txn, Time start) {
+  const std::size_t bytes = txn.payload_bytes();
   stats_.count("transactions");
   stats_.count("bytes", bytes);
   const double latency_ns = (sim().now() - start).to_ns();

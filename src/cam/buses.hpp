@@ -12,6 +12,14 @@
 //
 // Cycle counts are parameterized; defaults follow CoreConnect-class
 // documentation (PLB @100 MHz, OPB @50 MHz in the examples).
+//
+// SharedBusCam and PlbCam support the split engine (SplitConfig): the
+// address phase (arbitration + address cycles) pipelines against the
+// data phase of earlier transactions, target service runs off the bus,
+// and each master may keep `max_outstanding` transactions in flight.
+// OpbCam has no address pipelining, so it ignores the split knobs.
+// CrossbarCam's split mode queues per lane and completes out of order
+// across lanes (per-port OoO).
 
 #include <memory>
 
@@ -33,14 +41,21 @@ public:
   static constexpr std::size_t kDefaultWidthBytes = 4;
 
   SharedBusCam(Simulator& sim, std::string name, Time cycle,
-               std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+               std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
+               SplitConfig split = {})
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/true) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
     // arbitration + address + one cycle per data beat + response.
     return 2 + beats_for(txn.payload_bytes(), width_bytes()) + 1;
+  }
+  std::uint64_t split_addr_cycles(const Txn&) const override {
+    return 2;  // arbitration + address
+  }
+  std::uint64_t split_data_cycles(const Txn& txn) const override {
+    return beats_for(txn.payload_bytes(), width_bytes()) + 1;  // + response
   }
 };
 
@@ -49,9 +64,10 @@ public:
   static constexpr std::size_t kDefaultWidthBytes = 8;
 
   PlbCam(Simulator& sim, std::string name, Time cycle,
-         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
+         SplitConfig split = {})
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/true) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn,
@@ -61,6 +77,12 @@ protected:
     const std::uint64_t setup = back_to_back ? 0 : 2;
     return setup + beats;
   }
+  std::uint64_t split_addr_cycles(const Txn&) const override {
+    return 2;  // request + address, always off the data path in split mode
+  }
+  std::uint64_t split_data_cycles(const Txn& txn) const override {
+    return beats_for(txn.payload_bytes(), width_bytes());
+  }
 };
 
 class OpbCam final : public CamBase {
@@ -68,9 +90,10 @@ public:
   static constexpr std::size_t kDefaultWidthBytes = 4;
 
   OpbCam(Simulator& sim, std::string name, Time cycle,
-         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0)
+         std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
+         SplitConfig split = {})
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/false) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
@@ -80,25 +103,37 @@ protected:
 };
 
 // Parallel crossbar: one lane (and one arbiter-free FIFO queue) per
-// slave. Transactions to different targets proceed concurrently.
+// slave. Transactions to different targets proceed concurrently. In
+// split mode each lane is served by its own engine process and a master
+// may post() up to `max_outstanding` transactions across lanes; their
+// completions arrive in lane-service order, not issue order (per-port
+// out-of-order completion).
 class CrossbarCam final : public Module, public CamIf {
 public:
   static constexpr std::size_t kDefaultWidthBytes = 8;
 
   CrossbarCam(Simulator& sim, std::string name, Time cycle,
-              std::size_t width_bytes = kDefaultWidthBytes);
+              std::size_t width_bytes = kDefaultWidthBytes,
+              SplitConfig split = {});
 
   std::size_t add_master(const std::string& name) override;
   ocp::ocp_tl_master_if& master_port(std::size_t i) override;
   std::size_t master_count() const override { return masters_.size(); }
   void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                     const std::string& label) override;
+  void post(std::size_t master, Txn& txn) override;
   const std::string& name() const override { return Module::name(); }
   Time cycle() const override { return cycle_; }
   const AddressMap& address_map() const override { return map_; }
   trace::StatSet& stats() override { return stats_; }
   void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
+
+  bool split_active() const { return split_.active(); }
+  // Clamped like CamBase: an inactive split config models depth 1.
+  std::size_t max_outstanding() const {
+    return split_.active() ? split_.max_outstanding : 1;
+  }
 
 private:
   struct MasterPort final : ocp::ocp_tl_master_if {
@@ -111,12 +146,21 @@ private:
   };
 
   void route(std::size_t master, Txn& txn);
+  void lane_engine(std::size_t lane);
+  void finish(std::size_t master, Txn& txn, Time start);
 
   Time cycle_;
   std::size_t width_;
+  SplitConfig split_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
   std::vector<std::unique_ptr<Mutex>> lanes_;
+  // Split mode: per-lane intrusive queues + wake events, per-master
+  // in-flight counts bounded by max_outstanding.
+  std::vector<std::unique_ptr<TxnQueue>> lane_q_;
+  std::vector<std::unique_ptr<Event>> lane_avail_;
+  std::vector<std::size_t> inflight_;
+  Event slot_free_;
   AddressMap map_;
   Time busy_time_ = Time::zero();
   trace::StatSet stats_;

@@ -7,4 +7,5 @@
 #include "cam/buses.hpp"
 #include "cam/cam_base.hpp"
 #include "cam/cam_if.hpp"
+#include "cam/grant_engine.hpp"
 #include "cam/wrappers.hpp"

@@ -4,14 +4,17 @@ namespace stlm::cam {
 
 CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
                  std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
-                 std::size_t default_width_bytes)
+                 std::size_t default_width_bytes, SplitConfig split,
+                 bool protocol_supports_split)
     : Module(sim, std::move(name)),
       cycle_(cycle),
       width_(width_bytes ? width_bytes : default_width_bytes),
-      arbiter_(std::move(arbiter)),
-      new_request_(sim, full_name() + ".new_request") {
+      split_active_(split.active() && protocol_supports_split),
+      engine_(std::move(arbiter), split_active_ ? split.max_outstanding : 1),
+      new_request_(sim, full_name() + ".new_request"),
+      service_avail_(sim, full_name() + ".service_avail"),
+      resp_avail_(sim, full_name() + ".resp_avail") {
   STLM_ASSERT(!cycle_.is_zero(), "CAM cycle must be positive: " + full_name());
-  STLM_ASSERT(arbiter_ != nullptr, "CAM needs an arbiter: " + full_name());
   acc_grant_wait_ = &stats_.acc("grant_wait_ns");
   acc_txn_cycles_ = &stats_.acc("txn_cycles");
   acc_latency_ = &stats_.acc("latency_ns");
@@ -20,7 +23,22 @@ CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
   cnt_writes_ = &stats_.counter_slot("writes");
   cnt_bytes_ = &stats_.counter_slot("bytes");
   cnt_decode_errors_ = &stats_.counter_slot("decode_errors");
-  spawn_thread("engine", [this] { engine(); });
+  if (split_active_) {
+    spawn_thread("addr_engine", [this] { addr_engine(); });
+    spawn_thread("data_engine", [this] { data_engine(); });
+  } else {
+    spawn_thread("engine", [this] { atomic_engine(); });
+  }
+}
+
+std::uint64_t CamBase::split_addr_cycles(const Txn&) const {
+  throw SimulationError("CAM " + full_name() +
+                        " enabled split mode without split timing");
+}
+
+std::uint64_t CamBase::split_data_cycles(const Txn&) const {
+  throw SimulationError("CAM " + full_name() +
+                        " enabled split mode without split timing");
 }
 
 std::size_t CamBase::add_master(const std::string& name) {
@@ -30,8 +48,17 @@ std::size_t CamBase::add_master(const std::string& name) {
   mp->label = name;
   mp->latency = &stats_.acc("master_" + name + "_latency_ns");
   masters_.push_back(std::move(mp));
-  queues_.emplace_back();
-  return masters_.size() - 1;
+  const std::size_t idx = engine_.add_master();
+  if (split_active_) {
+    // One service worker per in-flight slot: every granted transaction
+    // can be in target service concurrently, so a slow slave never
+    // stalls the address or data pipelines of unrelated transactions.
+    for (std::size_t w = 0; w < engine_.max_outstanding(); ++w) {
+      spawn_thread("svc_" + name + "_" + std::to_string(w),
+                   [this] { service_worker(); });
+    }
+  }
+  return idx;
 }
 
 ocp::ocp_tl_master_if& CamBase::master_port(std::size_t i) {
@@ -52,9 +79,20 @@ void CamBase::set_txn_logger(trace::TxnLogger* log) {
 double CamBase::utilization() const {
   // Guard: before any simulated time has elapsed there is nothing to
   // normalize by — report an idle bus instead of dividing by zero.
+  // In split mode busy_time_ counts data-channel occupancy (the shared
+  // resource the pipeline is bound by); hidden address phases are free.
   const Time elapsed = sim().now();
   if (elapsed.is_zero()) return 0.0;
   return busy_time_.to_seconds() / elapsed.to_seconds();
+}
+
+void CamBase::post(std::size_t master, Txn& txn) {
+  STLM_ASSERT(master < masters_.size(),
+              "master index out of range on " + full_name());
+  txn.enqueued = sim().now();
+  txn.status = Txn::Status::Pending;
+  engine_.enqueue(master, txn);
+  new_request_.notify_delta();
 }
 
 void CamBase::MasterPort::transport(Txn& txn) {
@@ -66,32 +104,26 @@ void CamBase::MasterPort::transport(Txn& txn) {
   CompletionEvent::NestedScope nest(txn.done);
   txn.enqueued = c.sim().now();
   txn.status = Txn::Status::Pending;
-  c.queues_[index].push_back(txn);
+  c.engine_.enqueue(index, txn);
   c.new_request_.notify_delta();
   txn.done.wait(c.sim());
   txn.enqueued = outer_enqueued;
 }
 
-void CamBase::engine() {
-  std::vector<bool> requesting;
+// ------------------------------------------------------ atomic engine ----
+//
+// The seed behaviour: one process owns the whole transaction — its timing
+// must never change (bit-identical guard in tests/test_cam_split.cpp).
+
+void CamBase::atomic_engine() {
   for (;;) {
-    requesting.assign(queues_.size(), false);
-    bool any = false;
-    for (std::size_t i = 0; i < queues_.size(); ++i) {
-      requesting[i] = !queues_[i].empty();
-      any = any || requesting[i];
-    }
-    if (!any) {
+    std::size_t g = 0;
+    Txn* txn = engine_.grant(now_cycle(), &g);
+    if (!txn) {
       engine_busy_ = false;
       wait(new_request_);
       continue;
     }
-
-    const int granted = arbiter_->pick(requesting, now_cycle());
-    STLM_ASSERT(granted >= 0, "arbiter returned no grant with pending masters");
-    const auto g = static_cast<std::size_t>(granted);
-    Txn* txn = queues_[g].pop_front();
-    STLM_ASSERT(txn != nullptr, "granted master has empty queue");
 
     const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
     const std::uint64_t cycles = txn_cycles(*txn, back_to_back);
@@ -113,20 +145,8 @@ void CamBase::engine() {
     last_txn_end_ = sim().now();
     engine_busy_ = true;
 
-    ++*cnt_transactions_;
-    ++*(txn->op == Txn::Op::Read ? cnt_reads_ : cnt_writes_);
-    *cnt_bytes_ += bytes;
-    acc_txn_cycles_->add(static_cast<double>(cycles));
-    const double latency_ns = (sim().now() - txn->enqueued).to_ns();
-    acc_latency_->add(latency_ns);
-    masters_[g]->latency->add(latency_ns);
-    if (log_) {
-      log_.record(txn->op == Txn::Op::Read ? trace::TxnKind::Read
-                                           : trace::TxnKind::Write,
-                  txn->id, bytes, txn->enqueued, sim().now());
-    }
-
-    txn->done.complete(sim());  // immediate: master resumes within this delta
+    engine_.retire(g, *txn);
+    complete_txn(*txn, g, cycles);
 
     // Yield one delta so just-completed masters can re-enqueue before the
     // next arbitration — otherwise a saturating high-priority master
@@ -134,6 +154,94 @@ void CamBase::engine() {
     new_request_.notify_delta();
     wait(new_request_);
   }
+}
+
+// ------------------------------------------------------- split engine ----
+
+void CamBase::addr_engine() {
+  for (;;) {
+    std::size_t g = 0;
+    Txn* txn = engine_.grant(now_cycle(), &g);
+    if (!txn) {
+      // Idle, or every requesting master is at its outstanding cap; a
+      // new request or a retiring data phase re-arms the loop.
+      wait(new_request_);
+      continue;
+    }
+
+    acc_grant_wait_->add((sim().now() - txn->enqueued).to_ns());
+    const std::uint64_t ac = split_addr_cycles(*txn);
+    if (ac) wait(cycle_ * ac);
+
+    // Address decode happens in the address phase. Errors skip target
+    // service and go straight to the data engine for completion.
+    const std::size_t bytes = txn->payload_bytes();
+    const auto slave = map_.decode(txn->addr, bytes ? bytes : 1);
+    if (!slave) {
+      txn->respond_error();
+      ++*cnt_decode_errors_;
+      resp_q_.push_back(*txn);
+      resp_avail_.notify_delta();
+      continue;
+    }
+    service_q_.push_back(*txn);
+    service_avail_.notify_delta();
+  }
+}
+
+void CamBase::service_worker() {
+  for (;;) {
+    while (service_q_.empty()) wait(service_avail_);
+    Txn* txn = service_q_.pop_front();
+    // Re-derive the decode from the address phase (cheap, and it keeps
+    // the descriptor free of CAM-internal routing state).
+    const std::size_t bytes = txn->payload_bytes();
+    const auto slave = map_.decode(txn->addr, bytes ? bytes : 1);
+    STLM_ASSERT(slave.has_value(), "split service lost its decode");
+    slaves_[*slave]->handle(*txn);
+    resp_q_.push_back(*txn);
+    resp_avail_.notify_delta();
+  }
+}
+
+void CamBase::data_engine() {
+  for (;;) {
+    while (resp_q_.empty()) wait(resp_avail_);
+    Txn* txn = resp_q_.pop_front();
+    const std::uint64_t dc = split_data_cycles(*txn);
+    const Time occupancy = cycle_ * dc;
+    if (dc) wait(occupancy);
+    busy_time_ += occupancy;
+
+    const std::size_t g = engine_.owner_of(*txn);
+    STLM_ASSERT(g != GrantEngine::npos,
+                "split data phase for an unowned transaction");
+    engine_.retire(g, *txn);
+    complete_txn(*txn, g, split_addr_cycles(*txn) + dc);
+    // The retirement freed an outstanding slot — the address engine may
+    // have an eligible master again.
+    new_request_.notify_delta();
+  }
+}
+
+// Completion bookkeeping shared by both engines: statistics, logging and
+// waking the initiator.
+void CamBase::complete_txn(Txn& txn, std::size_t master,
+                           std::uint64_t cycles) {
+  const std::size_t bytes = txn.payload_bytes();
+  ++*cnt_transactions_;
+  ++*(txn.op == Txn::Op::Read ? cnt_reads_ : cnt_writes_);
+  *cnt_bytes_ += bytes;
+  acc_txn_cycles_->add(static_cast<double>(cycles));
+  const double latency_ns = (sim().now() - txn.enqueued).to_ns();
+  acc_latency_->add(latency_ns);
+  masters_[master]->latency->add(latency_ns);
+  if (log_) {
+    log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
+                                        : trace::TxnKind::Write,
+                txn.id, bytes, txn.enqueued, sim().now());
+  }
+  txn.done.complete(sim());  // immediate: initiator resumes within this delta
 }
 
 }  // namespace stlm::cam

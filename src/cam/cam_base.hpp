@@ -1,15 +1,32 @@
 #pragma once
 // Shared implementation of single-resource (bus-style) CAMs.
 //
-// A single grant engine serializes transactions: masters enqueue pooled
-// transaction descriptors at their access points; the engine arbitrates,
-// charges the protocol's cycle count in one wait() (CCATB), delivers the
-// request to the decoded slave, and completes the descriptor. Derived
-// classes only describe their protocol timing via txn_cycles().
+// Two engine modes, selected by SplitConfig at construction:
+//
+//   * atomic (seed behaviour, SplitConfig inactive): one grant engine
+//     process serializes transactions — arbitrate, charge the protocol's
+//     full cycle count in one wait() (CCATB), deliver the request to the
+//     decoded slave, complete the descriptor. Derived classes describe
+//     their protocol timing via txn_cycles().
+//
+//   * split (SplitConfig::active() and the protocol supports it): the
+//     address phase is decoupled from the data phase. An address engine
+//     arbitrates among masters under their `max_outstanding` cap and
+//     charges split_addr_cycles(); granted transactions are serviced by
+//     the target concurrently (a worker pool calls handle() off the bus,
+//     so slave latency no longer blocks the bus); a data engine charges
+//     split_data_cycles() per response in service-completion order —
+//     which may differ from address order (out-of-order completion) —
+//     and completes the descriptor. Decode errors complete after the
+//     address phase plus their data beats without touching a slave.
+//
+// `max_outstanding == 1` (or split_txns == false) always selects the
+// atomic engine, which reproduces the seed's simulated timing
+// bit-identically (guarded by tests/test_cam_split.cpp).
 //
 // Hot-path invariants (guarded by the pooled-Txn stress test):
-//   * the per-master pending queues are intrusive Txn lists — no
-//     allocation on enqueue/dequeue;
+//   * the per-master pending/service/response queues are intrusive Txn
+//     lists — no allocation on enqueue/dequeue;
 //   * completion uses Txn's CompletionEvent — no Event construction, no
 //     liveness-registry churn;
 //   * per-transaction statistics go through cached accumulator/counter
@@ -20,7 +37,7 @@
 #include <string>
 #include <vector>
 
-#include "cam/arbiter.hpp"
+#include "cam/grant_engine.hpp"
 #include "cam/cam_if.hpp"
 #include "kernel/module.hpp"
 
@@ -30,9 +47,13 @@ class CamBase : public Module, public CamIf {
 public:
   // `width_bytes == 0` selects `default_width_bytes`, the protocol's
   // native data-path width (the Platform grid sweeps explicit widths).
+  // `protocol_supports_split` is set by the derived protocol: buses
+  // without address pipelining (OPB) ignore the split knobs and always
+  // run the atomic engine.
   CamBase(Simulator& sim, std::string name, Time cycle,
           std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
-          std::size_t default_width_bytes);
+          std::size_t default_width_bytes, SplitConfig split,
+          bool protocol_supports_split);
 
   // --- CamIf ---------------------------------------------------------
   std::size_t add_master(const std::string& name) override;
@@ -40,6 +61,7 @@ public:
   std::size_t master_count() const override { return masters_.size(); }
   void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                     const std::string& label) override;
+  void post(std::size_t master, Txn& txn) override;
   const std::string& name() const override { return Module::name(); }
   Time cycle() const override { return cycle_; }
   const AddressMap& address_map() const override { return map_; }
@@ -47,13 +69,23 @@ public:
   void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
 
-  const Arbiter& arbiter() const { return *arbiter_; }
+  const Arbiter& arbiter() const { return engine_.arbiter(); }
+  const GrantEngine& grant_engine() const { return engine_; }
+  // True when this instance runs the split (pipelined) engine.
+  bool split_active() const { return split_active_; }
+  std::size_t max_outstanding() const { return engine_.max_outstanding(); }
 
 protected:
-  // Bus cycles a transaction occupies. `back_to_back` is true when the
-  // bus was still busy when this transaction was granted — pipelined
-  // protocols (PLB) hide arbitration/address cycles in that case.
+  // Bus cycles a transaction occupies in atomic mode. `back_to_back` is
+  // true when the bus was still busy when this transaction was granted —
+  // pipelined protocols (PLB) hide arbitration/address cycles then.
   virtual std::uint64_t txn_cycles(const Txn& txn, bool back_to_back) const = 0;
+
+  // Split-mode protocol timing: cycles the request occupies the address
+  // channel, and cycles the response occupies the data channel. Only
+  // called when the derived class passed protocol_supports_split = true.
+  virtual std::uint64_t split_addr_cycles(const Txn& txn) const;
+  virtual std::uint64_t split_data_cycles(const Txn& txn) const;
 
   // Data-path width for the derived protocol's beat math.
   std::size_t width_bytes() const { return width_; }
@@ -69,17 +101,26 @@ private:
     trace::Accumulator* latency = nullptr;  // cached per-master stat slot
   };
 
-  void engine();
+  void atomic_engine();
+  void addr_engine();
+  void service_worker();
+  void data_engine();
+  void complete_txn(Txn& txn, std::size_t master, std::uint64_t cycles);
   std::uint64_t now_cycle() const { return sim().now() / cycle_; }
 
   Time cycle_;
   std::size_t width_;
-  std::unique_ptr<Arbiter> arbiter_;
+  bool split_active_;
+  GrantEngine engine_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
-  std::vector<TxnQueue> queues_;  // intrusive pending lists, one per master
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
   AddressMap map_;
   Event new_request_;
+  // Split-mode plumbing: address engine -> service workers -> data engine.
+  TxnQueue service_q_;
+  TxnQueue resp_q_;
+  Event service_avail_;
+  Event resp_avail_;
   Time busy_time_ = Time::zero();
   Time last_txn_end_ = Time::zero();
   bool engine_busy_ = false;

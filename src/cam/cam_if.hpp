@@ -22,28 +22,52 @@
 
 namespace stlm::cam {
 
+/// Abstract interface of a communication architecture model (bus,
+/// crossbar, bridge fabric). One CamIf instance is one arbitrated
+/// interconnect; masters attach via numbered access points, targets via
+/// address ranges.
 class CamIf {
 public:
   virtual ~CamIf() = default;
 
-  // Register a new master; returns its index.
+  /// Register a new master access point.
+  /// @param name  label used for per-master statistics slots
+  /// @return the master's index (stable for the CAM's lifetime)
   virtual std::size_t add_master(const std::string& name) = 0;
-  // Access point for master `i` (bind a PE's OcpMasterPort to this).
+
+  /// Access point for master `i`; bind a PE's OcpMasterPort to this.
+  /// Its transport() blocks the calling process until the transaction
+  /// completes on the modeled interconnect.
   virtual ocp::ocp_tl_master_if& master_port(std::size_t i) = 0;
   virtual std::size_t master_count() const = 0;
 
-  // Attach a slave device at an address range.
+  /// Attach a slave device decoding `range`; later transactions whose
+  /// address falls inside the range are delivered to `slave.handle()`.
   virtual void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                             const std::string& label) = 0;
 
+  /// Non-blocking issue for split/out-of-order masters: enqueue `txn` on
+  /// master `master` and return without waiting; the initiator
+  /// synchronizes with `txn.done.wait(sim)` (completions may arrive out
+  /// of order across the initiator's outstanding set). The descriptor
+  /// must stay alive and untouched until completion. On configurations
+  /// without split support the call may run the transaction to
+  /// completion before returning — `done` is then already complete, so
+  /// the same initiator code works on every bus. A bus may block the
+  /// caller when it is at its per-master outstanding cap.
+  virtual void post(std::size_t master, Txn& txn) = 0;
+
   virtual const std::string& name() const = 0;
+  /// Bus clock period of this interconnect.
   virtual Time cycle() const = 0;
   virtual const AddressMap& address_map() const = 0;
 
+  /// Mutable statistic set (counters + accumulators) of this CAM.
   virtual trace::StatSet& stats() = 0;
+  /// Route per-transaction begin/end records into `log` (nullptr stops).
   virtual void set_txn_logger(trace::TxnLogger* log) = 0;
 
-  // Fraction of elapsed bus cycles spent moving transactions.
+  /// Fraction of elapsed bus cycles spent moving transactions.
   virtual double utilization() const = 0;
 };
 

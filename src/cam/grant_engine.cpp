@@ -1,0 +1,74 @@
+#include "cam/grant_engine.hpp"
+
+#include <algorithm>
+
+#include "kernel/report.hpp"
+
+namespace stlm::cam {
+
+GrantEngine::GrantEngine(std::unique_ptr<Arbiter> arbiter,
+                         std::size_t max_outstanding)
+    : arbiter_(std::move(arbiter)),
+      max_outstanding_(std::max<std::size_t>(max_outstanding, 1)) {
+  STLM_ASSERT(arbiter_ != nullptr, "GrantEngine needs an arbiter");
+}
+
+std::size_t GrantEngine::add_master() {
+  masters_.emplace_back();
+  // Reserve the cap up front so steady-state grant/retire never allocates.
+  masters_.back().inflight_ids.reserve(max_outstanding_);
+  return masters_.size() - 1;
+}
+
+void GrantEngine::enqueue(std::size_t m, Txn& txn) {
+  STLM_ASSERT(m < masters_.size(), "GrantEngine: master index out of range");
+  masters_[m].pending.push_back(txn);
+}
+
+Txn* GrantEngine::grant(std::uint64_t cycle, std::size_t* master_out) {
+  eligible_.assign(masters_.size(), false);
+  bool any = false;
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    eligible_[i] = !masters_[i].pending.empty() &&
+                   masters_[i].inflight_ids.size() < max_outstanding_;
+    any = any || eligible_[i];
+  }
+  if (!any) return nullptr;
+
+  const int picked = arbiter_->pick(eligible_, cycle);
+  STLM_ASSERT(picked >= 0, "arbiter returned no grant with eligible masters");
+  const auto g = static_cast<std::size_t>(picked);
+  STLM_ASSERT(g < masters_.size() && eligible_[g],
+              "arbiter granted an ineligible master");
+  Txn* txn = masters_[g].pending.pop_front();
+  STLM_ASSERT(txn != nullptr, "granted master has empty queue");
+  masters_[g].inflight_ids.push_back(txn->id);
+  if (master_out) *master_out = g;
+  return txn;
+}
+
+void GrantEngine::retire(std::size_t m, const Txn& txn) {
+  STLM_ASSERT(m < masters_.size(), "GrantEngine: master index out of range");
+  auto& ids = masters_[m].inflight_ids;
+  const auto it = std::find(ids.begin(), ids.end(), txn.id);
+  STLM_ASSERT(it != ids.end(),
+              "GrantEngine: retiring a transaction that is not in flight");
+  ids.erase(it);
+}
+
+std::size_t GrantEngine::owner_of(const Txn& txn) const {
+  for (std::size_t m = 0; m < masters_.size(); ++m) {
+    const auto& ids = masters_[m].inflight_ids;
+    if (std::find(ids.begin(), ids.end(), txn.id) != ids.end()) return m;
+  }
+  return npos;
+}
+
+bool GrantEngine::any_pending() const {
+  for (const auto& m : masters_) {
+    if (!m.pending.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace stlm::cam

@@ -29,16 +29,23 @@ void ShipSlaveWrapper::handle(Txn& txn) {
       txn.respond_ok();
       return;
     }
-    // CTRL: commit the staged chunk.
+    // CTRL: commit a chunk. A one-word write commits the bytes staged in
+    // DATA_IN; a longer write is a coalesced commit carrying its own
+    // chunk payload followed by the trailing control word.
     if (a == layout_.ctrl() && txn.data.size() >= ocp::kWordBytes) {
-      const std::uint32_t ctrl = ocp::u32_from_le(txn.data.data());
+      const std::size_t n = txn.data.size();
+      const std::uint32_t ctrl =
+          ocp::u32_from_le(txn.data.data() + (n - ocp::kWordBytes));
       const std::uint32_t len = ctrl & MailboxLayout::kLenMask;
-      if (len > layout_.window_bytes) {
+      const bool coalesced = n > ocp::kWordBytes;
+      if (len > layout_.window_bytes ||
+          (coalesced && len != n - ocp::kWordBytes)) {
         txn.respond_error();
         return;
       }
-      rx_accum_.insert(rx_accum_.end(), chunk_buf_.begin(),
-                       chunk_buf_.begin() + len);
+      const std::uint8_t* chunk =
+          coalesced ? txn.data.data() : chunk_buf_.data();
+      rx_accum_.insert(rx_accum_.end(), chunk, chunk + len);
       if (ctrl & MailboxLayout::kLastFlag) {
         Txn& m = sim().txn_pool().acquire();
         m.begin_msg((ctrl & MailboxLayout::kRequestFlag) ? Txn::kFlagRequest
@@ -126,12 +133,14 @@ void ShipSlaveWrapper::reply(const ship::ship_serializable_if& resp) {
 
 ShipMasterWrapper::ShipMasterWrapper(Simulator& sim, std::string name,
                                      CamIf& cam, std::size_t master_index,
-                                     MailboxLayout remote, Time poll_interval)
+                                     MailboxLayout remote, Time poll_interval,
+                                     bool coalesce)
     : Module(sim, std::move(name)),
       cam_(cam),
       master_(master_index),
       remote_(remote),
-      poll_interval_(poll_interval) {}
+      poll_interval_(poll_interval),
+      coalesce_(coalesce) {}
 
 ShipMasterWrapper::BusyGuard::BusyGuard(ShipMasterWrapper& w, const char* call)
     : w_(w) {
@@ -165,20 +174,30 @@ void ShipMasterWrapper::push_message(const ship::ship_serializable_if& msg,
   std::size_t sent = 0;
   do {
     const std::size_t chunk = std::min(w, total - sent);
-    if (chunk > 0) {
-      bus_txn_.begin_write(remote_.data_in(), tx_buf_.data() + sent, chunk,
+    std::uint32_t ctrl = static_cast<std::uint32_t>(chunk);
+    if (sent + chunk == total) ctrl |= MailboxLayout::kLastFlag;
+    if (is_request) ctrl |= MailboxLayout::kRequestFlag;
+    std::uint8_t cw[4];
+    ocp::u32_to_le(ctrl, cw);
+    if (coalesce_) {
+      // Coalesced commit: [chunk bytes ++ ctrl word] as one burst to
+      // CTRL — the data and commit writes merged into a single grant.
+      co_buf_.assign(tx_buf_.data() + sent, tx_buf_.data() + sent + chunk);
+      co_buf_.insert(co_buf_.end(), cw, cw + sizeof cw);
+      bus_txn_.begin_write(remote_.ctrl(), co_buf_.data(), co_buf_.size(),
+                           static_cast<std::uint32_t>(master_));
+      transport_checked(bus_txn_);
+    } else {
+      if (chunk > 0) {
+        bus_txn_.begin_write(remote_.data_in(), tx_buf_.data() + sent, chunk,
+                             static_cast<std::uint32_t>(master_));
+        transport_checked(bus_txn_);
+      }
+      bus_txn_.begin_write(remote_.ctrl(), cw, sizeof cw,
                            static_cast<std::uint32_t>(master_));
       transport_checked(bus_txn_);
     }
     sent += chunk;
-    std::uint32_t ctrl = static_cast<std::uint32_t>(chunk);
-    if (sent == total) ctrl |= MailboxLayout::kLastFlag;
-    if (is_request) ctrl |= MailboxLayout::kRequestFlag;
-    std::uint8_t cw[4];
-    ocp::u32_to_le(ctrl, cw);
-    bus_txn_.begin_write(remote_.ctrl(), cw, sizeof cw,
-                         static_cast<std::uint32_t>(master_));
-    transport_checked(bus_txn_);
   } while (sent < total);
 }
 

@@ -13,7 +13,11 @@
 //     for replies.
 //
 // Mailbox register map (word offsets from the wrapper's base address):
-//   +0x00  CTRL     W  chunk descriptor: len[23:0] | last[24] | request[25]
+//   +0x00  CTRL     W  chunk descriptor: len[23:0] | last[24] | request[25].
+//                      A write longer than one word is a *coalesced
+//                      commit*: the leading len bytes are the chunk
+//                      payload and the trailing word is the descriptor
+//                      (burst coalescing merges DATA_IN + CTRL).
 //   +0x04  RSTATUS  R  remaining reply bytes (0 = no reply pending)
 //   +0x08  RACK     W  master consumed the current reply chunk
 //   +0x10  DATA_IN  W  inbound chunk window  (window_bytes wide)
@@ -88,9 +92,15 @@ class ShipMasterWrapper final : public Module, public ship::ship_if {
 public:
   // `poll_interval` is the simulated gap between RSTATUS polls while
   // waiting for a reply (models a real master's polling loop).
+  // `coalesce` enables burst coalescing: the two adjacent same-target
+  // writes each chunk needs (DATA_IN burst, then the CTRL commit word)
+  // are merged into one bus burst to CTRL carrying [chunk bytes ++ ctrl
+  // word] — half the mailbox transactions per chunk, one bus setup
+  // instead of two. The slave wrapper decodes both spellings, so
+  // coalescing is a master-side knob (Platform::coalesce_bursts).
   ShipMasterWrapper(Simulator& sim, std::string name, CamIf& cam,
                     std::size_t master_index, MailboxLayout remote,
-                    Time poll_interval);
+                    Time poll_interval, bool coalesce = false);
 
   void send(const ship::ship_serializable_if& msg) override;
   void recv(ship::ship_serializable_if&) override;
@@ -127,8 +137,10 @@ private:
   std::size_t master_;
   MailboxLayout remote_;
   Time poll_interval_;
+  bool coalesce_;
   Txn bus_txn_;                       // reusable bus descriptor
   std::vector<std::uint8_t> tx_buf_;  // serialization scratch
+  std::vector<std::uint8_t> co_buf_;  // coalesced [chunk ++ ctrl] scratch
   std::vector<std::uint8_t> rx_buf_;  // reply reassembly scratch
   bool busy_ = false;
   std::uint64_t bus_txns_ = 0;

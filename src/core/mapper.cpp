@@ -108,19 +108,20 @@ std::unique_ptr<cam::Arbiter> Mapper::make_arbiter(const Platform& p) {
 std::unique_ptr<cam::CamIf> Mapper::make_bus(Simulator& sim,
                                              const Platform& p) {
   const std::size_t width = p.bus_width_bytes();
+  const cam::SplitConfig split{p.split_txns, p.max_outstanding};
   switch (p.bus) {
     case BusKind::SharedBus:
       return std::make_unique<cam::SharedBusCam>(sim, "bus", p.bus_cycle,
-                                                 make_arbiter(p), width);
+                                                 make_arbiter(p), width, split);
     case BusKind::Plb:
       return std::make_unique<cam::PlbCam>(sim, "plb", p.bus_cycle,
-                                           make_arbiter(p), width);
+                                           make_arbiter(p), width, split);
     case BusKind::Opb:
       return std::make_unique<cam::OpbCam>(sim, "opb", p.bus_cycle,
-                                           make_arbiter(p), width);
+                                           make_arbiter(p), width, split);
     case BusKind::Crossbar:
       return std::make_unique<cam::CrossbarCam>(sim, "xbar", p.bus_cycle,
-                                                width);
+                                                width, split);
   }
   throw ElaborationError("unknown bus kind");
 }
@@ -308,7 +309,7 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
     const std::size_t midx = ms.cam_->add_master(spec.name + ".m");
     ms.master_wraps_.push_back(std::make_unique<cam::ShipMasterWrapper>(
         ms.sim_, spec.name + ".master", *ms.cam_, midx, layout,
-        p.poll_interval));
+        p.poll_interval, p.coalesce_bursts));
     cam::ShipMasterWrapper& mw = *ms.master_wraps_.back();
     endpoint_binder(master_pe, port_of(spec, master_pe), mw);
     endpoint_binder(slave_pe, port_of(spec, slave_pe), sw);

@@ -47,6 +47,20 @@ struct Platform {
   // sweeps this axis explicitly.
   std::size_t data_width_bytes = 0;
 
+  // Split/out-of-order transaction mode: when split_txns is true and
+  // max_outstanding > 1, split-capable buses (shared bus, PLB, crossbar)
+  // decouple the address phase from the data phase, run target service
+  // off the bus, and allow up to max_outstanding in-flight transactions
+  // per master. max_outstanding == 1 reproduces the atomic timing
+  // bit-identically (guarded by tests/test_cam_split.cpp); OPB has no
+  // address pipelining and ignores both knobs.
+  bool split_txns = false;
+  std::size_t max_outstanding = 1;
+
+  // SHIP master wrappers merge each chunk's DATA_IN burst and its CTRL
+  // commit into one bus burst (halves the mailbox writes per chunk).
+  bool coalesce_bursts = false;
+
   std::size_t bus_width_bytes() const {
     if (data_width_bytes) return data_width_bytes;
     return bus == BusKind::Plb || bus == BusKind::Crossbar ? 8 : 4;

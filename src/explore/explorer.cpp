@@ -240,26 +240,39 @@ std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
   std::vector<core::Platform> cands;
   for (core::BusKind bus : spec.buses) {
     const bool arbitrated = bus != core::BusKind::Crossbar;
+    // OPB has no address pipelining: only the atomic point exists.
+    const bool split_capable = bus != core::BusKind::Opb;
     const std::size_t arb_count = arbitrated ? spec.arbs.size() : 1;
     for (std::size_t ai = 0; ai < arb_count; ++ai) {
       for (Time cycle : spec.bus_cycles) {
         for (std::size_t width : spec.data_widths) {
-          core::Platform p;
-          p.bus = bus;
-          p.bus_cycle = cycle;
-          p.data_width_bytes = width;
-          p.name = core::bus_kind_name(bus);
-          if (arbitrated) {
-            p.arb = spec.arbs[ai];
+          for (std::size_t outstanding : spec.max_outstanding) {
+            if (outstanding > 1 && !split_capable) continue;
+            core::Platform p;
+            p.bus = bus;
+            p.bus_cycle = cycle;
+            p.data_width_bytes = width;
+            if (outstanding > 1) {
+              p.split_txns = true;
+              p.max_outstanding = outstanding;
+            }
+            p.name = core::bus_kind_name(bus);
+            if (arbitrated) {
+              p.arb = spec.arbs[ai];
+              p.name += '-';
+              p.name += core::arb_kind_name(p.arb);
+            }
             p.name += '-';
-            p.name += core::arb_kind_name(p.arb);
+            p.name += std::to_string(cycle / Time::ns(1));
+            p.name += "ns-";
+            p.name += std::to_string(width * 8);
+            p.name += 'b';
+            if (outstanding > 1) {
+              p.name += "-split";
+              p.name += std::to_string(outstanding);
+            }
+            cands.push_back(std::move(p));
           }
-          p.name += '-';
-          p.name += std::to_string(cycle / Time::ns(1));
-          p.name += "ns-";
-          p.name += std::to_string(width * 8);
-          p.name += 'b';
-          cands.push_back(std::move(p));
         }
       }
     }

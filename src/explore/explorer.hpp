@@ -109,8 +109,12 @@ private:
 std::vector<core::Platform> default_candidates();
 
 // Cross-product candidate grid: BusKind x ArbKind x bus cycle x data
-// width. The crossbar has no arbiter, so it contributes one point per
-// (cycle, width) pair instead of one per arbiter. The defaults span 40
+// width x outstanding depth. The crossbar has no arbiter, so it
+// contributes one point per (cycle, width) pair instead of one per
+// arbiter; OPB has no address pipelining, so it skips the split
+// (max_outstanding > 1) points. An outstanding depth of 1 is the atomic
+// bus; a depth k > 1 becomes a split platform (`split_txns = true,
+// max_outstanding = k`, named "-split<k>"). The defaults span 68
 // platforms — the workload the parallel sweep is built to chew through.
 struct GridSpec {
   std::vector<core::BusKind> buses{
@@ -120,6 +124,7 @@ struct GridSpec {
       core::ArbKind::Priority, core::ArbKind::RoundRobin, core::ArbKind::Tdma};
   std::vector<Time> bus_cycles{Time::ns(10), Time::ns(20)};
   std::vector<std::size_t> data_widths{4, 8};
+  std::vector<std::size_t> max_outstanding{1, 4};
 };
 
 std::vector<core::Platform> grid_candidates(const GridSpec& spec = {});

@@ -34,15 +34,23 @@ class Txn;
 class TxnPool;
 class TxnQueue;
 
-// Lightweight completion token: one waiter, no simulator registration, no
-// allocation. Safe to embed in pooled or stack-allocated descriptors.
-// Completion wakes the waiter immediately (same evaluation phase), exactly
-// like Event::notify() did for the old per-transaction done events.
+/// Lightweight completion token: one waiter, no simulator registration,
+/// no allocation. Safe to embed in pooled or stack-allocated
+/// descriptors. Completion wakes the waiter immediately (same
+/// evaluation phase), exactly like Event::notify() did for the old
+/// per-transaction done events.
 class CompletionEvent {
 public:
-  void complete(Simulator& sim);  // mark complete and wake the waiter
-  void wait(Simulator& sim);      // block the calling thread process
+  /// Mark complete and wake the waiter (if any). Waking is immediate:
+  /// the waiter becomes runnable within the current evaluation phase.
+  void complete(Simulator& sim);
+  /// Block the calling thread process until complete() is called.
+  /// Returns immediately if the token already completed — so an
+  /// initiator may post(), do other work, and wait late.
+  void wait(Simulator& sim);
+  /// True once complete() ran (cleared by reset()/begin_*()).
   bool completed() const { return completed_; }
+  /// Re-arm the token for the next transaction.
   void reset() {
     completed_ = false;
     waiter_ = nullptr;
@@ -84,9 +92,17 @@ private:
   bool completed_ = false;
 };
 
+/// The pooled transaction descriptor — the single currency every
+/// communication layer moves by reference (OCP TL channels, CAM grant
+/// engines, SHIP channels, the HW/SW interface). Carries one
+/// transaction's request half, response half, and the CompletionEvent
+/// the initiator blocks on. Buffers keep their capacity across reuse,
+/// so steady-state traffic allocates nothing.
 class Txn {
 public:
+  /// Transaction kind: addressed read/write, or an opaque message.
   enum class Op : std::uint8_t { Read, Write, Msg };
+  /// Response status; Pending until a target responds.
   enum class Status : std::uint8_t { Pending, Ok, Error };
 
   // 32-bit data path: one beat per 4 payload bytes (OCP basic profile).
@@ -119,25 +135,33 @@ public:
   Txn& operator=(const Txn&) = delete;
 
   // --- initiator-side setup (resets response state, keeps capacity) ------
+
+  /// Arm the descriptor as a read of `bytes` from address `a`. Resets
+  /// the response half and the CompletionEvent; keeps buffer capacity.
   void begin_read(std::uint64_t a, std::uint32_t bytes,
                   std::uint32_t master = 0) {
     begin(Op::Read, a, master);
     read_bytes = bytes;
   }
+  /// Arm the descriptor as a write of `n` bytes at `p` to address `a`.
   void begin_write(std::uint64_t a, const void* p, std::size_t n,
                    std::uint32_t master = 0) {
     begin(Op::Write, a, master);
     const auto* b = static_cast<const std::uint8_t*>(p);
     data.assign(b, b + n);
   }
-  // Message payload is written by the caller into data after begin_msg()
-  // (typically via serialization straight into the buffer).
+  /// Arm the descriptor as an opaque message; the payload is written by
+  /// the caller into `data` afterwards (typically via serialization
+  /// straight into the buffer).
   void begin_msg(std::uint32_t f = 0) {
     begin(Op::Msg, 0, 0);
     flags = f;
   }
 
   // --- observers ---------------------------------------------------------
+
+  /// Bytes this transaction moves: the requested size for reads, the
+  /// write/message payload size otherwise.
   std::size_t payload_bytes() const {
     return op == Op::Read ? read_bytes : data.size();
   }
@@ -151,14 +175,18 @@ public:
   bool is_request() const { return (flags & kFlagRequest) != 0; }
 
   // --- target-side responses (in place, capacity-preserving) -------------
+
+  /// Acknowledge without payload (writes, control accesses).
   void respond_ok() {
     status = Status::Ok;
     resp_data.clear();
   }
+  /// Fail the transaction (decode error, protocol violation).
   void respond_error() {
     status = Status::Error;
     resp_data.clear();
   }
+  /// Respond with `n` bytes of read/reply payload copied from `p`.
   void respond_data(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::uint8_t*>(p);
     resp_data.assign(b, b + n);
@@ -235,12 +263,15 @@ private:
   std::size_t count_ = 0;
 };
 
-// Free-list pool of transaction descriptors. Released descriptors keep
-// their payload capacity, so a warmed-up pool serves acquire/release
-// cycles with no heap traffic. `created()` is the number of descriptors
-// ever allocated — a steady-state phase must not move it.
+/// Free-list pool of transaction descriptors. Released descriptors keep
+/// their payload capacity, so a warmed-up pool serves acquire/release
+/// cycles with no heap traffic. `created()` is the number of
+/// descriptors ever allocated — a steady-state phase must not move it
+/// (asserted by the pooled-Txn stress test).
 class TxnPool {
 public:
+  /// Hand out a descriptor: recycled from the free list when possible,
+  /// freshly allocated (and owned by the pool) otherwise.
   Txn& acquire() {
     ++acquired_;
     if (Txn* t = free_.pop_front()) {
@@ -252,6 +283,8 @@ public:
     return t;
   }
 
+  /// Return a descriptor to the free list. The caller must be done with
+  /// it: the pool may hand it to anyone on the next acquire().
   void release(Txn& t) {
     ++released_;
     // Reset logical state but keep both payload buffers' capacity.

@@ -122,13 +122,22 @@ TEST(Explorer, PrintTableRestoresStreamFormatting) {
 
 TEST(Explorer, GridCoversCrossProduct) {
   const auto cands = grid_candidates();
-  // 3 arbitrated buses x 3 arbiters + crossbar, each x 2 cycles x 2 widths.
-  EXPECT_EQ(cands.size(), 40u);
+  // 3 arbitrated buses x 3 arbiters + crossbar, each x 2 cycles x 2
+  // widths; split-capable points (all but OPB) double across the
+  // outstanding axis {1, 4}: (12 + 12 + 4) x 2 + 12 = 68.
+  EXPECT_EQ(cands.size(), 68u);
   std::set<std::string> names;
   for (const auto& p : cands) names.insert(p.name);
   EXPECT_EQ(names.size(), cands.size()) << "grid names must be unique";
   EXPECT_TRUE(names.count("plb-round-robin-10ns-64b"));
+  EXPECT_TRUE(names.count("plb-round-robin-10ns-64b-split4"));
   EXPECT_TRUE(names.count("crossbar-20ns-32b"));
+  EXPECT_TRUE(names.count("crossbar-20ns-32b-split4"));
+  for (const auto& p : cands) {
+    if (p.bus == core::BusKind::Opb) {
+      EXPECT_FALSE(p.split_txns) << p.name;  // OPB has no split points
+    }
+  }
 }
 
 TEST(Explorer, GridSpecIsParameterizable) {
@@ -137,10 +146,21 @@ TEST(Explorer, GridSpecIsParameterizable) {
   spec.arbs = {ArbKind::Priority};
   spec.bus_cycles = {10_ns};
   spec.data_widths = {4, 8, 16};
+  spec.max_outstanding = {1};
   const auto cands = grid_candidates(spec);
   ASSERT_EQ(cands.size(), 3u);
   EXPECT_EQ(cands[2].data_width_bytes, 16u);
   EXPECT_EQ(cands[2].bus_width_bytes(), 16u);
+
+  // The outstanding axis multiplies split-capable points and stamps the
+  // split knobs onto the platform.
+  spec.max_outstanding = {1, 2, 8};
+  const auto split_cands = grid_candidates(spec);
+  ASSERT_EQ(split_cands.size(), 9u);
+  EXPECT_FALSE(split_cands[0].split_txns);
+  EXPECT_TRUE(split_cands[1].split_txns);
+  EXPECT_EQ(split_cands[1].max_outstanding, 2u);
+  EXPECT_EQ(split_cands[2].name, "plb-priority-10ns-32b-split8");
 }
 
 TEST(Explorer, DataWidthChangesTiming) {
@@ -211,12 +231,17 @@ TEST(Explorer, WorkloadChoiceChangesTiming) {
   EXPECT_EQ(times.size(), rows.size()) << "workloads are indistinguishable";
 }
 
-// The acceptance bar for the workload axis: the full 40-platform x
+// The acceptance bar for the workload axis: the atomic 40-platform x
 // 4-workload grid (160 rows) is bit-identical between the sequential
-// sweep and a 4-thread parallel sweep.
+// sweep and a 4-thread parallel sweep. (The split axis is pinned to
+// depth 1 here to keep this anchor at its historical size; the
+// split-mode platforms get the same seq-vs-parallel guarantee from
+// Explorer.ParallelSweepMatchesSequentialBitExactly.)
 TEST(Explorer, WorkloadGrid160RowsParallelMatchesSequentialBitExactly) {
   Explorer ex;
-  const auto plats = grid_candidates();
+  GridSpec atomic_spec;
+  atomic_spec.max_outstanding = {1};
+  const auto plats = grid_candidates(atomic_spec);
   const auto loads = workload_candidates();
   ASSERT_EQ(plats.size() * loads.size(), 160u);
   const Time budget = 200_ms;

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check markdown links in the repository (stdlib only, no network).
+
+Usage:
+    check_md_links.py [ROOT]
+
+Scans every *.md file under ROOT (default: the repository root, i.e. the
+parent of this script's directory) excluding build/ and hidden
+directories, extracts inline links/images `[text](target)` and
+reference definitions `[label]: target`, and verifies that
+
+  * relative file targets exist (anchors `#...` are stripped first;
+    a bare `#anchor` is checked against the headings of its own file);
+  * intra-file anchors match a heading slug of the target file.
+
+External targets (http/https/mailto) are reported but not fetched —
+CI must stay hermetic. Exits 1 when any local link is broken, else 0.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading):
+    """GitHub-style anchor slug of a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith(".") and d != "build"]
+        for f in sorted(filenames):
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = FENCE.sub("", f.read())
+        except OSError:
+            text = ""
+        cache[path] = {slugify(h) for h in HEADING.findall(text)}
+    return cache[path]
+
+
+def check_file(path, root):
+    broken = []
+    external = 0
+    with open(path, encoding="utf-8") as f:
+        text = FENCE.sub("", f.read())
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES):
+            external += 1
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                broken.append((target, "missing anchor"))
+            continue
+        rel, _, anchor = target.partition("#")
+        dest = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(dest):
+            broken.append((target, "missing file"))
+            continue
+        if anchor and dest.endswith(".md") and \
+                slugify(anchor) not in anchors_of(dest):
+            broken.append((target, "missing anchor in " + os.path.relpath(dest, root)))
+    return broken, external, len(targets)
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    total_links = total_external = 0
+    failures = []
+    for path in md_files(root):
+        broken, external, count = check_file(path, root)
+        total_links += count
+        total_external += external
+        for target, why in broken:
+            failures.append(f"{os.path.relpath(path, root)}: {target} ({why})")
+    for f in failures:
+        print(f"BROKEN  {f}")
+    print(f"checked {total_links} links "
+          f"({total_external} external skipped) — {len(failures)} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

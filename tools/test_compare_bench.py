@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CTest guard for bench/compare_bench.py input validation.
+
+Runs the comparator against well-formed, malformed, missing and empty
+inputs and checks the exit-code contract: 0 for a clean comparison, 2
+for any input that cannot anchor one (the failure mode used to be a
+silent "no regressions" pass).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "bench", "compare_bench.py")
+
+GOOD = {
+    "benchmarks": [
+        {"name": "BM_A/1", "real_time": 100.0, "time_unit": "ns"},
+        {"name": "BM_B/1", "real_time": 2.0, "time_unit": "ms"},
+    ]
+}
+REGRESSED = {
+    "benchmarks": [
+        {"name": "BM_A/1", "real_time": 500.0, "time_unit": "ns"},
+        {"name": "BM_B/1", "real_time": 2.0, "time_unit": "ms"},
+    ]
+}
+
+
+def run(baseline, current, *flags):
+    return subprocess.run(
+        [sys.executable, SCRIPT, baseline, current, *flags],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def main():
+    failures = []
+
+    def expect(label, proc, code):
+        if proc.returncode != code:
+            failures.append(f"{label}: exit {proc.returncode}, wanted {code}\n"
+                            f"{proc.stdout}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "good.json")
+        regressed = os.path.join(tmp, "regressed.json")
+        malformed = os.path.join(tmp, "malformed.json")
+        empty = os.path.join(tmp, "empty.json")
+        with open(good, "w") as f:
+            json.dump(GOOD, f)
+        with open(regressed, "w") as f:
+            json.dump(REGRESSED, f)
+        with open(malformed, "w") as f:
+            f.write("{not json")
+        with open(empty, "w") as f:
+            json.dump({"benchmarks": []}, f)
+        nondict = os.path.join(tmp, "nondict.json")
+        with open(nondict, "w") as f:
+            json.dump({"benchmarks": [42, "x"]}, f)
+        missing = os.path.join(tmp, "does_not_exist.json")
+
+        expect("identical inputs", run(good, good), 0)
+        expect("regression warns only", run(good, regressed), 0)
+        expect("regression strict", run(good, regressed, "--strict"), 1)
+        expect("malformed baseline", run(malformed, good), 2)
+        expect("malformed current", run(good, malformed), 2)
+        expect("missing baseline", run(missing, good), 2)
+        expect("empty baseline", run(empty, good), 2)
+        expect("non-object entries", run(nondict, good), 2)
+        expect("help mentions validation",
+               run(good, good, "--help"), 0)
+        help_text = run(good, good, "--help").stdout
+        if "exits with status 2" not in help_text:
+            failures.append("--help does not document the validation exit")
+
+    if failures:
+        print("\n".join(failures))
+        return 1
+    print("compare_bench.py exit-code contract holds (9 cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
