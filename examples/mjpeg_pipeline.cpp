@@ -228,6 +228,12 @@ int main() {
                 static_cast<unsigned long long>(captured.bytes),
                 exact ? "EXACT MATCH" : "MISMATCH");
     if (!exact) return 1;
+
+    // Phase-accurate bar: beyond count/bytes, the replay must reproduce
+    // each channel's latency *distribution* within tolerance.
+    const auto validation = workload::validate_replay(loaded, ms->txn_log());
+    std::printf("%s", validation.report().c_str());
+    if (!validation.ok) return 1;
   }
 
   std::printf("\n== communication architecture exploration (CAM level) ==\n");

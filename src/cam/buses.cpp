@@ -64,12 +64,11 @@ void CrossbarCam::MasterPort::transport(Txn& txn) {
   // Split mode: a blocking transport is post + wait. Shelve the outer
   // waiter/bookkeeping like CamBase does, so bridges can forward the
   // same descriptor into a split crossbar.
-  const Time outer_enqueued = txn.enqueued;
   const std::uint32_t outer_master = txn.master_id;
+  Txn::PhaseShelf shelf(txn);
   CompletionEvent::NestedScope nest(txn.done);
   x.post(index, txn);
   txn.done.wait(x.sim());
-  txn.enqueued = outer_enqueued;
   txn.master_id = outer_master;
 }
 
@@ -87,6 +86,7 @@ void CrossbarCam::post(std::size_t master, Txn& txn) {
   const std::size_t bytes = txn.payload_bytes();
   const auto slave = map_.decode(txn.addr, bytes ? bytes : 1);
   txn.enqueued = sim().now();
+  txn.reset_phases();
   txn.status = Txn::Status::Pending;
   if (!slave) {
     stats_.count("decode_errors");
@@ -109,6 +109,10 @@ void CrossbarCam::lane_engine(std::size_t lane) {
   for (;;) {
     while (lane_q_[lane]->empty()) wait(*lane_avail_[lane]);
     Txn* txn = lane_q_[lane]->pop_front();
+    // Winning the lane is the crossbar's grant; route setup and data
+    // move in one occupancy wait, so the data stamp fuses with it.
+    txn->t_grant = sim().now();
+    txn->t_data = txn->t_grant;
     const std::size_t bytes = txn->payload_bytes();
     const std::uint64_t beats = beats_for(bytes, width_);
     const Time occupancy = cycle_ * (1 + beats);  // route setup + data
@@ -132,7 +136,12 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
     txn.respond_error();
     return;
   }
+  // Shelve any outer layer's phase stamps (a bridge may forward the same
+  // descriptor through here mid-transaction).
+  Txn::PhaseShelf shelf(txn);
   LockGuard lane(*lanes_[*slave]);
+  txn.t_grant = sim().now();  // lane acquired = granted
+  txn.t_data = txn.t_grant;   // route setup + data fused in one wait
   const std::uint64_t beats = beats_for(bytes, width_);
   const Time occupancy = cycle_ * (1 + beats);  // route setup + data
   wait(occupancy);
@@ -143,16 +152,18 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
 
 // Statistics/logging shared by the atomic route and the split lanes.
 void CrossbarCam::finish(std::size_t master, Txn& txn, Time start) {
+  txn.t_complete = sim().now();
   const std::size_t bytes = txn.payload_bytes();
   stats_.count("transactions");
   stats_.count("bytes", bytes);
-  const double latency_ns = (sim().now() - start).to_ns();
+  const double latency_ns = (txn.t_complete - start).to_ns();
   stats_.acc("latency_ns").add(latency_ns);
+  stats_.acc("service_ns").add((txn.t_complete - txn.t_grant).to_ns());
   masters_[master]->latency->add(latency_ns);
   if (log_) {
     log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
                                         : trace::TxnKind::Write,
-                txn.id, bytes, start, sim().now());
+                txn.id, bytes, start, sim().now(), txn.t_grant, txn.t_data);
   }
 }
 

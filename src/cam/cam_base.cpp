@@ -18,6 +18,7 @@ CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
   acc_grant_wait_ = &stats_.acc("grant_wait_ns");
   acc_txn_cycles_ = &stats_.acc("txn_cycles");
   acc_latency_ = &stats_.acc("latency_ns");
+  acc_service_ = &stats_.acc("service_ns");
   cnt_transactions_ = &stats_.counter_slot("transactions");
   cnt_reads_ = &stats_.counter_slot("reads");
   cnt_writes_ = &stats_.counter_slot("writes");
@@ -90,6 +91,7 @@ void CamBase::post(std::size_t master, Txn& txn) {
   STLM_ASSERT(master < masters_.size(),
               "master index out of range on " + full_name());
   txn.enqueued = sim().now();
+  txn.reset_phases();  // re-queued descriptors must not carry stale stamps
   txn.status = Txn::Status::Pending;
   engine_.enqueue(master, txn);
   new_request_.notify_delta();
@@ -99,15 +101,15 @@ void CamBase::MasterPort::transport(Txn& txn) {
   CamBase& c = *cam;
   // A bridge may forward the same descriptor into this CAM while the
   // original initiator still waits on it: shelve the outer waiter (and
-  // the outer CAM's enqueue timestamp) for the inner round-trip.
-  const Time outer_enqueued = txn.enqueued;
+  // the outer CAM's enqueue/phase timestamps) for the inner round-trip.
+  Txn::PhaseShelf shelf(txn);
   CompletionEvent::NestedScope nest(txn.done);
   txn.enqueued = c.sim().now();
+  txn.reset_phases();
   txn.status = Txn::Status::Pending;
   c.engine_.enqueue(index, txn);
   c.new_request_.notify_delta();
   txn.done.wait(c.sim());
-  txn.enqueued = outer_enqueued;
 }
 
 // ------------------------------------------------------ atomic engine ----
@@ -129,6 +131,11 @@ void CamBase::atomic_engine() {
     const std::uint64_t cycles = txn_cycles(*txn, back_to_back);
     const Time occupancy = cycle_ * cycles;
 
+    // The atomic engine charges arbitration+address+data+response as one
+    // occupancy wait, so address and data phases are indistinguishable:
+    // both stamps carry the grant instant.
+    txn->t_grant = sim().now();
+    txn->t_data = txn->t_grant;
     acc_grant_wait_->add((sim().now() - txn->enqueued).to_ns());
     wait(occupancy);
     busy_time_ += occupancy;
@@ -169,6 +176,7 @@ void CamBase::addr_engine() {
       continue;
     }
 
+    txn->t_grant = sim().now();
     acc_grant_wait_->add((sim().now() - txn->enqueued).to_ns());
     const std::uint64_t ac = split_addr_cycles(*txn);
     if (ac) wait(cycle_ * ac);
@@ -208,6 +216,7 @@ void CamBase::data_engine() {
   for (;;) {
     while (resp_q_.empty()) wait(resp_avail_);
     Txn* txn = resp_q_.pop_front();
+    txn->t_data = sim().now();  // response won the data channel
     const std::uint64_t dc = split_data_cycles(*txn);
     const Time occupancy = cycle_ * dc;
     if (dc) wait(occupancy);
@@ -228,18 +237,24 @@ void CamBase::data_engine() {
 // waking the initiator.
 void CamBase::complete_txn(Txn& txn, std::size_t master,
                            std::uint64_t cycles) {
+  txn.t_complete = sim().now();
   const std::size_t bytes = txn.payload_bytes();
   ++*cnt_transactions_;
   ++*(txn.op == Txn::Op::Read ? cnt_reads_ : cnt_writes_);
   *cnt_bytes_ += bytes;
   acc_txn_cycles_->add(static_cast<double>(cycles));
-  const double latency_ns = (sim().now() - txn.enqueued).to_ns();
+  // latency_ns stays the end-to-end issue→completion span;
+  // service_ns = grant→completion isolates the cost once the bus took
+  // the request, so a deep split queue reads as queueing, not slowness.
+  const double latency_ns = (txn.t_complete - txn.enqueued).to_ns();
   acc_latency_->add(latency_ns);
+  acc_service_->add((txn.t_complete - txn.t_grant).to_ns());
   masters_[master]->latency->add(latency_ns);
   if (log_) {
     log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
                                         : trace::TxnKind::Write,
-                txn.id, bytes, txn.enqueued, sim().now());
+                txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
+                txn.t_data);
   }
   txn.done.complete(sim());  // immediate: initiator resumes within this delta
 }

@@ -131,6 +131,7 @@ private:
   trace::Accumulator* acc_grant_wait_;
   trace::Accumulator* acc_txn_cycles_;
   trace::Accumulator* acc_latency_;
+  trace::Accumulator* acc_service_;  // grant -> completion span
   std::uint64_t* cnt_transactions_;
   std::uint64_t* cnt_reads_;
   std::uint64_t* cnt_writes_;

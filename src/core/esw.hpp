@@ -31,16 +31,26 @@ public:
   void add_channel(const std::string& name, ship::ship_if& endpoint) {
     endpoints_[name] = &endpoint;
   }
+  // CAM-level mapping only: give this PE a bus master port for direct
+  // memory traffic (SystemGraph::add_memory clients).
+  void bind_memory(cam::CamIf* bus, std::size_t master) {
+    mem_bus_ = bus;
+    mem_master_ = master;
+  }
 
   ship::ship_if& channel(const std::string& name) override;
   void consume(std::uint64_t cycles) override { wait(cycle_ * cycles); }
   void idle(Time t) override { wait(t); }
+  cam::CamIf* mem_bus() override { return mem_bus_; }
+  std::size_t mem_master() const override { return mem_master_; }
   Simulator& sim() override { return sim_; }
 
 private:
   Simulator& sim_;
   Time cycle_;
   std::map<std::string, ship::ship_if*> endpoints_;
+  cam::CamIf* mem_bus_ = nullptr;
+  std::size_t mem_master_ = 0;
 };
 
 class SwExecContext final : public ExecContext {

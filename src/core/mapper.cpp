@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "trace/channel_stats.hpp"
+
 namespace stlm::core {
 
 const char* level_name(AbstractionLevel l) {
@@ -69,7 +71,16 @@ void MappedSystem::report(std::ostream& out) const {
       << "\n"
       << "  logged transactions              " << s.count << "\n"
       << "  logged bytes                     " << s.bytes << "\n"
-      << "  mean txn latency                 " << s.mean_latency_ns << " ns\n";
+      << "  mean txn latency                 " << s.mean_latency_ns << " ns\n"
+      << "  mean queueing delay              " << s.mean_queue_ns
+      << " ns (issue->grant)\n"
+      << "  mean service span                " << s.mean_service_ns
+      << " ns (grant->completion)\n";
+  const auto channels = trace::per_channel_stats(log_);
+  if (!channels.empty()) {
+    out << "  per-channel latency distributions:\n";
+    trace::print_channel_table(out, channels);
+  }
   if (cam_) {
     out << "  bus utilization                  "
         << const_cast<cam::CamIf*>(cam_.get())->utilization() << "\n";
@@ -217,6 +228,30 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
       ms.sw_ctx_.push_back(std::make_unique<SwExecContext>(*ms.rtos_, *ms.cpu_));
       sw_ctx_of[pe] = ms.sw_ctx_.back().get();
     }
+  }
+
+  // Addressable memory targets: attach each as a CAM slave and hand
+  // every client PE its own bus master port. Clients issue their own
+  // transactions (post()/transport()), so they must run in hardware —
+  // the SW partition reaches memory through the CPU model instead.
+  for (const MemorySpec& mem : g.memories()) {
+    ms.memories_.push_back(std::make_unique<ocp::BankedMemorySlave>(
+        mem.name, mem.base, mem.size, mem.cfg));
+    ms.cam_->attach_slave(*ms.memories_.back(), {mem.base, mem.size},
+                          mem.name);
+    for (ProcessingElement* pe : mem.clients) {
+      if (g.partition(*pe) != Partition::Hardware) {
+        throw ElaborationError("memory client " + pe->name() + " of " +
+                               mem.name + " must be a hardware PE");
+      }
+      const std::size_t midx =
+          ms.cam_->add_master(mem.name + "." + pe->name());
+      hw_ctx_of.at(pe)->bind_memory(ms.cam_.get(), midx);
+    }
+    ms.mapping_notes_.push_back(
+        "memory " + mem.name + " -> banked OCP slave (" +
+        std::to_string(mem.cfg.banks) + " banks, " +
+        std::to_string(mem.clients.size()) + " direct masters)");
   }
 
   auto endpoint_binder = [&](ProcessingElement* pe, const std::string& name,

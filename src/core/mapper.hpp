@@ -55,6 +55,12 @@ public:
   cam::CamIf* bus() { return cam_.get(); }
   cpu::CpuModel* cpu_model() { return cpu_.get(); }
   rtos::Rtos* os() { return rtos_.get(); }
+  // Banked memory targets attached for the graph's MemorySpecs (CAM
+  // level only; empty at the abstract levels).
+  const std::vector<std::unique_ptr<ocp::BankedMemorySlave>>& memories()
+      const {
+    return memories_;
+  }
 
   // Human-readable mapping + statistics report.
   void report(std::ostream& os_out) const;
@@ -72,6 +78,7 @@ private:
   std::vector<std::unique_ptr<ship::ShipChannel>> channels_;
   std::unique_ptr<Clock> clock_;
   std::unique_ptr<cam::CamIf> cam_;
+  std::vector<std::unique_ptr<ocp::BankedMemorySlave>> memories_;
   std::vector<std::unique_ptr<cam::ShipSlaveWrapper>> slave_wraps_;
   std::vector<std::unique_ptr<cam::ShipMasterWrapper>> master_wraps_;
   std::vector<std::unique_ptr<hwsw::HwAdapter>> adapters_;

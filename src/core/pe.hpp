@@ -18,6 +18,10 @@
 #include "kernel/time.hpp"
 #include "ship/channel.hpp"
 
+namespace stlm::cam {
+class CamIf;
+}
+
 namespace stlm::core {
 
 enum class Partition : std::uint8_t { Hardware, Software };
@@ -33,6 +37,16 @@ public:
   virtual void consume(std::uint64_t cycles) = 0;
   // Explicit idle time (sensor intervals, frame pacing, ...).
   virtual void idle(Time t) = 0;
+
+  // Direct addressed access to mapped memory, for PEs registered as
+  // memory clients (SystemGraph::add_memory). At the CAM level the
+  // mapper binds a bus master port here; abstract levels (component
+  // assembly, CCATB) have no interconnect and return nullptr — the PE
+  // then models its accesses as compute. Issue with
+  // `mem_bus()->post(mem_master(), txn)` (OoO window) or a blocking
+  // `master_port(mem_master()).transport(txn)`.
+  virtual cam::CamIf* mem_bus() { return nullptr; }
+  virtual std::size_t mem_master() const { return 0; }
 
   virtual Simulator& sim() = 0;
 };

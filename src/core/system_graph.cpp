@@ -49,6 +49,19 @@ void SystemGraph::connect(const std::string& channel, ProcessingElement& a,
   connect(channel, a, channel, b, channel, queue_depth, role_a);
 }
 
+void SystemGraph::add_memory(MemorySpec spec) {
+  STLM_ASSERT(spec.size > 0, "memory target needs a size: " + spec.name);
+  for (const auto& m : memories_) {
+    STLM_ASSERT(m.name != spec.name, "duplicate memory name: " + spec.name);
+  }
+  for (ProcessingElement* pe : spec.clients) {
+    STLM_ASSERT(pe != nullptr, "null client on memory " + spec.name);
+    STLM_ASSERT(partitions_.contains(pe),
+                "add_memory: unknown client PE " + pe->name());
+  }
+  memories_.push_back(std::move(spec));
+}
+
 bool SystemGraph::roles_known() const {
   return std::all_of(channels_.begin(), channels_.end(),
                      [](const ChannelSpec& c) {

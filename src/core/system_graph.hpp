@@ -15,9 +15,26 @@
 
 #include "core/pe.hpp"
 #include "kernel/time.hpp"
+#include "ocp/banked_memory.hpp"
 #include "ship/channel.hpp"
 
 namespace stlm::core {
+
+// An addressable memory target the mapper attaches to the CAM, plus the
+// PEs that access it directly over the bus (they receive a master port
+// through ExecContext::mem_bus()/mem_master() at the CAM level; at the
+// abstract levels there is no interconnect and clients model their
+// accesses as compute). Declared on the graph so the same workload
+// factory maps onto every candidate platform — behind a split PLB the
+// banked target's unequal service times are what make OoO completion
+// actually reorder.
+struct MemorySpec {
+  std::string name = "mem";
+  std::uint64_t base = 0x80000000;
+  std::size_t size = 1 << 16;
+  ocp::BankedMemoryConfig cfg{};
+  std::vector<ProcessingElement*> clients;  // must be add_pe()'d, HW part.
+};
 
 struct ChannelSpec {
   std::string name;
@@ -54,6 +71,12 @@ public:
                ProcessingElement& b, std::size_t queue_depth = 1,
                ship::Role role_a = ship::Role::Unknown);
 
+  // Register an addressable memory target. Clients must already be
+  // add_pe()'d; their range must not collide with the platform's mailbox
+  // windows (the default base leaves the low half of the map to them).
+  void add_memory(MemorySpec spec);
+  const std::vector<MemorySpec>& memories() const { return memories_; }
+
   const std::vector<ProcessingElement*>& pes() const { return pes_; }
   const std::vector<ChannelSpec>& channels() const { return channels_; }
   std::vector<ChannelSpec>& channels() { return channels_; }
@@ -71,6 +94,7 @@ private:
   std::vector<ProcessingElement*> pes_;
   std::map<const ProcessingElement*, Partition> partitions_;
   std::vector<ChannelSpec> channels_;
+  std::vector<MemorySpec> memories_;
 };
 
 }  // namespace stlm::core

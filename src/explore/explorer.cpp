@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/channel_stats.hpp"
 #include "trace/stats.hpp"
 
 namespace stlm::expl {
@@ -35,10 +36,14 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   row.sim_time_us = sim.now().to_seconds() * 1e6;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
-  const auto s = ms->txn_log().summarize();
-  row.mean_latency_ns = s.mean_latency_ns;
-  row.transactions = s.count;
-  row.bytes = s.bytes;
+  const auto dist = trace::latency_dist(ms->txn_log().records());
+  row.mean_latency_ns = dist.mean_ns;
+  row.p50_latency_ns = dist.p50_ns;
+  row.p95_latency_ns = dist.p95_ns;
+  row.p99_latency_ns = dist.p99_ns;
+  row.mean_queue_ns = dist.mean_queue_ns;
+  row.transactions = dist.count;
+  row.bytes = dist.bytes;
   if (ms->bus()) row.bus_utilization = ms->bus()->utilization();
   return row;
 }
@@ -169,11 +174,13 @@ void Explorer::print_table(std::ostream& os,
   if (with_workload) os << std::setw(ww) << "workload";
   os << std::right << std::setw(6)
      << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
-     << std::setw(14) << "mean_lat_ns" << std::setw(10) << "bus_util"
+     << std::setw(14) << "mean_lat_ns" << std::setw(12) << "p50_ns"
+     << std::setw(12) << "p95_ns" << std::setw(12) << "p99_ns"
+     << std::setw(12) << "queue_ns" << std::setw(10) << "bus_util"
      << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
   os << std::string(static_cast<std::size_t>(nw) +
                         (with_workload ? static_cast<std::size_t>(ww) : 0) +
-                        78,
+                        126,
                     '-')
      << "\n";
   for (const auto& r : rows) {
@@ -183,9 +190,11 @@ void Explorer::print_table(std::ostream& os,
        << std::setw(6) << (r.completed ? "yes" : "NO") << std::setw(14)
        << std::fixed << std::setprecision(2) << r.sim_time_us << std::setw(12)
        << std::setprecision(2) << r.wall_ms << std::setw(14)
-       << std::setprecision(1) << r.mean_latency_ns << std::setw(10)
-       << std::setprecision(3) << r.bus_utilization << std::setw(10)
-       << r.transactions << std::setw(12) << r.bytes << "\n";
+       << std::setprecision(1) << r.mean_latency_ns << std::setw(12)
+       << r.p50_latency_ns << std::setw(12) << r.p95_latency_ns
+       << std::setw(12) << r.p99_latency_ns << std::setw(12) << r.mean_queue_ns
+       << std::setw(10) << std::setprecision(3) << r.bus_utilization
+       << std::setw(10) << r.transactions << std::setw(12) << r.bytes << "\n";
   }
 }
 

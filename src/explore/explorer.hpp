@@ -34,6 +34,14 @@ struct ExplorationRow {
   double sim_time_us = 0.0;       // simulated completion time
   double wall_ms = 0.0;           // host time spent simulating
   double mean_latency_ns = 0.0;   // mean logged transaction latency
+  // Latency distribution across every logged transaction — the tail is
+  // what tells split/OoO platforms apart once the mean stops moving.
+  double p50_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  // Mean queueing delay (issue -> grant): arbitration/outstanding-cap
+  // wait, as opposed to the service span the bus itself charges.
+  double mean_queue_ns = 0.0;
   double bus_utilization = 0.0;
   std::uint64_t transactions = 0;
   std::uint64_t bytes = 0;

@@ -11,6 +11,33 @@
 // x86-64 System V only (the platform this repository targets); the
 // assembly lives in process.cpp.
 
+#include <cstddef>
+
+// AddressSanitizer needs to be told about stack switches: without the
+// fiber annotations it believes the thread never left its original
+// stack, so a noreturn path on a coroutine stack (throwing a simulation
+// error, abort) trips "stack-buffer-underflow in sigaltstack" false
+// positives while ASan tries to unpoison the wrong stack
+// (github.com/google/sanitizers/issues/189). The helpers below compile
+// to nothing in non-sanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define STLM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STLM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef STLM_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
 namespace stlm::detail {
 
 #if !defined(__x86_64__)
@@ -20,5 +47,35 @@ namespace stlm::detail {
 // Save the current stack pointer to *save_sp, switch to load_sp (a value
 // previously produced by this function or by make_initial_stack).
 extern "C" void stlm_ctx_swap(void** save_sp, void* load_sp);
+
+// Call immediately before stlm_ctx_swap: `save` stores this context's
+// fake-stack handle (pass nullptr when this context is about to die, so
+// ASan releases its fake frames); bottom/size describe the stack being
+// switched *to*.
+inline void fiber_switch_begin(void** save, const void* bottom,
+                               std::size_t size) {
+#ifdef STLM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+// Call as the first action after control (re)enters a context: `save` is
+// the handle stored by this context's previous fiber_switch_begin
+// (nullptr on a fiber's first entry); bottom_old/size_old, when
+// non-null, receive the bounds of the stack control came from.
+inline void fiber_switch_end(void* save, const void** bottom_old = nullptr,
+                             std::size_t* size_old = nullptr) {
+#ifdef STLM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(save, bottom_old, size_old);
+#else
+  (void)save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
 
 }  // namespace stlm::detail

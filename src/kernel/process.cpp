@@ -91,6 +91,10 @@ Event& Process::terminated_event() {
 void Process::trampoline() {
   Process* self = g_starting_process;
   g_starting_process = nullptr;
+  // First entry on this fiber: tell the sanitizer the switch completed
+  // and learn the scheduler stack's bounds for the switches back.
+  detail::fiber_switch_end(nullptr, &self->sim_.sched_stack_bottom_,
+                           &self->sim_.sched_stack_size_);
   try {
     self->body_();
   } catch (...) {
@@ -98,7 +102,10 @@ void Process::trampoline() {
   }
   self->terminated_ = true;
   if (self->terminated_event_) self->terminated_event_->notify_delta();
-  // Hand control back to the scheduler for good.
+  // Hand control back to the scheduler for good (null handle: this
+  // fiber is done, release its sanitizer fake frames).
+  detail::fiber_switch_begin(nullptr, self->sim_.sched_stack_bottom_,
+                             self->sim_.sched_stack_size_);
   detail::stlm_ctx_swap(&self->sp_, self->sim_.sched_sp_);
   // A terminated process is never resumed.
   std::abort();

@@ -83,6 +83,7 @@ private:
   std::function<void()> body_;
   std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;
+  void* fake_stack_ = nullptr;  // sanitizer fiber handle (ASan builds)
   void* sp_ = nullptr;  // saved stack pointer while suspended
   bool started_ = false;
   bool runnable_ = false;                    // queued in the runnable list

@@ -242,7 +242,10 @@ void Simulator::resume_thread(Process& p) {
   ++p.wake_gen_;  // invalidate every stale registration of this process
   current_process_ = &p;
   p.ensure_started();
+  detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.get(),
+                             p.stack_bytes_);
   detail::stlm_ctx_swap(&sched_sp_, p.sp_);
+  detail::fiber_switch_end(sched_fake_stack_);
   current_process_ = nullptr;
   if (p.error_) {
     if (!pending_error_) pending_error_ = p.error_;
@@ -253,7 +256,10 @@ void Simulator::resume_thread(Process& p) {
 
 Process::WakeReason Simulator::suspend_current() {
   Process& p = require_process("wait");
+  detail::fiber_switch_begin(&p.fake_stack_, sched_stack_bottom_,
+                             sched_stack_size_);
   detail::stlm_ctx_swap(&p.sp_, sched_sp_);
+  detail::fiber_switch_end(p.fake_stack_);
   return p.wake_reason_;
 }
 

@@ -185,6 +185,12 @@ private:
 
   Process* current_process_ = nullptr;
   void* sched_sp_ = nullptr;  // scheduler context while a process runs
+  // Sanitizer fiber bookkeeping (unused in non-ASan builds): the
+  // scheduler context's fake-stack handle, and the bounds of the stack
+  // the scheduler runs on (learned at the first fiber entry).
+  void* sched_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
   std::exception_ptr pending_error_;
 
   friend class Process;

@@ -130,6 +130,58 @@ public:
   std::uint64_t id = 0;                    // unique per begin_*(); for tracing
   CompletionEvent done;
 
+  // --- phase timestamps (pure bookkeeping; never consulted for timing) ----
+  //
+  // Stamped by the CAM engines as the transaction moves through its bus
+  // phases. `enqueued` is the issue time; the split engines diverge grant
+  // from completion (OoO), which is what the phase-accurate TxnLogger rows
+  // and the queueing/service latency split are derived from:
+  //
+  //   queueing delay = t_grant - enqueued      (arbitration wait)
+  //   service        = t_complete - t_grant    (bus occupancy + target)
+  //
+  // The atomic engines fuse address and data phases into one occupancy
+  // wait, so they stamp t_data == t_grant; the split engines stamp t_data
+  // when the response actually wins the data channel.
+  Time t_grant = Time::zero();     // won arbitration / popped by a lane
+  Time t_data = Time::zero();      // data phase began on the bus
+  Time t_complete = Time::zero();  // initiator-visible completion
+
+  /// Reset the phase stamps (a layer that re-queues a descriptor it does
+  /// not begin_*() afresh — bridges, wrappers — calls this instead).
+  void reset_phases() {
+    t_grant = Time::zero();
+    t_data = Time::zero();
+    t_complete = Time::zero();
+  }
+
+  // Shelves the issue/phase timestamps for a nested round trip — a layer
+  // forwarding the same descriptor downstream mid-transaction — and
+  // restores them on scope exit, so the inner interconnect's stamps never
+  // corrupt the outer layer's row. The timestamp analogue of
+  // CompletionEvent::NestedScope; the two typically nest together.
+  class PhaseShelf {
+  public:
+    explicit PhaseShelf(Txn& t)
+        : t_(t),
+          enqueued_(t.enqueued),
+          grant_(t.t_grant),
+          data_(t.t_data),
+          complete_(t.t_complete) {}
+    ~PhaseShelf() {
+      t_.enqueued = enqueued_;
+      t_.t_grant = grant_;
+      t_.t_data = data_;
+      t_.t_complete = complete_;
+    }
+    PhaseShelf(const PhaseShelf&) = delete;
+    PhaseShelf& operator=(const PhaseShelf&) = delete;
+
+  private:
+    Txn& t_;
+    Time enqueued_, grant_, data_, complete_;
+  };
+
   Txn() = default;
   Txn(const Txn&) = delete;
   Txn& operator=(const Txn&) = delete;
@@ -214,6 +266,7 @@ private:
     resp_data.clear();
     status = Status::Pending;
     done.reset();
+    reset_phases();
     id = next_id();
   }
 
@@ -295,6 +348,7 @@ public:
     t.resp_data.clear();
     t.status = Txn::Status::Pending;
     t.done.reset();
+    t.reset_phases();
     free_.push_back(t);
   }
 

@@ -66,6 +66,10 @@ ShipChannel::Sent ShipChannel::send_msg(Direction& d,
   // allocation at all.
   Txn& t = sim_.txn_pool().acquire();
   t.begin_msg(is_request ? Txn::kFlagRequest : 0);
+  // Issue stamp: when the sender entered the channel. The receiving side
+  // reads it back for phase-accurate logging (a reply row spans the
+  // reply's own issue -> arrival, not the requester's whole wait).
+  t.enqueued = sim_.now();
   const std::size_t n = to_bytes_into(msg, t.data);
   const std::uint64_t id = t.id;
   const Time lat = timing_->transfer_latency(n);
@@ -113,7 +117,6 @@ void ShipChannel::Terminal::request(const ship_serializable_if& req,
   ch->log_txn(trace::TxnKind::Request, s.id, s.bytes, start);
 
   // Block for the reply travelling the opposite direction.
-  const Time reply_start = ch->sim_.now();
   Txn* r = ch->pop(ch->dir_[1 - index]);
   if (r->is_request()) {
     ch->sim_.txn_pool().release(*r);
@@ -123,9 +126,14 @@ void ShipChannel::Terminal::request(const ship_serializable_if& req,
   }
   const std::size_t reply_bytes = r->data.size();
   const std::uint64_t reply_id = r->id;
+  // Phase-accurate reply row: from the slave's reply() issue (stamped on
+  // the descriptor by send_msg) to its arrival here. The server's think
+  // time lives *between* the request row's end and this row's start,
+  // where trace replay can reproduce it as serve compute.
+  const Time reply_issue = r->enqueued;
   from_bytes(resp, r->data);
   ch->sim_.txn_pool().release(*r);
-  ch->log_txn(trace::TxnKind::Reply, reply_id, reply_bytes, reply_start);
+  ch->log_txn(trace::TxnKind::Reply, reply_id, reply_bytes, reply_issue);
 }
 
 void ShipChannel::Terminal::reply(const ship_serializable_if& resp) {

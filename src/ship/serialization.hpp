@@ -34,6 +34,7 @@ public:
   }
 
   void put_bytes(const void* p, std::size_t n) {
+    if (n == 0) return;  // empty payloads may pass p == nullptr (UB to use)
     const auto* b = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
@@ -77,6 +78,7 @@ public:
     if (pos_ + n > bytes_.size()) {
       throw ProtocolError("SHIP deserialization underrun");
     }
+    if (n == 0) return;  // empty reads may pass p == nullptr (UB in memcpy)
     std::memcpy(p, bytes_.data() + pos_, n);
     pos_ += n;
   }

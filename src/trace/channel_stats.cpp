@@ -1,0 +1,98 @@
+#include "trace/channel_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+
+namespace stlm::trace {
+
+double percentile(std::vector<double>& samples, double pct) {
+  if (samples.empty()) return 0.0;
+  if (!(pct > 0.0)) pct = 0.0;  // also catches NaN
+  if (pct > 100.0) pct = 100.0;
+  // Nearest-rank: the smallest value with at least pct% of samples at or
+  // below it. rank is 1-based; pct == 0 degenerates to the minimum.
+  const auto n = samples.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+LatencyDist latency_dist(const std::vector<TxnRecord>& records) {
+  LatencyDist d;
+  if (records.empty()) return d;
+
+  std::vector<double> lat, queue;
+  lat.reserve(records.size());
+  queue.reserve(records.size());
+  double sum_lat = 0.0, sum_queue = 0.0, sum_service = 0.0;
+  for (const auto& r : records) {
+    ++d.count;
+    d.bytes += r.bytes;
+    const double l = r.latency_ns();
+    const double q = r.queue_ns();
+    lat.push_back(l);
+    queue.push_back(q);
+    sum_lat += l;
+    sum_queue += q;
+    sum_service += r.service_ns();
+    if (l > d.max_ns) d.max_ns = l;
+    if (q > d.max_queue_ns) d.max_queue_ns = q;
+  }
+  const auto n = static_cast<double>(d.count);
+  d.mean_ns = sum_lat / n;
+  d.mean_queue_ns = sum_queue / n;
+  d.mean_service_ns = sum_service / n;
+  d.p50_ns = percentile(lat, 50.0);
+  d.p95_ns = percentile(lat, 95.0);
+  d.p99_ns = percentile(lat, 99.0);
+  d.p95_queue_ns = percentile(queue, 95.0);
+
+  d.hist = Histogram(0.0, d.max_ns, LatencyDist::kHistBins);
+  for (double l : lat) d.hist.add(l);
+  return d;
+}
+
+std::vector<ChannelStats> per_channel_stats(const TxnLogger& log) {
+  // Bucket the records per channel id, then build one dist per bucket in
+  // id (interning) order.
+  std::map<std::uint32_t, std::vector<TxnRecord>> by_channel;
+  for (const auto& r : log.records()) by_channel[r.channel].push_back(r);
+
+  std::vector<ChannelStats> out;
+  out.reserve(by_channel.size());
+  for (auto& [id, records] : by_channel) {
+    out.push_back(ChannelStats{log.channel_name(id), latency_dist(records)});
+  }
+  return out;
+}
+
+void print_channel_table(std::ostream& os,
+                         const std::vector<ChannelStats>& rows) {
+  ScopedOstreamFormat guard(os);
+  std::size_t name_w = 8;
+  for (const auto& r : rows) name_w = std::max(name_w, r.channel.size());
+  const int nw = static_cast<int>(name_w + 2);
+  os << std::left << std::setw(nw) << "channel" << std::right << std::setw(8)
+     << "txns" << std::setw(12) << "bytes" << std::setw(12) << "mean_ns"
+     << std::setw(12) << "p50_ns" << std::setw(12) << "p95_ns" << std::setw(12)
+     << "p99_ns" << std::setw(12) << "queue_ns" << std::setw(12) << "svc_ns"
+     << "\n";
+  os << std::string(static_cast<std::size_t>(nw) + 92, '-') << "\n";
+  for (const auto& r : rows) {
+    const LatencyDist& d = r.dist;
+    os << std::left << std::setw(nw) << r.channel << std::right << std::setw(8)
+       << d.count << std::setw(12) << d.bytes << std::fixed
+       << std::setprecision(1) << std::setw(12) << d.mean_ns << std::setw(12)
+       << d.p50_ns << std::setw(12) << d.p95_ns << std::setw(12) << d.p99_ns
+       << std::setw(12) << d.mean_queue_ns << std::setw(12)
+       << d.mean_service_ns << "\n";
+  }
+}
+
+}  // namespace stlm::trace

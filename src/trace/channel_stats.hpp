@@ -1,0 +1,66 @@
+#pragma once
+// Per-channel latency distributions derived from a TxnLogger.
+//
+// The mean/max pair in TxnLogger::Summary cannot rank platforms whose
+// split engines reorder completions: a split bus often *improves* the
+// mean while a handful of capacity-starved transactions blow out the
+// tail. LatencyDist carries the full picture per channel — exact
+// nearest-rank percentiles (p50/p95/p99), the queueing/service split
+// (queue = grant − issue, service = completion − grant), and a
+// trace::Histogram of the latency shape for reports.
+//
+// All numbers are derived purely from recorded timestamps, so they are
+// bit-identical run-to-run and across sweep vs. sweep_parallel like
+// every other simulated metric.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/stats.hpp"
+#include "trace/txn_log.hpp"
+
+namespace stlm::trace {
+
+// Nearest-rank percentile (pct in (0, 100]) over `samples`. Partially
+// sorts the buffer in place; returns 0 for an empty buffer.
+double percentile(std::vector<double>& samples, double pct);
+
+// Latency distribution over a set of records.
+struct LatencyDist {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  // Queueing delay (issue -> grant) and service span (grant -> end).
+  double mean_queue_ns = 0.0;
+  double max_queue_ns = 0.0;
+  double p95_queue_ns = 0.0;
+  double mean_service_ns = 0.0;
+  // Latency shape over [0, max_ns] (kHistBins fixed-width bins).
+  Histogram hist{0.0, 1.0, 1};
+
+  static constexpr std::size_t kHistBins = 16;
+};
+
+// Distribution over every record in the log.
+LatencyDist latency_dist(const std::vector<TxnRecord>& records);
+
+struct ChannelStats {
+  std::string channel;
+  LatencyDist dist;
+};
+
+// One ChannelStats per channel that logged at least one record, in
+// interning order (wiring order — deterministic for a given build).
+std::vector<ChannelStats> per_channel_stats(const TxnLogger& log);
+
+// Aligned per-channel table: count, bytes, mean/p50/p95/p99 latency,
+// mean queueing delay, mean service span. Restores stream formatting.
+void print_channel_table(std::ostream& os,
+                         const std::vector<ChannelStats>& rows);
+
+}  // namespace stlm::trace

@@ -47,8 +47,16 @@ const std::string& TxnLogger::channel_name(std::uint32_t id) const {
 void TxnLogger::record(std::uint32_t channel_id, TxnKind kind,
                        std::uint64_t txn_id, std::uint64_t bytes, Time start,
                        Time end) {
+  // Phase-less layer: the row's grant/data stamps collapse onto issue.
+  record(channel_id, kind, txn_id, bytes, start, end, start, start);
+}
+
+void TxnLogger::record(std::uint32_t channel_id, TxnKind kind,
+                       std::uint64_t txn_id, std::uint64_t bytes, Time start,
+                       Time end, Time grant, Time data) {
   if (!enabled_) return;
-  records_.push_back(TxnRecord{channel_id, kind, txn_id, bytes, start, end});
+  records_.push_back(
+      TxnRecord{channel_id, kind, txn_id, bytes, start, end, grant, data});
 }
 
 void TxnLogger::record(const std::string& channel, TxnKind kind,
@@ -57,23 +65,45 @@ void TxnLogger::record(const std::string& channel, TxnKind kind,
   record(intern(channel), kind, /*txn_id=*/0, bytes, start, end);
 }
 
+void TxnLogger::record(const std::string& channel, TxnKind kind,
+                       std::uint64_t bytes, Time start, Time end, Time grant,
+                       Time data) {
+  if (!enabled_) return;
+  record(intern(channel), kind, /*txn_id=*/0, bytes, start, end, grant, data);
+}
+
 TxnLogger::Summary TxnLogger::summarize() const {
   Summary s;
-  double total_ns = 0.0;
+  double total_ns = 0.0, total_queue = 0.0, total_service = 0.0;
   for (const auto& r : records_) {
     ++s.count;
     s.bytes += r.bytes;
-    const double lat = (r.end - r.start).to_ns();
+    const double lat = r.latency_ns();
+    const double queue = r.queue_ns();
+    const double service = r.service_ns();
     total_ns += lat;
+    total_queue += queue;
+    total_service += service;
     if (lat > s.max_latency_ns) s.max_latency_ns = lat;
+    if (queue > s.max_queue_ns) s.max_queue_ns = queue;
+    if (service > s.max_service_ns) s.max_service_ns = service;
   }
-  if (s.count) s.mean_latency_ns = total_ns / static_cast<double>(s.count);
+  if (s.count) {
+    const auto n = static_cast<double>(s.count);
+    s.mean_latency_ns = total_ns / n;
+    s.mean_queue_ns = total_queue / n;
+    s.mean_service_ns = total_service / n;
+  }
   return s;
 }
 
 namespace {
 
-constexpr const char* kCsvHeader =
+// The header line is the format version. v2 carries the phase columns;
+// v1 (pre-phase traces) is still loadable with grant = data = start.
+constexpr const char* kCsvHeaderV2 =
+    "channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn";
+constexpr const char* kCsvHeaderV1 =
     "channel,kind,bytes,start_fs,end_fs,latency_ns,txn";
 
 // RFC4180 quoting: only names carrying a delimiter, quote, or line break
@@ -199,11 +229,12 @@ bool parse_double(const std::string& s, double& out) {
 }  // namespace
 
 void TxnLogger::dump_csv(std::ostream& os) const {
-  os << kCsvHeader << "\n";
+  os << kCsvHeaderV2 << "\n";
   for (const auto& r : records_) {
     write_csv_field(os, channel_name(r.channel));
     os << "," << txn_kind_name(r.kind) << "," << r.bytes << ","
-       << r.start.femtoseconds() << "," << r.end.femtoseconds() << ","
+       << r.start.femtoseconds() << "," << r.grant.femtoseconds() << ","
+       << r.data.femtoseconds() << "," << r.end.femtoseconds() << ","
        << (r.end - r.start).to_ns() << "," << r.txn << "\n";
   }
 }
@@ -227,11 +258,14 @@ void TxnLogger::load_csv_impl(std::istream& is) {
   if (!read_csv_record(is, line)) {
     throw SimulationError("TxnLogger::load_csv: empty input (missing header)");
   }
-  if (line != kCsvHeader) {
+  const bool v2 = line == kCsvHeaderV2;
+  if (!v2 && line != kCsvHeaderV1) {
     throw SimulationError(
         "TxnLogger::load_csv: unrecognized header '" + line +
-        "' (expected '" + kCsvHeader + "')");
+        "' (expected '" + kCsvHeaderV2 + "' or the v1 header '" +
+        kCsvHeaderV1 + "')");
   }
+  const std::size_t n_fields = v2 ? 9 : 7;
 
   std::vector<std::string> fields;
   std::string err;
@@ -240,37 +274,60 @@ void TxnLogger::load_csv_impl(std::istream& is) {
     ++line_no;
     if (line.empty()) continue;  // tolerate a trailing blank line
     if (!split_csv_line(line, fields, err)) csv_error(line_no, err);
-    if (fields.size() != 7) {
-      csv_error(line_no, "expected 7 fields, got " +
-                             std::to_string(fields.size()));
+    if (fields.size() != n_fields) {
+      csv_error(line_no, "expected " + std::to_string(n_fields) +
+                             " fields, got " + std::to_string(fields.size()));
     }
     TxnRecord r{};
     r.channel = intern(fields[0]);
     if (!txn_kind_from_name(fields[1], r.kind)) {
       csv_error(line_no, "unknown kind '" + fields[1] + "'");
     }
-    std::uint64_t bytes = 0, start_fs = 0, end_fs = 0, txn = 0;
+    // Field layout after (channel, kind, bytes):
+    //   v2: start_fs grant_fs data_fs end_fs latency_ns txn
+    //   v1: start_fs end_fs latency_ns txn   (phases default to start)
+    std::uint64_t bytes = 0, start_fs = 0, grant_fs = 0, data_fs = 0,
+                  end_fs = 0, txn = 0;
     if (!parse_u64(fields[2], bytes)) {
       csv_error(line_no, "bad bytes '" + fields[2] + "'");
     }
     if (!parse_u64(fields[3], start_fs)) {
       csv_error(line_no, "bad start_fs '" + fields[3] + "'");
     }
-    if (!parse_u64(fields[4], end_fs)) {
-      csv_error(line_no, "bad end_fs '" + fields[4] + "'");
+    std::size_t f = 4;
+    if (v2) {
+      if (!parse_u64(fields[4], grant_fs)) {
+        csv_error(line_no, "bad grant_fs '" + fields[4] + "'");
+      }
+      if (!parse_u64(fields[5], data_fs)) {
+        csv_error(line_no, "bad data_fs '" + fields[5] + "'");
+      }
+      f = 6;
+    } else {
+      grant_fs = start_fs;
+      data_fs = start_fs;
+    }
+    if (!parse_u64(fields[f], end_fs)) {
+      csv_error(line_no, "bad end_fs '" + fields[f] + "'");
     }
     double latency_ns = 0.0;
-    if (!parse_double(fields[5], latency_ns)) {
-      csv_error(line_no, "bad latency_ns '" + fields[5] + "'");
+    if (!parse_double(fields[f + 1], latency_ns)) {
+      csv_error(line_no, "bad latency_ns '" + fields[f + 1] + "'");
     }
-    if (!parse_u64(fields[6], txn)) {
-      csv_error(line_no, "bad txn '" + fields[6] + "'");
+    if (!parse_u64(fields[f + 2], txn)) {
+      csv_error(line_no, "bad txn '" + fields[f + 2] + "'");
     }
     if (end_fs < start_fs) {
       csv_error(line_no, "end_fs precedes start_fs");
     }
+    if (grant_fs < start_fs || data_fs < grant_fs || end_fs < data_fs) {
+      csv_error(line_no,
+                "phase order violated (need start <= grant <= data <= end)");
+    }
     r.bytes = bytes;
     r.start = Time::fs(start_fs);
+    r.grant = Time::fs(grant_fs);
+    r.data = Time::fs(data_fs);
     r.end = Time::fs(end_fs);
     r.txn = txn;
     records_.push_back(r);

@@ -38,8 +38,22 @@ struct TxnRecord {
   TxnKind kind;
   std::uint64_t txn;      // stlm::Txn::id of the pooled descriptor (0 = n/a)
   std::uint64_t bytes;
-  Time start;
-  Time end;
+  Time start;             // issue: the initiator handed the txn to the layer
+  Time end;               // completion visible to the initiator
+  // Phase timestamps (schema v2). Layers without distinguishable phases
+  // (SHIP channels, point-to-point OCP TL) record grant == data == start,
+  // which keeps their queueing delay at zero by construction. Split bus
+  // engines diverge them: grant is when arbitration was won, data is when
+  // the response claimed the data channel — on an OoO bus the order of
+  // `end` across records no longer follows the order of `grant`.
+  Time grant;
+  Time data;
+
+  double latency_ns() const { return (end - start).to_ns(); }
+  // Queueing delay: issue -> grant (arbitration / outstanding-cap wait).
+  double queue_ns() const { return (grant - start).to_ns(); }
+  // Service span: grant -> completion (bus occupancy + target service).
+  double service_ns() const { return (end - grant).to_ns(); }
 };
 
 class TxnLogger {
@@ -52,40 +66,68 @@ public:
   std::uint32_t intern(const std::string& channel);
   const std::string& channel_name(std::uint32_t id) const;
 
-  // Hot path: fixed-width row, no string traffic.
+  // Hot path: fixed-width row, no string traffic. The phase-less
+  // overload records grant == data == start (no distinguishable phases
+  // on that layer); the phase-accurate overload carries the grant and
+  // data-phase timestamps stamped by the CAM engines.
   void record(std::uint32_t channel_id, TxnKind kind, std::uint64_t txn_id,
               std::uint64_t bytes, Time start, Time end);
+  void record(std::uint32_t channel_id, TxnKind kind, std::uint64_t txn_id,
+              std::uint64_t bytes, Time start, Time end, Time grant,
+              Time data);
   // Convenience overload for edge/test code; interns per call.
   void record(const std::string& channel, TxnKind kind, std::uint64_t bytes,
               Time start, Time end);
+  // Phase-accurate convenience overload (interns per call).
+  void record(const std::string& channel, TxnKind kind, std::uint64_t bytes,
+              Time start, Time end, Time grant, Time data);
 
   const std::vector<TxnRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   void clear() { records_.clear(); }
 
-  // Aggregate view: count, bytes, mean/max latency in ns.
+  // Aggregate view. `mean/max_latency_ns` are the end-to-end
+  // issue→completion spans (unchanged definition). The queue/service
+  // split decomposes that end-to-end latency per record:
+  //
+  //   latency = queue (issue→grant) + service (grant→completion)
+  //
+  // On a split bus a deep outstanding window inflates queue while
+  // service stays flat — compare service, not total latency, when asking
+  // whether split mode made the bus itself slower.
   struct Summary {
     std::uint64_t count = 0;
     std::uint64_t bytes = 0;
     double mean_latency_ns = 0.0;
     double max_latency_ns = 0.0;
+    double mean_queue_ns = 0.0;
+    double max_queue_ns = 0.0;
+    double mean_service_ns = 0.0;
+    double max_service_ns = 0.0;
   };
   Summary summarize() const;
 
-  // CSV schema (one header line, then one line per record):
+  // CSV schema v2 (one header line, then one line per record):
   //
-  //   channel,kind,bytes,start_fs,end_fs,latency_ns,txn
+  //   channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn
   //
-  // start/end are integer femtoseconds, so dump_csv -> load_csv round-trips
-  // records bit-identically; latency_ns is a derived human-readable column
-  // that load_csv validates syntactically but does not store. Channel
-  // names containing commas, quotes, or newlines are RFC4180-quoted.
+  // Timestamps are integer femtoseconds, so dump_csv -> load_csv
+  // round-trips records bit-identically including the phase columns;
+  // latency_ns is a derived human-readable column that load_csv validates
+  // syntactically but does not store. Channel names containing commas,
+  // quotes, or newlines are RFC4180-quoted.
+  //
+  // The header line doubles as the format version: load_csv also accepts
+  // the v1 header (channel,kind,bytes,start_fs,end_fs,latency_ns,txn) and
+  // defaults the missing phase columns to grant = data = start, so traces
+  // captured before the phase-accurate schema stay loadable.
   void dump_csv(std::ostream& os) const;
 
   // Replace this logger's records (and channel table) with the contents
-  // of a dump_csv stream. Validates the header and every row; throws
-  // SimulationError naming the offending line and field on malformed
-  // input, leaving the logger empty.
+  // of a dump_csv stream (either schema version). Validates the header
+  // and every row (including phase ordering start <= grant <= data <=
+  // end); throws SimulationError naming the offending line and field on
+  // malformed input, leaving the logger empty.
   void load_csv(std::istream& is);
 
 private:
@@ -110,6 +152,10 @@ public:
   void record(TxnKind kind, std::uint64_t txn_id, std::uint64_t bytes,
               Time start, Time end) const {
     log_->record(channel_, kind, txn_id, bytes, start, end);
+  }
+  void record(TxnKind kind, std::uint64_t txn_id, std::uint64_t bytes,
+              Time start, Time end, Time grant, Time data) const {
+    log_->record(channel_, kind, txn_id, bytes, start, end, grant, data);
   }
 
 private:

@@ -1,0 +1,97 @@
+#pragma once
+// DMA-like memory traffic source: a PE issuing seeded, addressed
+// reads/writes against a mapped memory target (SystemGraph::add_memory)
+// through a sliding window of posted transactions.
+//
+// This is the canonical out-of-order initiator: with `window > 1` it
+// keeps several descriptors in flight via CamIf::post(), so on a split
+// bus in front of a banked memory the unequal row-hit/row-miss/conflict
+// service times genuinely reorder completions — the traffic pattern the
+// phase-accurate instrumentation (grant vs. completion divergence,
+// queueing-delay percentiles) exists to measure.
+//
+// At the abstract levels (component assembly, CCATB) there is no
+// interconnect: ExecContext::mem_bus() is null and every access is
+// modeled as `fallback_cycles` of compute. All random draws happen in
+// both modes, so a given seed produces the same access sequence on
+// every level, platform, and sweep-worker thread.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cam/cam_if.hpp"
+#include "core/pe.hpp"
+#include "workload/generators.hpp"
+#include "workload/rng.hpp"
+
+namespace stlm::workload {
+
+struct MemoryTrafficConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t accesses = 32;
+  std::uint64_t base = 0x80000000;     // must match the MemorySpec range
+  std::size_t span = 1 << 14;          // addresses drawn from [base, base+span)
+  ByteRange payload{32, 128};          // access size range
+  CycleRange gap{0, 20};               // compute between accesses
+  std::size_t window = 4;              // posted descriptors in flight
+  std::uint64_t write_pct = 60;        // % of accesses that are writes
+  std::uint64_t fallback_cycles = 8;   // per-access compute when bus-less
+};
+
+class MemoryTrafficPe final : public core::ProcessingElement {
+public:
+  MemoryTrafficPe(std::string name, MemoryTrafficConfig cfg)
+      : ProcessingElement(std::move(name)), cfg_(cfg) {}
+
+  void run(core::ExecContext& ctx) override {
+    SplitMix64 rng(cfg_.seed);
+    cam::CamIf* bus = ctx.mem_bus();
+    const std::size_t window = std::max<std::size_t>(cfg_.window, 1);
+    std::vector<Txn> txns(window);
+    std::vector<std::uint8_t> scratch;
+    for (std::uint64_t i = 0; i < cfg_.accesses; ++i) {
+      const std::uint64_t gap = rng.uniform(cfg_.gap.min, cfg_.gap.max);
+      if (gap) ctx.consume(gap);
+      std::size_t bytes = rng.uniform(cfg_.payload.min, cfg_.payload.max);
+      if (bytes == 0) bytes = 1;
+      if (bytes > cfg_.span) bytes = cfg_.span;
+      // Word-aligned address with the whole access inside the window.
+      const std::uint64_t room = static_cast<std::uint64_t>(
+          cfg_.span - bytes + 1);
+      const std::uint64_t addr = cfg_.base + rng.next() % room / 4 * 4;
+      const bool is_write = rng.next() % 100 < cfg_.write_pct;
+      if (!bus) {
+        ctx.consume(cfg_.fallback_cycles);
+        continue;
+      }
+      Txn& t = txns[i % window];
+      // Slot reuse: wait out the descriptor's previous flight. Later
+      // slots may complete before earlier ones (OoO) — the window only
+      // bounds the depth, it does not order completions.
+      if (i >= window) t.done.wait(ctx.sim());
+      if (is_write) {
+        scratch.assign(bytes, static_cast<std::uint8_t>(i * 31 + 7));
+        t.begin_write(addr, scratch.data(), scratch.size());
+      } else {
+        t.begin_read(addr, static_cast<std::uint32_t>(bytes));
+      }
+      bus->post(ctx.mem_master(), t);
+    }
+    if (bus) {
+      const std::uint64_t posted =
+          std::min<std::uint64_t>(cfg_.accesses, window);
+      for (std::uint64_t k = 0; k < posted; ++k) {
+        txns[static_cast<std::size_t>(k)].done.wait(ctx.sim());
+      }
+    }
+  }
+
+  const MemoryTrafficConfig& config() const { return cfg_; }
+
+private:
+  MemoryTrafficConfig cfg_;
+};
+
+}  // namespace stlm::workload

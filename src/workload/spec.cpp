@@ -1,6 +1,7 @@
 #include "workload/spec.hpp"
 
 #include "kernel/report.hpp"
+#include "workload/memory_traffic.hpp"
 
 namespace stlm::workload {
 
@@ -10,6 +11,7 @@ const char* traffic_shape_name(TrafficShape s) {
     case TrafficShape::Bursty: return "bursty";
     case TrafficShape::RequestReply: return "reqreply";
     case TrafficShape::Pipeline: return "pipeline";
+    case TrafficShape::Banked: return "banked";
   }
   return "?";
 }
@@ -95,6 +97,43 @@ void build_pipeline(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
   o.push_back(std::move(sink));
 }
 
+void build_banked(const WorkloadSpec& s, core::SystemGraph& g, Owned& o) {
+  // DMA masters hammering one banked memory through posted windows, plus
+  // one SHIP stream for cross traffic so the bus carries wrapper bursts
+  // next to the raw memory accesses.
+  core::MemorySpec mem;
+  mem.name = "dram";
+  mem.cfg = s.mem_cfg;
+  for (std::size_t i = 0; i < s.streams; ++i) {
+    const std::string id = std::to_string(i);
+    MemoryTrafficConfig cfg;
+    cfg.seed = SplitMix64::derive(s.seed, i);
+    cfg.accesses = s.messages;
+    cfg.base = mem.base;
+    cfg.span = mem.size;
+    cfg.payload = s.payload;
+    cfg.gap = s.gap;
+    cfg.window = s.posted_window;
+    cfg.write_pct = s.write_pct;
+    auto dma = std::make_unique<MemoryTrafficPe>("dma" + id, cfg);
+    g.add_pe(*dma);
+    mem.clients.push_back(dma.get());
+    o.push_back(std::move(dma));
+  }
+  g.add_memory(std::move(mem));
+
+  auto src = std::make_unique<UniformTrafficPe>(
+      "cross", SplitMix64::derive(s.seed, s.streams), s.messages, s.payload,
+      s.gap);
+  auto sink = std::make_unique<SinkPe>("cross.sink", s.messages);
+  g.add_pe(*src);
+  g.add_pe(*sink);
+  g.connect("cross", *src, "out", *sink, "in", s.queue_depth,
+            ship::Role::Master);
+  o.push_back(std::move(src));
+  o.push_back(std::move(sink));
+}
+
 }  // namespace
 
 GraphFactory WorkloadSpec::factory() const {
@@ -106,6 +145,7 @@ GraphFactory WorkloadSpec::factory() const {
       case TrafficShape::Bursty: build_bursty(spec, g, o); return;
       case TrafficShape::RequestReply: build_reqreply(spec, g, o); return;
       case TrafficShape::Pipeline: build_pipeline(spec, g, o); return;
+      case TrafficShape::Banked: build_banked(spec, g, o); return;
     }
     throw ElaborationError("unknown traffic shape in workload " + spec.name);
   };
@@ -160,6 +200,22 @@ std::vector<WorkloadCase> workload_candidates(std::uint64_t seed) {
   pipe.gap = {10, 50};
   pipe.stage_cycles = 150;
   cases.push_back(make_case(pipe));
+
+  // The banked-memory case is what exercises OoO for real: two DMA
+  // masters keep posted windows in flight against a banked target whose
+  // row hits/misses and bank conflicts spread service times, so split
+  // platforms ("-splitN" grid points, e.g. a split PLB) complete out of
+  // issue order while atomic platforms drain the same posts serially.
+  WorkloadSpec banked;
+  banked.name = "banked";
+  banked.shape = TrafficShape::Banked;
+  banked.seed = SplitMix64::derive(seed, 5);
+  banked.streams = 2;  // DMA masters
+  banked.messages = 12;  // accesses per master
+  banked.payload = {32, 96};
+  banked.gap = {0, 30};
+  banked.posted_window = 4;
+  cases.push_back(make_case(banked));
 
   return cases;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/system_graph.hpp"
+#include "ocp/banked_memory.hpp"
 #include "workload/generators.hpp"
 
 namespace stlm::workload {
@@ -30,6 +31,7 @@ enum class TrafficShape : std::uint8_t {
   Bursty,        // ON/OFF bursts against long idle gaps
   RequestReply,  // client/server round trips
   Pipeline,      // single chain: source -> N stages -> sink
+  Banked,        // DMA masters posting OoO windows at a banked memory
 };
 const char* traffic_shape_name(TrafficShape s);
 
@@ -49,6 +51,14 @@ struct WorkloadSpec {
   std::uint64_t serve_cycles = 50;   // reqreply: server compute per request
   std::uint64_t stage_cycles = 100;  // pipeline: per-stage compute
   std::size_t queue_depth = 2;
+  // Banked shape: posted-window depth per DMA master and write share.
+  // On split platforms (`Platform::max_outstanding > 1`) the window is
+  // what keeps several accesses in flight so the banked target's
+  // service-time spread reorders completions; atomic platforms drain the
+  // same posts serially (CamIf::post contract).
+  std::size_t posted_window = 4;
+  std::uint64_t write_pct = 60;
+  ocp::BankedMemoryConfig mem_cfg{};
 
   // Compile into a self-contained factory (copies the spec). Channel
   // roles are declared at connect() time — generator graphs never need a
@@ -64,10 +74,11 @@ struct WorkloadCase {
 
 WorkloadCase make_case(const WorkloadSpec& spec);
 
-// Canonical workload axis: uniform, bursty, request/reply, pipeline —
-// four deterministic seeded workloads sized so a full platform-grid x
-// workload sweep stays cheap. All derive their per-stream seeds from
-// `seed`, so two sweeps with the same seed are bit-identical.
+// Canonical workload axis: uniform, bursty, request/reply, pipeline,
+// banked (DMA windows at a banked memory) — five deterministic seeded
+// workloads sized so a full platform-grid x workload sweep stays cheap.
+// All derive their per-stream seeds from `seed`, so two sweeps with the
+// same seed are bit-identical.
 std::vector<WorkloadCase> workload_candidates(std::uint64_t seed = 0x5eed);
 
 }  // namespace stlm::workload

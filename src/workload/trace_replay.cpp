@@ -54,7 +54,14 @@ std::vector<ChannelScript> build_replay(const trace::TxnLogger& log,
     // pays its own service time again, so charging start-to-start would
     // double-count every transaction's duration.
     Time prev = epoch;
-    std::deque<std::size_t> outstanding;  // indices of unreplied requests
+    std::vector<Time> send_ends;  // per-action captured ends (sink pacing)
+    // Unreplied requests: action index + the request row's end time (the
+    // reply gap is measured from there to the reply's start).
+    struct Outstanding {
+      std::size_t action;
+      Time req_end;
+    };
+    std::deque<Outstanding> outstanding;
     for (const Row& row : rows) {
       const trace::TxnRecord& r = *row.rec;
       if (r.kind == trace::TxnKind::Reply) {
@@ -62,7 +69,12 @@ std::vector<ChannelScript> build_replay(const trace::TxnLogger& log,
           throw ElaborationError("trace replay: reply without outstanding "
                                  "request on channel '" + channel + "'");
         }
-        script.actions[outstanding.front()].reply_bytes = r.bytes;
+        ReplayAction& req = script.actions[outstanding.front().action];
+        req.reply_bytes = r.bytes;
+        req.reply_gap_cycles =
+            r.start > outstanding.front().req_end
+                ? (r.start - outstanding.front().req_end) / cfg.clock
+                : 0;
         outstanding.pop_front();
         prev = r.end;  // the requester resumed here
         continue;
@@ -71,15 +83,42 @@ std::vector<ChannelScript> build_replay(const trace::TxnLogger& log,
       a.kind = r.kind;
       a.bytes = r.bytes;
       a.gap_cycles = r.start > prev ? (r.start - prev) / cfg.clock : 0;
+      send_ends.push_back(r.end);
       prev = r.end;
       if (r.kind == trace::TxnKind::Request) {
-        outstanding.push_back(script.actions.size());
+        outstanding.push_back(Outstanding{script.actions.size(), r.end});
       }
       script.actions.push_back(a);
     }
     if (!outstanding.empty()) {
       throw ElaborationError("trace replay: request without captured reply "
                              "on channel '" + channel + "'");
+    }
+
+    // Consumer pacing for streaming channels (every action a Send): in a
+    // depth-d FIFO, push j completes at max(its own transfer, pop of
+    // message j-d) — so the captured end of message j is exactly when
+    // pop j-d had freed a slot on a congested channel, and an upper
+    // bound on any pop j-d otherwise. Pacing recv j to the captured end
+    // of message j+d is therefore the latest consistent pop schedule:
+    // it reproduces the queue-full backpressure (most of a congested
+    // channel's send latency) and leaves uncongested sends untouched.
+    // Request channels need no pacing — the master blocks for the reply
+    // and reply_gap_cycles already carries the serve time.
+    const bool all_sends =
+        std::all_of(script.actions.begin(), script.actions.end(),
+                    [](const ReplayAction& a) {
+                      return a.kind == trace::TxnKind::Send;
+                    });
+    if (all_sends) {
+      const std::size_t n = script.actions.size();
+      Time prev_target = epoch;
+      for (std::size_t j = 0; j < n; ++j) {
+        const Time target = send_ends[std::min(j + cfg.queue_depth, n - 1)];
+        script.actions[j].recv_gap_cycles =
+            target > prev_target ? (target - prev_target) / cfg.clock : 0;
+        prev_target = target;
+      }
     }
     if (!script.actions.empty()) scripts.push_back(std::move(script));
   }
@@ -109,8 +148,10 @@ void ReplaySinkPe::run(core::ExecContext& ctx) {
   ship::ship_if& in = ctx.channel("in");
   RawMsg msg, resp;
   for (const ReplayAction& a : script_.actions) {
+    if (a.recv_gap_cycles) ctx.consume(a.recv_gap_cycles);
     in.recv(msg);
     if (a.kind == trace::TxnKind::Request) {
+      if (a.reply_gap_cycles) ctx.consume(a.reply_gap_cycles);
       resp.data.assign(a.reply_bytes, 0x5a);
       in.reply(resp);
     }

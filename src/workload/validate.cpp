@@ -1,0 +1,108 @@
+#include "workload/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace stlm::workload {
+
+namespace {
+
+bool replayable(trace::TxnKind k) {
+  return k == trace::TxnKind::Send || k == trace::TxnKind::Request ||
+         k == trace::TxnKind::Reply;
+}
+
+// Channel name -> that channel's compared records, preserving log order.
+std::map<std::string, std::vector<trace::TxnRecord>> bucket(
+    const trace::TxnLogger& log, bool ship_only) {
+  std::map<std::string, std::vector<trace::TxnRecord>> out;
+  for (const auto& r : log.records()) {
+    if (ship_only && !replayable(r.kind)) continue;
+    out[log.channel_name(r.channel)].push_back(r);
+  }
+  return out;
+}
+
+bool within(double original, double replayed, const ValidateConfig& cfg) {
+  const double tol =
+      std::max(cfg.rel_tolerance * std::abs(original), cfg.abs_floor_ns);
+  return std::abs(replayed - original) <= tol;
+}
+
+}  // namespace
+
+ReplayValidation validate_replay(const trace::TxnLogger& original,
+                                 const trace::TxnLogger& replayed,
+                                 const ValidateConfig& cfg) {
+  auto orig = bucket(original, cfg.ship_rows_only);
+  auto rep = bucket(replayed, cfg.ship_rows_only);
+
+  // Union of channel names, alphabetical (map order) — deterministic.
+  std::vector<std::string> names;
+  for (const auto& [name, _] : orig) names.push_back(name);
+  for (const auto& [name, _] : rep) {
+    if (!orig.contains(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+
+  ReplayValidation v;
+  v.ok = true;
+  for (const auto& name : names) {
+    ChannelComparison c;
+    c.channel = name;
+    c.in_original = orig.contains(name);
+    c.in_replayed = rep.contains(name);
+    if (c.in_original) c.original = trace::latency_dist(orig[name]);
+    if (c.in_replayed) c.replayed = trace::latency_dist(rep[name]);
+    c.counts_ok = !cfg.require_exact_counts ||
+                  c.original.count == c.replayed.count;
+    c.bytes_ok =
+        !cfg.require_exact_counts || c.original.bytes == c.replayed.bytes;
+
+    const auto compare = [&](const char* stat, double o, double r) {
+      c.stats.push_back(StatDelta{stat, o, r, within(o, r, cfg)});
+    };
+    compare("mean", c.original.mean_ns, c.replayed.mean_ns);
+    compare("p50", c.original.p50_ns, c.replayed.p50_ns);
+    compare("p95", c.original.p95_ns, c.replayed.p95_ns);
+    compare("p99", c.original.p99_ns, c.replayed.p99_ns);
+    compare("queue", c.original.mean_queue_ns, c.replayed.mean_queue_ns);
+
+    if (!c.ok()) v.ok = false;
+    v.channels.push_back(std::move(c));
+  }
+  if (v.channels.empty()) v.ok = false;  // nothing to validate is a failure
+  return v;
+}
+
+std::string ReplayValidation::report() const {
+  std::ostringstream os;
+  trace::ScopedOstreamFormat guard(os);
+  os << "replay validation: " << (ok ? "PASS" : "FAIL") << " ("
+     << channels.size() << " channel" << (channels.size() == 1 ? "" : "s")
+     << ")\n";
+  os << std::fixed << std::setprecision(1);
+  for (const auto& c : channels) {
+    os << "  channel '" << c.channel << "': ";
+    if (!c.in_original || !c.in_replayed) {
+      os << "MISSING from " << (c.in_original ? "replayed" : "original")
+         << " run\n";
+      continue;
+    }
+    os << (c.ok() ? "ok" : "FAIL") << "\n";
+    os << "    txns " << c.original.count << " -> " << c.replayed.count
+       << (c.counts_ok ? "" : "  FAIL") << ", bytes " << c.original.bytes
+       << " -> " << c.replayed.bytes << (c.bytes_ok ? "" : "  FAIL") << "\n";
+    for (const auto& s : c.stats) {
+      os << "    " << std::left << std::setw(6) << s.name << std::right
+         << std::setw(12) << s.original_ns << " ns -> " << std::setw(12)
+         << s.replayed_ns << " ns" << (s.ok ? "" : "  FAIL") << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace stlm::workload

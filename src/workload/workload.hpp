@@ -1,8 +1,11 @@
 #pragma once
 // Umbrella header for the workload engine: seeded synthetic generators,
-// declarative workload specs, and trace capture/replay.
+// declarative workload specs, trace capture/replay, and replay
+// validation.
 
 #include "workload/generators.hpp"
+#include "workload/memory_traffic.hpp"
 #include "workload/rng.hpp"
 #include "workload/spec.hpp"
 #include "workload/trace_replay.hpp"
+#include "workload/validate.hpp"

@@ -10,6 +10,8 @@
 #include "cpu/irq.hpp"
 #include "hwsw/hwsw.hpp"
 #include "kernel/kernel.hpp"
+#include "ocp/banked_memory.hpp"
+#include "ocp/memory.hpp"
 #include "rtos/rtos.hpp"
 #include "ship/ship.hpp"
 
@@ -219,6 +221,95 @@ TEST(HwSw, ReplyWithoutRequestThrowsOnDriver) {
     f.drv.reply(m);
   });
   EXPECT_THROW(f.run_until_tasks_done(), ProtocolError);
+}
+
+// The ROADMAP item "exercise post() windows from the HW/SW driver
+// path": on a split PLB, the blocking driver/ISR path (CPU mmio reads
+// draining the adapter mailbox) shares the bus with a DMA master that
+// keeps a posted window of writes in flight against targets with very
+// different service times. The bus genuinely completes the DMA's
+// transactions out of issue order, and the driver's mailbox protocol
+// must still deliver every message to the RTOS task in order and
+// intact.
+TEST(HwSw, PostedDmaWindowsDoNotPerturbInOrderDriverDelivery) {
+  Simulator sim;
+  Clock clk{sim, "clk", 10_ns};
+  cam::PlbCam bus{sim, "plb", 10_ns, std::make_unique<cam::PriorityArbiter>(),
+                  0, cam::SplitConfig{true, 4}};
+  ASSERT_TRUE(bus.split_active());
+  cam::MailboxLayout layout{0x8000, 256};
+  hwsw::HwAdapter adapter{sim, "hwacc", layout, 10_ns};
+  cpu::CpuModel cpu{sim, "cpu", clk};
+  cpu::IrqController ic{sim, "ic"};
+  rtos::Rtos os{sim, "os", cpu, {1_us, 20}};
+  hwsw::ShipDriver drv{"drv", os, cpu, layout};
+  bus.attach_slave(adapter, layout.range(), "hwacc");
+  // Two DMA targets with wildly different service times: a slow flat
+  // memory and a banked DRAM — the recipe for OoO completion.
+  ocp::MemorySlave slowmem("slowmem", 0x100000, 0x1000, 500_ns);
+  ocp::BankedMemorySlave dram("dram", 0x200000, 0x10000);
+  bus.attach_slave(slowmem, {0x100000, 0x1000}, "slowmem");
+  bus.attach_slave(dram, {0x200000, 0x10000}, "dram");
+  cpu.bus().bind(bus.master_port(bus.add_master("cpu")));
+  const std::size_t dma_idx = bus.add_master("dma");
+  ic.attach(adapter.irq(), 0);
+  os.attach_isr(ic, [&](int line) {
+    if (line == 0) drv.on_irq();
+  });
+
+  constexpr int kCount = 12;
+  std::vector<int> got;
+  os.create_task("app", 1, [&] {
+    for (int i = 0; i < kCount; ++i) {
+      ship::PodMsg<int> m;
+      drv.recv(m);
+      got.push_back(m.value);
+    }
+  });
+  sim.spawn_thread("hw_pe", [&] {
+    for (int i = 0; i < kCount; ++i) {
+      ship::PodMsg<int> m(i);
+      adapter.send(m);
+    }
+  });
+
+  bool ooo_seen = false;
+  bool dma_done = false;
+  int dma_completed = 0;
+  sim.spawn_thread("dma", [&] {
+    std::vector<std::uint8_t> big(256, 0xd1), small(8, 0xd2);
+    for (int i = 0; i < 16; ++i) {
+      Txn a, b;
+      a.begin_write(0x100000 + static_cast<std::uint64_t>(i % 8) * 64,
+                    big.data(), big.size());       // slow target, issued first
+      b.begin_write(0x200000 + static_cast<std::uint64_t>(i) * 64,
+                    small.data(), small.size());   // fast target, issued second
+      bus.post(dma_idx, a);
+      bus.post(dma_idx, b);
+      b.done.wait(sim);
+      if (!a.done.completed()) ooo_seen = true;  // b overtook a on the bus
+      a.done.wait(sim);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      dma_completed += 2;
+    }
+    dma_done = true;
+  });
+
+  sim.spawn_thread("watch", [&] {
+    while (!os.all_tasks_terminated() || !dma_done) wait(10_us);
+    sim.stop();
+  });
+  sim.run();
+
+  // In-order, intact delivery to the RTOS side...
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  // ...while the bus demonstrably completed the posted window OoO.
+  EXPECT_TRUE(ooo_seen) << "posted window never reordered - not a split bus?";
+  EXPECT_EQ(dma_completed, 32);
+  EXPECT_EQ(slowmem.writes(), 16u);
+  EXPECT_EQ(dram.writes(), 16u);
 }
 
 TEST(HwSw, CommunicationConsumesCpuAndBusTime) {

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "kernel/kernel.hpp"
+#include "trace/channel_stats.hpp"
 #include "trace/stats.hpp"
 #include "trace/txn_log.hpp"
 #include "trace/vcd.hpp"
@@ -170,16 +171,42 @@ TEST(TxnLog, SummaryAndCsv) {
   EXPECT_EQ(s.bytes, 96u);
   EXPECT_DOUBLE_EQ(s.mean_latency_ns, 150.0);
   EXPECT_DOUBLE_EQ(s.max_latency_ns, 200.0);
+  // Phase-less rows: grant == start, so the whole latency is service.
+  EXPECT_DOUBLE_EQ(s.mean_queue_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_service_ns, 150.0);
   std::ostringstream os;
   log.dump_csv(os);
   EXPECT_NE(os.str().find("ch0,send,64"), std::string::npos);
   EXPECT_NE(os.str().find("ch1,read,32"), std::string::npos);
 }
 
+// The queue/service split decomposes end-to-end latency per record:
+// latency = queue (issue->grant) + service (grant->completion). A row
+// that waited 70 ns for arbitration is not a slow bus — its service
+// span says how long the interconnect itself took.
+TEST(TxnLog, SummarySplitsQueueingFromService) {
+  trace::TxnLogger log;
+  // issue at 0, granted at 70, data at 80, complete at 100.
+  log.record("bus", trace::TxnKind::Write, 64, 0_ns, 100_ns, 70_ns, 80_ns);
+  // issue at 200, granted immediately, complete at 230.
+  log.record("bus", trace::TxnKind::Read, 4, 200_ns, 230_ns, 200_ns, 210_ns);
+  const auto s = log.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_latency_ns, 65.0);   // (100 + 30) / 2
+  EXPECT_DOUBLE_EQ(s.mean_queue_ns, 35.0);     // (70 + 0) / 2
+  EXPECT_DOUBLE_EQ(s.max_queue_ns, 70.0);
+  EXPECT_DOUBLE_EQ(s.mean_service_ns, 30.0);   // (30 + 30) / 2
+  EXPECT_DOUBLE_EQ(s.max_service_ns, 30.0);
+  // Per record the split is exact: queue + service == latency.
+  for (const auto& r : log.records()) {
+    EXPECT_DOUBLE_EQ(r.queue_ns() + r.service_ns(), r.latency_ns());
+  }
+}
+
 TEST(TxnLog, CsvRoundTripIsBitIdentical) {
   trace::TxnLogger log;
-  // Channel names with CSV metacharacters, zero-length payloads, and
-  // femtosecond-granularity timestamps all have to survive the trip.
+  // Channel names with CSV metacharacters, zero-length payloads,
+  // femtosecond-granularity timestamps, and phase-accurate rows all have
+  // to survive the trip.
   log.record("plain", trace::TxnKind::Send, 64, 0_ns, 100_ns);
   log.record("with,comma", trace::TxnKind::Request, 32, 1_fs, 3_fs);
   log.record("with\"quote", trace::TxnKind::Reply, 0, 50_ns, 250_ns);
@@ -187,6 +214,10 @@ TEST(TxnLog, CsvRoundTripIsBitIdentical) {
   log.record("multi\nline\r\nname", trace::TxnKind::Send, 9, 1_ns, 2_ns);
   log.record(log.intern("plain"), trace::TxnKind::Read, /*txn_id=*/12345,
              256, 5_ns, 6_ns);
+  // Split-bus rows: grant and data-phase stamps diverge from start.
+  log.record("plb", trace::TxnKind::Write, 64, 10_ns, 200_ns, 40_ns, 150_ns);
+  log.record(log.intern("plb"), trace::TxnKind::Read, /*txn_id=*/777, 16,
+             0_ns, 90_ns, 20_ns, 70_ns);
 
   std::ostringstream os;
   log.dump_csv(os);
@@ -204,6 +235,8 @@ TEST(TxnLog, CsvRoundTripIsBitIdentical) {
     EXPECT_EQ(a.txn, b.txn) << i;
     EXPECT_EQ(a.bytes, b.bytes) << i;
     EXPECT_EQ(a.start, b.start) << i;
+    EXPECT_EQ(a.grant, b.grant) << i;
+    EXPECT_EQ(a.data, b.data) << i;
     EXPECT_EQ(a.end, b.end) << i;
   }
 
@@ -213,30 +246,70 @@ TEST(TxnLog, CsvRoundTripIsBitIdentical) {
   EXPECT_EQ(os.str(), os2.str());
 }
 
+// Format back-compat: pre-phase (v1, 7-column) CSVs stay loadable, with
+// the missing phase columns defaulted to grant = data = start.
+TEST(TxnLog, LoadCsvAcceptsV1HeaderWithDefaultedPhases) {
+  const std::string v1 =
+      "channel,kind,bytes,start_fs,end_fs,latency_ns,txn\n"
+      "ch0,send,64,1000000,2000000,1,9\n"
+      "ch1,read,32,0,500000,0.5,0\n";
+  trace::TxnLogger log;
+  std::istringstream is(v1);
+  log.load_csv(is);
+  ASSERT_EQ(log.size(), 2u);
+  const auto& r = log.records()[0];
+  EXPECT_EQ(r.start, 1_ns);
+  EXPECT_EQ(r.end, 2_ns);
+  EXPECT_EQ(r.grant, r.start);
+  EXPECT_EQ(r.data, r.start);
+  EXPECT_EQ(r.txn, 9u);
+  EXPECT_DOUBLE_EQ(r.queue_ns(), 0.0);
+
+  // A v1 trace re-dumps as v2 (the loader upgraded the records).
+  std::ostringstream os;
+  log.dump_csv(os);
+  EXPECT_NE(os.str().find("grant_fs,data_fs"), std::string::npos);
+  EXPECT_NE(os.str().find("ch0,send,64,1000000,1000000,1000000,2000000"),
+            std::string::npos);
+}
+
 TEST(TxnLog, LoadCsvRejectsMalformedInput) {
   const std::string header =
-      "channel,kind,bytes,start_fs,end_fs,latency_ns,txn\n";
+      "channel,kind,bytes,start_fs,end_fs,latency_ns,txn\n";  // v1
+  const std::string header2 =
+      "channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn\n";
   auto load = [](const std::string& text) {
     trace::TxnLogger log;
     std::istringstream is(text);
     log.load_csv(is);
     return log;
   };
-  // Good baseline parses.
+  // Good baselines parse (both schema versions).
   EXPECT_EQ(load(header + "ch,send,4,0,1000000,0.001,7\n").size(), 1u);
+  EXPECT_EQ(load(header2 + "ch,send,4,0,10,20,1000000,0.001,7\n").size(), 1u);
   // Empty input / wrong header.
   EXPECT_THROW(load(""), SimulationError);
   EXPECT_THROW(load("channel,kind\nch,send\n"), SimulationError);
-  // Wrong field count.
+  // Wrong field count for either version.
   EXPECT_THROW(load(header + "ch,send,4,0,1\n"), SimulationError);
+  EXPECT_THROW(load(header2 + "ch,send,4,0,1,0.0,0\n"), SimulationError);
   // Unknown kind.
   EXPECT_THROW(load(header + "ch,sned,4,0,1,0.0,0\n"), SimulationError);
   // Non-numeric / negative numerics.
   EXPECT_THROW(load(header + "ch,send,x,0,1,0.0,0\n"), SimulationError);
   EXPECT_THROW(load(header + "ch,send,4,-1,1,0.0,0\n"), SimulationError);
   EXPECT_THROW(load(header + "ch,send,4,0,1,zz,0\n"), SimulationError);
+  EXPECT_THROW(load(header2 + "ch,send,4,0,x,0,1,0.0,0\n"), SimulationError);
+  EXPECT_THROW(load(header2 + "ch,send,4,0,0,y,1,0.0,0\n"), SimulationError);
   // end before start.
   EXPECT_THROW(load(header + "ch,send,4,100,50,0.0,0\n"), SimulationError);
+  // Phase order: need start <= grant <= data <= end.
+  EXPECT_THROW(load(header2 + "ch,send,4,100,50,100,200,0.0,0\n"),
+               SimulationError);
+  EXPECT_THROW(load(header2 + "ch,send,4,0,80,40,200,0.0,0\n"),
+               SimulationError);
+  EXPECT_THROW(load(header2 + "ch,send,4,0,10,300,200,0.0,0\n"),
+               SimulationError);
   // Broken quoting.
   EXPECT_THROW(load(header + "\"ch,send,4,0,1,0.0,0\n"), SimulationError);
   EXPECT_THROW(load(header + "\"ch\"x,send,4,0,1,0.0,0\n"), SimulationError);
@@ -245,6 +318,66 @@ TEST(TxnLog, LoadCsvRejectsMalformedInput) {
   std::istringstream is(header + "ch,send,4,0,1,0.0,0\nch,BAD,4,0,1,0.0,0\n");
   EXPECT_THROW(log.load_csv(is), SimulationError);
   EXPECT_EQ(log.size(), 0u);
+}
+
+// ------------------------------------------------- latency distributions --
+
+TEST(ChannelStats, PercentileIsNearestRank) {
+  std::vector<double> s{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(trace::percentile(s, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(trace::percentile(s, 95.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace::percentile(s, 99.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace::percentile(s, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace::percentile(s, 100.0), 100.0);
+  std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(trace::percentile(one, 50.0), 42.0);
+  std::vector<double> none;
+  EXPECT_DOUBLE_EQ(trace::percentile(none, 50.0), 0.0);
+}
+
+TEST(ChannelStats, LatencyDistDerivesPercentilesAndQueueing) {
+  trace::TxnLogger log;
+  // 20 rows, latencies 10..200 ns; every row queued 1/4 of its latency.
+  for (int i = 1; i <= 20; ++i) {
+    const Time start = Time::us(static_cast<std::uint64_t>(i));
+    const Time grant = start + Time::ns(static_cast<std::uint64_t>(i * 10) / 4);
+    const Time end = start + Time::ns(static_cast<std::uint64_t>(i * 10));
+    log.record("bus", trace::TxnKind::Write, 64, start, end, grant, grant);
+  }
+  const auto d = trace::latency_dist(log.records());
+  EXPECT_EQ(d.count, 20u);
+  EXPECT_DOUBLE_EQ(d.p50_ns, 100.0);
+  EXPECT_DOUBLE_EQ(d.p95_ns, 190.0);
+  EXPECT_DOUBLE_EQ(d.p99_ns, 200.0);
+  EXPECT_DOUBLE_EQ(d.max_ns, 200.0);
+  EXPECT_DOUBLE_EQ(d.mean_ns, 105.0);
+  EXPECT_NEAR(d.mean_queue_ns, 105.0 / 4, 0.5);  // integer division rounding
+  // The histogram reuses trace::Histogram and covers every sample.
+  EXPECT_EQ(d.hist.total(), 20u);
+  EXPECT_EQ(d.hist.bins(), trace::LatencyDist::kHistBins);
+}
+
+TEST(ChannelStats, PerChannelStatsGroupAndPrint) {
+  trace::TxnLogger log;
+  log.record("fast", trace::TxnKind::Send, 8, 0_ns, 10_ns);
+  log.record("fast", trace::TxnKind::Send, 8, 20_ns, 40_ns);
+  log.record("slow", trace::TxnKind::Write, 64, 0_ns, 400_ns, 300_ns, 350_ns);
+  const auto rows = trace::per_channel_stats(log);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].channel, "fast");
+  EXPECT_EQ(rows[0].dist.count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].dist.p50_ns, 10.0);
+  EXPECT_EQ(rows[1].channel, "slow");
+  EXPECT_DOUBLE_EQ(rows[1].dist.mean_queue_ns, 300.0);
+  EXPECT_DOUBLE_EQ(rows[1].dist.mean_service_ns, 100.0);
+
+  std::ostringstream os;
+  const auto flags = os.flags();
+  trace::print_channel_table(os, rows);
+  EXPECT_NE(os.str().find("p95_ns"), std::string::npos);
+  EXPECT_NE(os.str().find("fast"), std::string::npos);
+  EXPECT_NE(os.str().find("slow"), std::string::npos);
+  EXPECT_EQ(os.flags(), flags);  // formatting restored
 }
 
 TEST(TxnLog, InternIsStableAndDeduplicates) {
