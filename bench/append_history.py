@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Append a benchmark-history entry (see bench/history/README.md).
+
+Usage:
+    python3 bench/append_history.py BUILD_DIR SHORT_LABEL
+
+Copies BUILD_DIR/BENCH_cam.json and BUILD_DIR/BENCH_exploration.json
+into bench/history/NNNN-SHORT_LABEL/ where NNNN is one past the highest
+existing entry number. Refuses to overwrite and validates that each file
+is Google-Benchmark JSON (has a "benchmarks" list) before copying.
+"""
+
+import json
+import re
+import shutil
+import sys
+from pathlib import Path
+
+SUITES = ("BENCH_cam.json", "BENCH_exploration.json")
+
+
+def fail(msg: str) -> "None":
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    build_dir = Path(sys.argv[1])
+    label = sys.argv[2]
+    if not re.fullmatch(r"[a-z0-9][a-z0-9-]*", label):
+        fail(f"label {label!r} must be lowercase-kebab (it becomes a "
+             "directory name)")
+
+    sources = []
+    for name in SUITES:
+        src = build_dir / name
+        if not src.is_file():
+            fail(f"{src} not found — run the benchmark with "
+                 f"--benchmark_out={name} --benchmark_out_format=json first")
+        try:
+            with open(src) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{src} is not readable JSON: {e}")
+        if not isinstance(doc.get("benchmarks"), list) or not doc["benchmarks"]:
+            fail(f"{src} has no 'benchmarks' rows — not benchmark JSON?")
+        sources.append(src)
+
+    history = Path(__file__).resolve().parent / "history"
+    history.mkdir(exist_ok=True)
+    highest = 0
+    for entry in history.iterdir():
+        m = re.match(r"(\d{4})-", entry.name)
+        if entry.is_dir() and m:
+            highest = max(highest, int(m.group(1)))
+    dest = history / f"{highest + 1:04d}-{label}"
+    if dest.exists():
+        fail(f"{dest} already exists")
+    dest.mkdir()
+    for src in sources:
+        shutil.copy(src, dest / src.name)
+        print(f"  {src} -> {dest / src.name}")
+    print(f"created {dest.relative_to(history.parent.parent)} — commit it "
+          "together with the refreshed bench/baselines/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,46 @@ const char* arb_name(int kind) {
   return kind == 0 ? "priority" : kind == 1 ? "round-robin" : "tdma";
 }
 
+// Single-master uncontended roundtrips — the kernel fast path's home
+// turf. fast=0 takes the grant engine (an event-wheel wakeup plus two
+// coroutine switches per transaction); fast=1 resolves the identical
+// timing inline from the initiator's coroutine. Simulated time is the
+// same in both rows; the wall-clock ratio is pure kernel overhead
+// removed by fast targets.
+void BM_CamRoundtrip(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  constexpr int kRoundtrips = 4000;
+  double sim_us = 0.0;
+  double fast_hits = 0.0;
+
+  for (auto _ : state) {
+    Simulator sim;
+    cam::PlbCam bus(sim, "plb", 10_ns, std::make_unique<cam::PriorityArbiter>(),
+                    0, {}, fast);
+    ocp::MemorySlave mem("mem", 0, 1 << 20);
+    bus.attach_slave(mem, {0, 1 << 20}, "mem");
+    const std::size_t idx = bus.add_master("m0");
+    sim.spawn_thread("pe", [&] {
+      std::vector<std::uint8_t> payload(kPayload, 1);
+      Txn txn;
+      for (int i = 0; i < kRoundtrips; ++i) {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(i % 32) * kPayload;
+        txn.begin_write(addr, payload.data(), payload.size());
+        bus.master_port(idx).transport(txn);
+      }
+    });
+    sim.run();
+    sim_us = sim.now().to_seconds() * 1e6;
+    fast_hits = static_cast<double>(bus.fast_path_hits());
+  }
+
+  state.SetLabel(fast ? "fast" : "engine");
+  state.SetItemsProcessed(state.iterations() * kRoundtrips);
+  state.counters["sim_us"] = sim_us;
+  state.counters["fast_hits"] = fast_hits;
+}
+
 void BM_Contention(benchmark::State& state) {
   const auto masters = static_cast<std::size_t>(state.range(0));
   const int arb_kind = static_cast<int>(state.range(1));
@@ -97,14 +137,21 @@ void BM_Contention(benchmark::State& state) {
 void BM_SplitOutstanding(benchmark::State& state) {
   const auto masters = static_cast<std::size_t>(state.range(0));
   const auto outstanding = static_cast<std::size_t>(state.range(1));
+  // Third axis: the kernel fast path. Only the outstanding == 1 rows can
+  // engage it (fast is atomic-mode only) and contention pushes most
+  // transactions back to the engine — the fast rows measure the
+  // eligibility check's overhead under load, not a win.
+  const bool fast = state.range(2) != 0;
   const cam::SplitConfig split{outstanding > 1, outstanding};
   double sim_us = 0.0, util = 0.0, mean_lat = 0.0;
   double mean_queue = 0.0, mean_service = 0.0;
+  double fast_hits = 0.0;
 
   for (auto _ : state) {
     Simulator sim;
     cam::PlbCam bus(sim, "plb", 10_ns,
-                    std::make_unique<cam::RoundRobinArbiter>(), 0, split);
+                    std::make_unique<cam::RoundRobinArbiter>(), 0, split,
+                    fast);
     ocp::MemorySlave mem("mem", 0, 1 << 20, /*access_time=*/200_ns);
     bus.attach_slave(mem, {0, 1 << 20}, "mem");
     for (std::size_t m = 0; m < masters; ++m) {
@@ -131,9 +178,11 @@ void BM_SplitOutstanding(benchmark::State& state) {
     mean_lat = bus.stats().acc("latency_ns").mean();
     mean_queue = bus.stats().acc("grant_wait_ns").mean();
     mean_service = bus.stats().acc("service_ns").mean();
+    fast_hits = static_cast<double>(bus.fast_path_hits());
   }
 
-  state.SetLabel(outstanding > 1 ? "split" : "atomic");
+  state.SetLabel(std::string(outstanding > 1 ? "split" : "atomic") +
+                 (fast ? "+fast" : ""));
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(masters) *
                           kTxnsPerMaster);
@@ -145,16 +194,22 @@ void BM_SplitOutstanding(benchmark::State& state) {
   // number that says the split bus did not get slower, it got deeper.
   state.counters["mean_queue_ns"] = mean_queue;
   state.counters["mean_service_ns"] = mean_service;
+  state.counters["fast_hits"] = fast_hits;
 }
 
 }  // namespace
+
+BENCHMARK(BM_CamRoundtrip)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_Contention)
     ->ArgsProduct({{1, 2, 4, 8}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_SplitOutstanding)
-    ->ArgsProduct({{1, 2, 4}, {1, 4, 8}})
+    ->ArgsProduct({{1, 2, 4}, {1, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

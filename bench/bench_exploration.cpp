@@ -70,12 +70,24 @@ void BM_ExploreCamLibrary(benchmark::State& state) {
   state.counters["architectures"] = static_cast<double>(candidates.size());
 }
 
-// The atomic grid (max_outstanding pinned to 1: the historical
-// 40-platform cross product) keeps this row family comparable across
-// PRs even as the default grid grows new axes.
+// The atomic grid (max_outstanding pinned to 1, fast path off: the
+// historical 40-platform cross product) keeps this row family
+// comparable across PRs even as the default grid grows new axes.
 std::vector<core::Platform> atomic_grid() {
   expl::GridSpec spec;
   spec.max_outstanding = {1};
+  spec.fast_targets = {false};
+  return expl::grid_candidates(spec);
+}
+
+// The same 40 atomic points with the kernel fast path on: identical
+// simulated timing (modulo the documented same-delta arbitration
+// corner), so the wall-clock ratio BM_ExploreGrid / BM_ExploreFastGrid
+// is pure kernel overhead removed by fast targets.
+std::vector<core::Platform> fast_grid() {
+  expl::GridSpec spec;
+  spec.max_outstanding = {1};
+  spec.fast_targets = {true};
   return expl::grid_candidates(spec);
 }
 
@@ -101,16 +113,41 @@ void BM_ExploreGrid(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
-// The full default grid — 68 platforms, i.e. the 40 atomic points plus
-// the -split4 variants of every split-capable bus — sharded over
-// `threads` workers. The delta between this family and BM_ExploreGrid
-// is the host cost of simulating the split pipelines (more processes,
-// more context switches per simulated transaction).
+// The 40-platform atomic grid with fast targets on, sharded over
+// `threads` workers — BM_ExploreGrid's counterpart on the kernel fast
+// path (same simulated work, no grant-engine wakeups, no coroutine
+// switches on uncontended transactions).
+void BM_ExploreFastGrid(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  g_grid_bench_ran = true;
+  expl::Explorer explorer(soc_factory());
+  const auto candidates = fast_grid();
+  for (auto _ : state) {
+    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    for (const auto& r : rows) {
+      if (!r.completed) state.SkipWithError("candidate did not complete");
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(candidates.size()));
+  state.counters["architectures"] = static_cast<double>(candidates.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+// The 68-platform timing grid — the 40 atomic points plus the -split4
+// variants of every split-capable bus (fast axis off so the family stays
+// comparable across PRs) — sharded over `threads` workers. The delta
+// between this family and BM_ExploreGrid is the host cost of simulating
+// the split pipelines (more processes, more context switches per
+// simulated transaction).
 void BM_ExploreSplitGrid(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   g_grid_bench_ran = true;
   expl::Explorer explorer(soc_factory());
-  const auto candidates = expl::grid_candidates();
+  expl::GridSpec spec;
+  spec.fast_targets = {false};
+  const auto candidates = expl::grid_candidates(spec);
   for (auto _ : state) {
     auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
     for (const auto& r : rows) {
@@ -210,6 +247,11 @@ BENCHMARK(BM_ExploreCamLibrary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExploreGrid)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ExploreFastGrid)
+    ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

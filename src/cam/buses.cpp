@@ -3,11 +3,13 @@
 namespace stlm::cam {
 
 CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle,
-                         std::size_t width_bytes, SplitConfig split)
+                         std::size_t width_bytes, SplitConfig split,
+                         bool fast_targets)
     : Module(sim, std::move(name)),
       cycle_(cycle),
       width_(width_bytes ? width_bytes : kDefaultWidthBytes),
       split_(split),
+      fast_targets_(fast_targets),
       slot_free_(sim, full_name() + ".slot_free") {
   STLM_ASSERT(!cycle_.is_zero(), "crossbar cycle must be positive: " + full_name());
 }
@@ -18,6 +20,7 @@ std::size_t CrossbarCam::add_master(const std::string& name) {
   mp->index = masters_.size();
   mp->label = name;
   mp->latency = &stats_.acc("master_" + name + "_latency_ns");
+  if (logger_) mp->log.bind(logger_, full_name() + "." + name);
   masters_.push_back(std::move(mp));
   inflight_.push_back(0);
   return masters_.size() - 1;
@@ -32,6 +35,7 @@ void CrossbarCam::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                                const std::string& label) {
   map_.add(range, label);
   slaves_.push_back(&slave);
+  slave_fast_.push_back(slave.fast_capable());
   lanes_.push_back(
       std::make_unique<Mutex>(sim(), full_name() + ".lane" + label));
   if (split_.active()) {
@@ -52,7 +56,9 @@ double CrossbarCam::utilization() const {
 }
 
 void CrossbarCam::set_txn_logger(trace::TxnLogger* log) {
+  logger_ = log;
   log_.bind(log, full_name());
+  for (auto& mp : masters_) mp->log.bind(log, full_name() + "." + mp->label);
 }
 
 void CrossbarCam::MasterPort::transport(Txn& txn) {
@@ -116,9 +122,7 @@ void CrossbarCam::lane_engine(std::size_t lane) {
     const std::size_t bytes = txn->payload_bytes();
     const std::uint64_t beats = beats_for(bytes, width_);
     const Time occupancy = cycle_ * (1 + beats);  // route setup + data
-    wait(occupancy);
-    busy_time_ += occupancy;
-    slaves_[lane]->handle(*txn);
+    serve(lane, *txn, occupancy);
     const auto master = static_cast<std::size_t>(txn->master_id);
     finish(master, *txn, txn->enqueued);
     --inflight_[master];
@@ -144,10 +148,19 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
   txn.t_data = txn.t_grant;   // route setup + data fused in one wait
   const std::uint64_t beats = beats_for(bytes, width_);
   const Time occupancy = cycle_ * (1 + beats);  // route setup + data
-  wait(occupancy);
-  busy_time_ += occupancy;
-  slaves_[*slave]->handle(txn);
+  serve(*slave, txn, occupancy);
   finish(master, txn, start);
+}
+
+void CrossbarCam::serve(std::size_t s, Txn& txn, Time occ) {
+  wait(occ);
+  busy_time_ += occ;
+  if (fast_targets_ && slave_fast_[s]) {
+    const Time lat = slaves_[s]->fast_handle(txn);
+    if (!lat.is_zero()) wait(lat);
+    return;
+  }
+  slaves_[s]->handle(txn);
 }
 
 // Statistics/logging shared by the atomic route and the split lanes.
@@ -160,10 +173,18 @@ void CrossbarCam::finish(std::size_t master, Txn& txn, Time start) {
   stats_.acc("latency_ns").add(latency_ns);
   stats_.acc("service_ns").add((txn.t_complete - txn.t_grant).to_ns());
   masters_[master]->latency->add(latency_ns);
+  const auto kind = txn.op == Txn::Op::Read ? trace::TxnKind::Read
+                                            : trace::TxnKind::Write;
   if (log_) {
-    log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
-                                        : trace::TxnKind::Write,
-                txn.id, bytes, start, sim().now(), txn.t_grant, txn.t_data);
+    log_.record(kind, txn.id, bytes, start, sim().now(), txn.t_grant,
+                txn.t_data);
+  }
+  // Per-master channel: same row under "<bus>.<master>". Consumers
+  // aggregating across channels must skip these supplementary rows (see
+  // expl::is_master_channel).
+  if (masters_[master]->log) {
+    masters_[master]->log.record(kind, txn.id, bytes, start, sim().now(),
+                                 txn.t_grant, txn.t_data);
   }
 }
 

@@ -42,9 +42,10 @@ public:
 
   SharedBusCam(Simulator& sim, std::string name, Time cycle,
                std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
-               SplitConfig split = {})
+               SplitConfig split = {}, bool fast_targets = false)
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes, split, /*protocol_supports_split=*/true) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/true,
+                fast_targets) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
@@ -65,9 +66,10 @@ public:
 
   PlbCam(Simulator& sim, std::string name, Time cycle,
          std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
-         SplitConfig split = {})
+         SplitConfig split = {}, bool fast_targets = false)
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes, split, /*protocol_supports_split=*/true) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/true,
+                fast_targets) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn,
@@ -91,9 +93,10 @@ public:
 
   OpbCam(Simulator& sim, std::string name, Time cycle,
          std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes = 0,
-         SplitConfig split = {})
+         SplitConfig split = {}, bool fast_targets = false)
       : CamBase(sim, std::move(name), cycle, std::move(arbiter), width_bytes,
-                kDefaultWidthBytes, split, /*protocol_supports_split=*/false) {}
+                kDefaultWidthBytes, split, /*protocol_supports_split=*/false,
+                fast_targets) {}
 
 protected:
   std::uint64_t txn_cycles(const Txn& txn, bool) const override {
@@ -112,9 +115,16 @@ class CrossbarCam final : public Module, public CamIf {
 public:
   static constexpr std::size_t kDefaultWidthBytes = 8;
 
+  // `fast_targets` opts lanes into the fast-target contract: when the
+  // routed slave is fast_capable(), the lane resolves the service latency
+  // inline via fast_handle() instead of a blocking handle() call. Lane
+  // occupancy and queuing are unchanged (the crossbar already runs each
+  // transaction on the initiator's or a lane engine's coroutine), so
+  // timing is identical either way — the win is skipping the slave's
+  // internal wait() bookkeeping for zero-latency FSM targets.
   CrossbarCam(Simulator& sim, std::string name, Time cycle,
               std::size_t width_bytes = kDefaultWidthBytes,
-              SplitConfig split = {});
+              SplitConfig split = {}, bool fast_targets = false);
 
   std::size_t add_master(const std::string& name) override;
   ocp::ocp_tl_master_if& master_port(std::size_t i) override;
@@ -143,17 +153,24 @@ private:
     std::size_t index = 0;
     std::string label;
     trace::Accumulator* latency = nullptr;
+    trace::LogHandle log;  // per-master channel: "<bus>.<master>"
   };
 
   void route(std::size_t master, Txn& txn);
   void lane_engine(std::size_t lane);
   void finish(std::size_t master, Txn& txn, Time start);
 
+  // Deliver `txn` to slave `s`, charging lane occupancy `occ` and then
+  // the target's service latency (fast path when the slave opted in).
+  void serve(std::size_t s, Txn& txn, Time occ);
+
   Time cycle_;
   std::size_t width_;
   SplitConfig split_;
+  bool fast_targets_;
   std::vector<std::unique_ptr<MasterPort>> masters_;
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
+  std::vector<bool> slave_fast_;
   std::vector<std::unique_ptr<Mutex>> lanes_;
   // Split mode: per-lane intrusive queues + wake events, per-master
   // in-flight counts bounded by max_outstanding.
@@ -165,6 +182,7 @@ private:
   Time busy_time_ = Time::zero();
   trace::StatSet stats_;
   trace::LogHandle log_;
+  trace::TxnLogger* logger_ = nullptr;  // for binding late-added masters
 };
 
 }  // namespace stlm::cam

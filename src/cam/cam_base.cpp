@@ -5,7 +5,7 @@ namespace stlm::cam {
 CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
                  std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
                  std::size_t default_width_bytes, SplitConfig split,
-                 bool protocol_supports_split)
+                 bool protocol_supports_split, bool fast_targets)
     : Module(sim, std::move(name)),
       cycle_(cycle),
       width_(width_bytes ? width_bytes : default_width_bytes),
@@ -13,7 +13,9 @@ CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
       engine_(std::move(arbiter), split_active_ ? split.max_outstanding : 1),
       new_request_(sim, full_name() + ".new_request"),
       service_avail_(sim, full_name() + ".service_avail"),
-      resp_avail_(sim, full_name() + ".resp_avail") {
+      resp_avail_(sim, full_name() + ".resp_avail"),
+      fast_targets_(fast_targets && !split_active_),
+      fast_complete_(sim, full_name() + ".fast_complete") {
   STLM_ASSERT(!cycle_.is_zero(), "CAM cycle must be positive: " + full_name());
   acc_grant_wait_ = &stats_.acc("grant_wait_ns");
   acc_txn_cycles_ = &stats_.acc("txn_cycles");
@@ -24,6 +26,13 @@ CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
   cnt_writes_ = &stats_.counter_slot("writes");
   cnt_bytes_ = &stats_.counter_slot("bytes");
   cnt_decode_errors_ = &stats_.counter_slot("decode_errors");
+  if (fast_targets_) {
+    // Only materialize the stat slot when the knob is on, so the stats
+    // table of a fast-off platform is unchanged.
+    cnt_fast_hits_ = &stats_.counter_slot("fast_path_hits");
+    spawn_method("fast_step", [this] { fast_post_step(); }, {&fast_complete_},
+                 /*run_at_start=*/false);
+  }
   if (split_active_) {
     spawn_thread("addr_engine", [this] { addr_engine(); });
     spawn_thread("data_engine", [this] { data_engine(); });
@@ -48,6 +57,9 @@ std::size_t CamBase::add_master(const std::string& name) {
   mp->index = masters_.size();
   mp->label = name;
   mp->latency = &stats_.acc("master_" + name + "_latency_ns");
+  // Per-master latency channel "<bus>.<master>" (logger may be set
+  // before or after masters are added; set_txn_logger rebinds).
+  if (logger_) mp->log.bind(logger_, full_name() + "." + name);
   masters_.push_back(std::move(mp));
   const std::size_t idx = engine_.add_master();
   if (split_active_) {
@@ -71,10 +83,17 @@ void CamBase::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                            const std::string& label) {
   map_.add(range, label);
   slaves_.push_back(&slave);
+  // Capability is a static property of the target type; cache it so the
+  // fast-path eligibility check is a vector<bool> lookup.
+  slave_fast_.push_back(slave.fast_capable());
 }
 
 void CamBase::set_txn_logger(trace::TxnLogger* log) {
+  logger_ = log;
   log_.bind(log, full_name());
+  for (auto& mp : masters_) {
+    mp->log.bind(log, full_name() + "." + mp->label);
+  }
 }
 
 double CamBase::utilization() const {
@@ -90,6 +109,7 @@ double CamBase::utilization() const {
 void CamBase::post(std::size_t master, Txn& txn) {
   STLM_ASSERT(master < masters_.size(),
               "master index out of range on " + full_name());
+  if (try_fast_post(master, txn)) return;
   txn.enqueued = sim().now();
   txn.reset_phases();  // re-queued descriptors must not carry stale stamps
   txn.status = Txn::Status::Pending;
@@ -104,12 +124,149 @@ void CamBase::MasterPort::transport(Txn& txn) {
   // the outer CAM's enqueue/phase timestamps) for the inner round-trip.
   Txn::PhaseShelf shelf(txn);
   CompletionEvent::NestedScope nest(txn.done);
+  if (c.try_fast_transport(index, txn)) return;
   txn.enqueued = c.sim().now();
   txn.reset_phases();
   txn.status = Txn::Status::Pending;
   c.engine_.enqueue(index, txn);
   c.new_request_.notify_delta();
   txn.done.wait(c.sim());
+}
+
+// ---------------------------------------------------------- fast path ----
+//
+// Inline completion for provably uncontended accesses to fast-capable
+// targets (see the class comment in cam_base.hpp). Everything observable
+// — stamps, stats, log rows, arbiter state, busy accounting, timing —
+// matches what the atomic engine would have produced for the same
+// isolated transaction; the only thing missing is the engine wakeup and
+// its coroutine switches.
+
+bool CamBase::fast_eligible(const Txn& txn, std::size_t* slave_out) const {
+  if (!fast_targets_) return false;
+  if (fast_pending_) return false;                 // a fast post is in flight
+  if (sim().now() < fast_busy_until_) return false;  // bus still occupied
+  // Any queued or granted engine work means arbitration order matters —
+  // take the engine. (Between an engine grant and its retire the txn is
+  // in flight, which also covers the engine's occupancy wait.)
+  if (engine_.any_pending() || engine_.any_inflight()) return false;
+  const std::size_t bytes = txn.payload_bytes();
+  const auto slave = map_.decode(txn.addr, bytes ? bytes : 1);
+  // Decode errors keep their engine-side timing/stats path.
+  if (!slave || !slave_fast_[*slave]) return false;
+  *slave_out = *slave;
+  return true;
+}
+
+bool CamBase::try_fast_transport(std::size_t master, Txn& txn) {
+  std::size_t s = 0;
+  if (!fast_eligible(txn, &s)) return false;
+  txn.enqueued = sim().now();
+  txn.reset_phases();
+  txn.status = Txn::Status::Pending;
+  // Mirror the engine's grant: stamps, zero grant wait (the engine would
+  // grant in the next delta at the same instant), arbiter evolution.
+  const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
+  const std::uint64_t cycles = txn_cycles(txn, back_to_back);
+  const Time occupancy = cycle_ * cycles;
+  txn.t_grant = sim().now();
+  txn.t_data = txn.t_grant;
+  acc_grant_wait_->add(0.0);
+  engine_.note_fast_grant(master, now_cycle());
+  // Hold the bus: competing requests issued during the occupancy fall
+  // back to the engine, whose gate stalls until fast_busy_until_.
+  const auto fixed = slaves_[s]->fast_fixed_latency();
+  if (fixed) {
+    // Constant-latency target: the access resolves at grant time and a
+    // single merged wait covers occupancy + service (see the
+    // fast_fixed_latency() contract for why the reordering is legal).
+    fast_busy_until_ = sim().now() + occupancy + *fixed;
+    const Time latency = slaves_[s]->fast_handle(txn);
+    busy_time_ += occupancy;
+    wait(occupancy + latency);
+  } else {
+    fast_busy_until_ = sim().now() + occupancy;
+    wait(occupancy);
+    busy_time_ += occupancy;
+    const Time latency = slaves_[s]->fast_handle(txn);
+    if (!latency.is_zero()) {
+      // Target service time: the engine path would sit in handle() here.
+      fast_busy_until_ = sim().now() + latency;
+      wait(latency);
+    }
+  }
+  last_txn_end_ = sim().now();
+  engine_busy_ = true;
+  ++*cnt_fast_hits_;
+  complete_txn(txn, master, cycles);
+  return true;
+}
+
+bool CamBase::try_fast_post(std::size_t master, Txn& txn) {
+  std::size_t s = 0;
+  if (!fast_eligible(txn, &s)) return false;
+  txn.enqueued = sim().now();
+  txn.reset_phases();
+  txn.status = Txn::Status::Pending;
+  const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
+  const std::uint64_t cycles = txn_cycles(txn, back_to_back);
+  const Time occupancy = cycle_ * cycles;
+  txn.t_grant = txn.enqueued;
+  txn.t_data = txn.t_grant;
+  acc_grant_wait_->add(0.0);
+  engine_.note_fast_grant(master, now_cycle());
+  // post() must not block: park the transaction in the single fast slot
+  // and let the timed fast_step method pick it up at occupancy end.
+  // Methods run before threads within a timestamp, so the slot (and the
+  // bus) free up before any process scheduled at that instant can issue.
+  fast_pending_ = &txn;
+  fast_pending_master_ = master;
+  fast_pending_slave_ = s;
+  fast_pending_cycles_ = cycles;
+  const auto fixed = slaves_[s]->fast_fixed_latency();
+  if (fixed) {
+    // Constant-latency target: service the access now and schedule one
+    // merged completion — fast_post_step fires once, straight into its
+    // completion stage.
+    busy_time_ += occupancy;
+    const Time latency = slaves_[s]->fast_handle(txn);
+    fast_in_service_ = true;
+    fast_busy_until_ = sim().now() + occupancy + latency;
+    fast_complete_.notify(occupancy + latency);
+  } else {
+    fast_in_service_ = false;
+    fast_busy_until_ = sim().now() + occupancy;
+    fast_complete_.notify(occupancy);
+  }
+  return true;
+}
+
+void CamBase::fast_post_step() {
+  if (!fast_pending_) return;
+  Txn& txn = *fast_pending_;
+  if (!fast_in_service_) {
+    // Occupancy elapsed — the effective access instant, exactly when the
+    // engine path would have called handle(). Account the bus busy span
+    // now (the engine adds it after its occupancy wait).
+    busy_time_ += cycle_ * fast_pending_cycles_;
+    const Time latency = slaves_[fast_pending_slave_]->fast_handle(txn);
+    if (!latency.is_zero()) {
+      fast_in_service_ = true;
+      fast_busy_until_ = sim().now() + latency;
+      fast_complete_.notify(latency);
+      return;
+    }
+  }
+  last_txn_end_ = sim().now();
+  engine_busy_ = true;
+  ++*cnt_fast_hits_;
+  fast_pending_ = nullptr;
+  complete_txn(txn, fast_pending_master_, fast_pending_cycles_);
+  // Requests that fell back to the engine mid-flight are grantable now.
+  // Only wake the engine when there is actually work: a spurious wake
+  // would clear engine_busy_ and lose the back-to-back timing the next
+  // grant is entitled to.
+  if (engine_.any_pending()) new_request_.notify_delta();
 }
 
 // ------------------------------------------------------ atomic engine ----
@@ -119,6 +276,14 @@ void CamBase::MasterPort::transport(Txn& txn) {
 
 void CamBase::atomic_engine() {
   for (;;) {
+    // Fast-path gate: a fast transaction holds the bus until
+    // fast_busy_until_; stall behind it (re-checked, because a fast
+    // post's service stage may extend it). Never taken with the fast
+    // knob off — fast_busy_until_ stays zero.
+    if (sim().now() < fast_busy_until_) {
+      wait(fast_busy_until_ - sim().now());
+      continue;
+    }
     std::size_t g = 0;
     Txn* txn = engine_.grant(now_cycle(), &g);
     if (!txn) {
@@ -250,11 +415,20 @@ void CamBase::complete_txn(Txn& txn, std::size_t master,
   acc_latency_->add(latency_ns);
   acc_service_->add((txn.t_complete - txn.t_grant).to_ns());
   masters_[master]->latency->add(latency_ns);
+  const trace::TxnKind kind = txn.op == Txn::Op::Read ? trace::TxnKind::Read
+                                                      : trace::TxnKind::Write;
   if (log_) {
-    log_.record(txn.op == Txn::Op::Read ? trace::TxnKind::Read
-                                        : trace::TxnKind::Write,
-                txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
+    log_.record(kind, txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
                 txn.t_data);
+  }
+  // Per-master channel ("<bus>.<master>"): same row keyed under the
+  // issuing master, so channel_stats can report per-master latency
+  // distributions. Consumers aggregating across channels must skip
+  // these supplementary rows (see expl::is_master_channel).
+  MasterPort& mp = *masters_[master];
+  if (mp.log) {
+    mp.log.record(kind, txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
+                  txn.t_data);
   }
   txn.done.complete(sim());  // immediate: initiator resumes within this delta
 }

@@ -24,6 +24,22 @@
 // atomic engine, which reproduces the seed's simulated timing
 // bit-identically (guarded by tests/test_cam_split.cpp).
 //
+// Fast path (atomic mode only, opt-in via the `fast_targets` ctor knob):
+// when a transaction arrives while the bus is provably idle — no queued
+// or in-flight engine work, no fast transaction in progress — and its
+// target opted into the fast-target contract (ocp_tl_slave_if::
+// fast_capable()), transport()/post() resolve the whole transaction
+// from the initiator's context: same arbiter evolution (a single-
+// candidate pick), same occupancy math, same stamps/stats/log rows —
+// but no grant-engine wakeup and no coroutine switches. The moment
+// anything contends, the request falls back to the unchanged engine,
+// which also stalls behind any fast transaction still holding the bus
+// (`fast_busy_until_`). With the knob off, behaviour is bit-identical
+// to the engine-only build. The one documented divergence with the
+// knob on: two masters issuing in the same delta at the same timestamp
+// are served first-issuer-first, where the engine would have let the
+// arbiter rank them one delta later (still deterministic — tested).
+//
 // Hot-path invariants (guarded by the pooled-Txn stress test):
 //   * the per-master pending/service/response queues are intrusive Txn
 //     lists — no allocation on enqueue/dequeue;
@@ -53,7 +69,7 @@ public:
   CamBase(Simulator& sim, std::string name, Time cycle,
           std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
           std::size_t default_width_bytes, SplitConfig split,
-          bool protocol_supports_split);
+          bool protocol_supports_split, bool fast_targets = false);
 
   // --- CamIf ---------------------------------------------------------
   std::size_t add_master(const std::string& name) override;
@@ -74,6 +90,12 @@ public:
   // True when this instance runs the split (pipelined) engine.
   bool split_active() const { return split_active_; }
   std::size_t max_outstanding() const { return engine_.max_outstanding(); }
+  // True when the inline fast path may engage (atomic mode + knob on).
+  bool fast_targets() const { return fast_targets_; }
+  // Transactions completed via the fast path (0 when disabled).
+  std::uint64_t fast_path_hits() const {
+    return cnt_fast_hits_ ? *cnt_fast_hits_ : 0;
+  }
 
 protected:
   // Bus cycles a transaction occupies in atomic mode. `back_to_back` is
@@ -99,6 +121,7 @@ private:
     std::size_t index = 0;
     std::string label;
     trace::Accumulator* latency = nullptr;  // cached per-master stat slot
+    trace::LogHandle log;  // per-master channel: "<bus>.<master>"
   };
 
   void atomic_engine();
@@ -107,6 +130,13 @@ private:
   void data_engine();
   void complete_txn(Txn& txn, std::size_t master, std::uint64_t cycles);
   std::uint64_t now_cycle() const { return sim().now() / cycle_; }
+
+  // Fast path (see the class comment). try_fast_* return false without
+  // side effects when the transaction must take the engine.
+  bool fast_eligible(const Txn& txn, std::size_t* slave_out) const;
+  bool try_fast_transport(std::size_t master, Txn& txn);
+  bool try_fast_post(std::size_t master, Txn& txn);
+  void fast_post_step();  // timed method: occupancy end / service end
 
   Time cycle_;
   std::size_t width_;
@@ -126,6 +156,23 @@ private:
   bool engine_busy_ = false;
   trace::StatSet stats_;
   trace::LogHandle log_;
+  trace::TxnLogger* logger_ = nullptr;  // for binding late-added masters
+
+  // Fast-path state. slave_fast_ caches fast_capable() per attached
+  // slave; fast_busy_until_ is the instant the bus frees again after a
+  // fast transaction (the engine's gate); the fast_pending_* slot holds
+  // the single posted fast transaction between its issue and the timed
+  // fast_complete_ callback that finishes it.
+  bool fast_targets_ = false;
+  std::vector<bool> slave_fast_;
+  Time fast_busy_until_ = Time::zero();
+  Txn* fast_pending_ = nullptr;
+  std::size_t fast_pending_master_ = 0;
+  std::size_t fast_pending_slave_ = 0;
+  std::uint64_t fast_pending_cycles_ = 0;
+  bool fast_in_service_ = false;  // stage 2: target latency elapsing
+  Event fast_complete_;
+  std::uint64_t* cnt_fast_hits_ = nullptr;
 
   // Cached hot statistic slots (stable addresses inside stats_).
   trace::Accumulator* acc_grant_wait_;

@@ -71,4 +71,18 @@ bool GrantEngine::any_pending() const {
   return false;
 }
 
+bool GrantEngine::any_inflight() const {
+  for (const auto& m : masters_) {
+    if (!m.inflight_ids.empty()) return true;
+  }
+  return false;
+}
+
+void GrantEngine::note_fast_grant(std::size_t m, std::uint64_t cycle) {
+  STLM_ASSERT(m < masters_.size(), "GrantEngine: master index out of range");
+  eligible_.assign(masters_.size(), false);
+  eligible_[m] = true;
+  arbiter_->pick(eligible_, cycle);
+}
+
 }  // namespace stlm::cam

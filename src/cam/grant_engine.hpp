@@ -78,6 +78,17 @@ class GrantEngine {
   /// True if any master has a queued request (regardless of caps).
   bool any_pending() const;
 
+  /// True if any master has a granted, not-yet-retired transaction.
+  bool any_inflight() const;
+
+  /// Record a fast-path grant to master `m` without queue bookkeeping:
+  /// runs the arbiter with only `m` eligible, so stateful policies
+  /// (round-robin rotation, TDMA reclamation) evolve exactly as if the
+  /// engine had granted it. Only legal when the fast path verified no
+  /// other master was pending (then `m` is the pick the engine would
+  /// have made).
+  void note_fast_grant(std::size_t m, std::uint64_t cycle);
+
   std::size_t pending_count(std::size_t m) const {
     return masters_[m].pending.size();
   }

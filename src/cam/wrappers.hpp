@@ -62,6 +62,10 @@ public:
   // --- OCP slave side (bus-facing) ------------------------------------
   using ocp::ocp_tl_slave_if::handle;
   void handle(Txn& txn) override;
+  // The mailbox FSM is wait-free (register decode + delta notifies
+  // only), so the default zero-latency fast_handle() — which simply
+  // runs handle() at the effective access time — is exact.
+  bool fast_capable() const override { return true; }
 
   // --- SHIP slave side (PE-facing) ------------------------------------
   void send(const ship::ship_serializable_if&) override;

@@ -123,16 +123,19 @@ std::unique_ptr<cam::CamIf> Mapper::make_bus(Simulator& sim,
   switch (p.bus) {
     case BusKind::SharedBus:
       return std::make_unique<cam::SharedBusCam>(sim, "bus", p.bus_cycle,
-                                                 make_arbiter(p), width, split);
+                                                 make_arbiter(p), width, split,
+                                                 p.fast_targets);
     case BusKind::Plb:
       return std::make_unique<cam::PlbCam>(sim, "plb", p.bus_cycle,
-                                           make_arbiter(p), width, split);
+                                           make_arbiter(p), width, split,
+                                           p.fast_targets);
     case BusKind::Opb:
       return std::make_unique<cam::OpbCam>(sim, "opb", p.bus_cycle,
-                                           make_arbiter(p), width, split);
+                                           make_arbiter(p), width, split,
+                                           p.fast_targets);
     case BusKind::Crossbar:
       return std::make_unique<cam::CrossbarCam>(sim, "xbar", p.bus_cycle,
-                                                width, split);
+                                                width, split, p.fast_targets);
   }
   throw ElaborationError("unknown bus kind");
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <iomanip>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -36,7 +37,33 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   row.sim_time_us = sim.now().to_seconds() * 1e6;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
-  const auto dist = trace::latency_dist(ms->txn_log().records());
+  // Split the log: per-master "<bus>.<master>" channels duplicate the
+  // bus rows, so the overall distribution excludes them (its meaning is
+  // unchanged from before per-master channels existed) and they feed the
+  // worst-master tail column instead.
+  const trace::TxnLogger& log = ms->txn_log();
+  const std::string bus_channel =
+      ms->bus() ? ms->bus()->name() : std::string();
+  std::vector<trace::TxnRecord> overall;
+  overall.reserve(log.size());
+  std::map<std::uint32_t, std::vector<trace::TxnRecord>> per_master;
+  // Classify channels once up front — string compares per channel, not
+  // per record (logs carry hundreds of records over a handful of
+  // channels).
+  std::vector<char> is_master(log.channel_count(), 0);
+  if (!bus_channel.empty()) {
+    for (std::uint32_t id = 0; id < log.channel_count(); ++id) {
+      is_master[id] = is_master_channel(log.channel_name(id), bus_channel);
+    }
+  }
+  for (const auto& r : log.records()) {
+    if (r.channel < is_master.size() && is_master[r.channel]) {
+      per_master[r.channel].push_back(r);
+    } else {
+      overall.push_back(r);
+    }
+  }
+  const auto dist = trace::latency_dist(overall);
   row.mean_latency_ns = dist.mean_ns;
   row.p50_latency_ns = dist.p50_ns;
   row.p95_latency_ns = dist.p95_ns;
@@ -44,6 +71,10 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   row.mean_queue_ns = dist.mean_queue_ns;
   row.transactions = dist.count;
   row.bytes = dist.bytes;
+  for (auto& [id, rows] : per_master) {
+    row.worst_master_p99_ns =
+        std::max(row.worst_master_p99_ns, trace::latency_dist(rows).p99_ns);
+  }
   if (ms->bus()) row.bus_utilization = ms->bus()->utilization();
   return row;
 }
@@ -176,11 +207,12 @@ void Explorer::print_table(std::ostream& os,
      << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
      << std::setw(14) << "mean_lat_ns" << std::setw(12) << "p50_ns"
      << std::setw(12) << "p95_ns" << std::setw(12) << "p99_ns"
-     << std::setw(12) << "queue_ns" << std::setw(10) << "bus_util"
+     << std::setw(12) << "queue_ns" << std::setw(12) << "wm_p99_ns"
+     << std::setw(10) << "bus_util"
      << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
   os << std::string(static_cast<std::size_t>(nw) +
                         (with_workload ? static_cast<std::size_t>(ww) : 0) +
-                        126,
+                        138,
                     '-')
      << "\n";
   for (const auto& r : rows) {
@@ -193,6 +225,7 @@ void Explorer::print_table(std::ostream& os,
        << std::setprecision(1) << r.mean_latency_ns << std::setw(12)
        << r.p50_latency_ns << std::setw(12) << r.p95_latency_ns
        << std::setw(12) << r.p99_latency_ns << std::setw(12) << r.mean_queue_ns
+       << std::setw(12) << r.worst_master_p99_ns
        << std::setw(10) << std::setprecision(3) << r.bus_utilization
        << std::setw(10) << r.transactions << std::setw(12) << r.bytes << "\n";
   }
@@ -257,30 +290,37 @@ std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
         for (std::size_t width : spec.data_widths) {
           for (std::size_t outstanding : spec.max_outstanding) {
             if (outstanding > 1 && !split_capable) continue;
-            core::Platform p;
-            p.bus = bus;
-            p.bus_cycle = cycle;
-            p.data_width_bytes = width;
-            if (outstanding > 1) {
-              p.split_txns = true;
-              p.max_outstanding = outstanding;
-            }
-            p.name = core::bus_kind_name(bus);
-            if (arbitrated) {
-              p.arb = spec.arbs[ai];
+            for (bool fast : spec.fast_targets) {
+              // The fast path only engages in atomic mode; a fast split
+              // point would duplicate the plain split point.
+              if (fast && outstanding > 1) continue;
+              core::Platform p;
+              p.bus = bus;
+              p.bus_cycle = cycle;
+              p.data_width_bytes = width;
+              if (outstanding > 1) {
+                p.split_txns = true;
+                p.max_outstanding = outstanding;
+              }
+              p.fast_targets = fast;
+              p.name = core::bus_kind_name(bus);
+              if (arbitrated) {
+                p.arb = spec.arbs[ai];
+                p.name += '-';
+                p.name += core::arb_kind_name(p.arb);
+              }
               p.name += '-';
-              p.name += core::arb_kind_name(p.arb);
+              p.name += std::to_string(cycle / Time::ns(1));
+              p.name += "ns-";
+              p.name += std::to_string(width * 8);
+              p.name += 'b';
+              if (outstanding > 1) {
+                p.name += "-split";
+                p.name += std::to_string(outstanding);
+              }
+              if (fast) p.name += "-fast";
+              cands.push_back(std::move(p));
             }
-            p.name += '-';
-            p.name += std::to_string(cycle / Time::ns(1));
-            p.name += "ns-";
-            p.name += std::to_string(width * 8);
-            p.name += 'b';
-            if (outstanding > 1) {
-              p.name += "-split";
-              p.name += std::to_string(outstanding);
-            }
-            cands.push_back(std::move(p));
           }
         }
       }

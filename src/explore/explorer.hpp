@@ -42,10 +42,26 @@ struct ExplorationRow {
   // Mean queueing delay (issue -> grant): arbitration/outstanding-cap
   // wait, as opposed to the service span the bus itself charges.
   double mean_queue_ns = 0.0;
+  // Highest p99 latency any single master observed on the bus (from the
+  // per-master "<bus>.<master>" channels). The overall p99 averages the
+  // starved master away; this column is what flags unfair arbitration.
+  double worst_master_p99_ns = 0.0;
   double bus_utilization = 0.0;
   std::uint64_t transactions = 0;
   std::uint64_t bytes = 0;
 };
+
+// True when `channel` is a per-master supplementary channel of the bus
+// channel `bus_channel` — buses duplicate every completed transaction's
+// row under "<bus>.<master>" so per-master latency distributions can be
+// derived. Consumers aggregating across channels (the overall latency
+// distribution above) must skip these rows or they count twice.
+inline bool is_master_channel(const std::string& channel,
+                              const std::string& bus_channel) {
+  return channel.size() > bus_channel.size() + 1 &&
+         channel.compare(0, bus_channel.size(), bus_channel) == 0 &&
+         channel[bus_channel.size()] == '.';
+}
 
 class Explorer {
 public:
@@ -122,8 +138,12 @@ std::vector<core::Platform> default_candidates();
 // arbiter; OPB has no address pipelining, so it skips the split
 // (max_outstanding > 1) points. An outstanding depth of 1 is the atomic
 // bus; a depth k > 1 becomes a split platform (`split_txns = true,
-// max_outstanding = k`, named "-split<k>"). The defaults span 68
-// platforms — the workload the parallel sweep is built to chew through.
+// max_outstanding = k`, named "-split<k>"). The fast-target axis applies
+// to atomic points only (the fast path never engages in split mode): a
+// `true` entry duplicates every atomic point with `fast_targets` on,
+// named "-fast". The defaults span 108 platforms (68 distinct timing
+// points + 40 fast variants) — the workload the parallel sweep is built
+// to chew through.
 struct GridSpec {
   std::vector<core::BusKind> buses{
       core::BusKind::SharedBus, core::BusKind::Plb, core::BusKind::Opb,
@@ -133,6 +153,7 @@ struct GridSpec {
   std::vector<Time> bus_cycles{Time::ns(10), Time::ns(20)};
   std::vector<std::size_t> data_widths{4, 8};
   std::vector<std::size_t> max_outstanding{1, 4};
+  std::vector<bool> fast_targets{false, true};
 };
 
 std::vector<core::Platform> grid_candidates(const GridSpec& spec = {});

@@ -50,6 +50,10 @@ public:
   // --- OCP slave side (bus-facing; driven by the SW driver) -----------
   using ocp::ocp_tl_slave_if::handle;
   void handle(Txn& txn) override;
+  // Register FSM is wait-free (decode + delta notifies; the timed waits
+  // live in the irq pulser / SHIP-side processes), so the default
+  // zero-latency fast_handle() is exact.
+  bool fast_capable() const override { return true; }
 
   // --- SHIP side (HW PE-facing) ----------------------------------------
   void send(const ship::ship_serializable_if& msg) override;

@@ -1,0 +1,143 @@
+#include "kernel/event_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace stlm::detail {
+
+namespace {
+inline bool entry_less(const TimedEntry& a, const TimedEntry& b) {
+  if (a.when != b.when) return a.when < b.when;
+  return a.seq < b.seq;
+}
+}  // namespace
+
+// Bucket storage (2048 buckets, ~80 KiB) is allocated on the first push:
+// scratch simulators that never schedule a timed event (role discovery,
+// construction-only tests) skip the cost entirely.
+EventWheel::EventWheel() = default;
+
+void EventWheel::push_into_wheel(const TimedEntry& e, std::uint64_t idx) {
+  Bucket& b = bucket(idx);
+  // Appends usually arrive in (when, seq) order (seq is monotone and most
+  // bucket traffic is same-cycle); keep the sorted flag alive so peek()
+  // skips the lazy sort on the common path.
+  if (b.sorted && b.v.size() > b.head && entry_less(e, b.v.back())) {
+    b.sorted = false;
+  }
+  b.v.push_back(e);
+  ++wheel_count_;
+  occ_set(idx);
+  if (idx < scan_idx_) scan_idx_ = idx;
+}
+
+std::uint64_t EventWheel::next_occupied(std::uint64_t from) const {
+  // Walk the bitmap word-wise from `from`'s slot, wrapping around the
+  // window. Low 6 bits of an absolute index and of its slot agree
+  // (kWheelBuckets is a multiple of 64), so an absolute index can be
+  // rebuilt from the word scan directly.
+  std::uint64_t idx = from;
+  std::size_t word = (idx & (kWheelBuckets - 1)) >> 6;
+  std::uint64_t mask = ~std::uint64_t{0} << (idx & 63);
+  for (std::size_t step = 0; step <= kOccWords; ++step) {
+    const std::uint64_t bits = occ_[word] & mask;
+    if (bits) {
+      return (idx & ~std::uint64_t{63}) +
+             static_cast<std::uint64_t>(std::countr_zero(bits));
+    }
+    idx = (idx & ~std::uint64_t{63}) + 64;
+    word = (word + 1) & (kOccWords - 1);
+    mask = ~std::uint64_t{0};
+  }
+  return from;  // unreachable while the precondition holds
+}
+
+void EventWheel::push(const TimedEntry& e) {
+  if (buckets_.empty()) buckets_.resize(kWheelBuckets);
+  const std::uint64_t idx = idx_of(e.when);
+  if (idx >= base_ + kWheelBuckets) {
+    overflow_.push(e);
+    return;
+  }
+  if (idx < base_) {
+    // Only possible after a far-future rebase followed by an earlier
+    // notify from outside run() — rare enough to pay a full respill:
+    // park everything (including the new entry) in overflow, then
+    // re-anchor the window at the new entry's bucket, which pulls the
+    // near portion back in.
+    spill_wheel();
+    overflow_.push(e);
+    rebase(idx);
+    return;
+  }
+  push_into_wheel(e, idx);
+}
+
+void EventWheel::spill_wheel() {
+  if (wheel_count_ == 0) return;
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.v.size(); ++i) overflow_.push(b.v[i]);
+    b.v.clear();
+    b.head = 0;
+    b.sorted = true;
+  }
+  wheel_count_ = 0;
+  occ_.fill(0);
+}
+
+void EventWheel::rebase(std::uint64_t idx) {
+  base_ = idx;
+  scan_idx_ = idx;
+  const std::uint64_t horizon = base_ + kWheelBuckets;
+  // Min-heap pop order is (when, seq), so each bucket receives its
+  // entries already sorted and the sorted flag survives.
+  while (!overflow_.empty() && idx_of(overflow_.top().when) < horizon) {
+    push_into_wheel(overflow_.top(), idx_of(overflow_.top().when));
+    overflow_.pop();
+  }
+}
+
+const TimedEntry* EventWheel::peek(StaleFn stale, const void* ctx) {
+  for (;;) {
+    if (wheel_count_ == 0) {
+      if (overflow_.empty()) return nullptr;
+      rebase(idx_of(overflow_.top().when));
+      continue;
+    }
+    scan_idx_ = next_occupied(scan_idx_);
+    Bucket& b = bucket(scan_idx_);
+    if (!b.sorted) {
+      std::sort(b.v.begin() + static_cast<std::ptrdiff_t>(b.head), b.v.end(),
+                entry_less);
+      b.sorted = true;
+    }
+    const TimedEntry& e = b.v[b.head];
+    if (stale(ctx, e)) {
+      ++b.head;
+      --wheel_count_;
+      if (b.head == b.v.size()) {
+        b.v.clear();
+        b.head = 0;
+        b.sorted = true;
+        occ_clear(scan_idx_);
+      }
+      continue;
+    }
+    return &e;
+  }
+}
+
+TimedEntry EventWheel::pop() {
+  Bucket& b = bucket(scan_idx_);
+  TimedEntry e = b.v[b.head++];
+  --wheel_count_;
+  if (b.head == b.v.size()) {
+    b.v.clear();
+    b.head = 0;
+    b.sorted = true;
+    occ_clear(scan_idx_);
+  }
+  return e;
+}
+
+}  // namespace stlm::detail

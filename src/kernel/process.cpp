@@ -73,12 +73,12 @@ Process::Process(Simulator& sim, std::string name, std::function<void()> body,
                  std::size_t stack_bytes)
     : ProcessBase(sim, std::move(name), Kind::Thread),
       body_(std::move(body)),
-      stack_(std::make_unique<char[]>(stack_bytes)),
-      stack_bytes_(stack_bytes) {
+      stack_(detail::StackPool::local().acquire(stack_bytes)),
+      stack_bytes_(stack_.bytes) {
   STLM_ASSERT(body_ != nullptr, "thread process needs a body: " + name_);
 }
 
-Process::~Process() = default;
+Process::~Process() { detail::StackPool::local().release(stack_); }
 
 Event& Process::terminated_event() {
   if (!terminated_event_) {
@@ -117,7 +117,7 @@ void Process::ensure_started() {
   // Craft the initial frame stlm_ctx_swap will "restore": six zeroed
   // callee-saved registers, then the trampoline as return address. The
   // pad slot keeps rsp % 16 == 8 at trampoline entry (SysV call ABI).
-  char* top = stack_.get() + stack_bytes_;
+  char* top = stack_.base + stack_bytes_;
   top -= reinterpret_cast<std::uintptr_t>(top) % 16;
   void** frame = reinterpret_cast<void**>(top) - 8;
   for (int i = 0; i < 6; ++i) frame[i] = nullptr;     // r15..rbx

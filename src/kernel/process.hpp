@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "kernel/stack_pool.hpp"
+
 namespace stlm {
 
 class Simulator;
@@ -81,7 +83,7 @@ private:
   void ensure_started();
 
   std::function<void()> body_;
-  std::unique_ptr<char[]> stack_;
+  detail::StackPool::Block stack_;  // pooled, guard-paged (see stack_pool.hpp)
   std::size_t stack_bytes_;
   void* fake_stack_ = nullptr;  // sanitizer fiber handle (ASan builds)
   void* sp_ = nullptr;  // saved stack pointer while suspended

@@ -78,6 +78,7 @@ void Simulator::register_process(ProcessBase& p) {
 }
 
 void Simulator::unregister_process(ProcessBase& p) {
+  process_unregistered_ever_ = true;
   std::erase(all_processes_, &p);
   live_processes_.erase(&p);
 }
@@ -86,7 +87,10 @@ void Simulator::register_event(Event& e) {
   ++events_registered_total_;
   live_events_.insert(&e);
 }
-void Simulator::unregister_event(Event& e) { live_events_.erase(&e); }
+void Simulator::unregister_event(Event& e) {
+  event_unregistered_ever_ = true;
+  live_events_.erase(&e);
+}
 
 void Simulator::register_module(Module& m) { modules_.push_back(&m); }
 void Simulator::unregister_module(Module& m) { std::erase(modules_, &m); }
@@ -186,6 +190,7 @@ void Simulator::run_impl(std::optional<Time> end_time) {
   check_elaboration();
   running_ = true;
   stop_requested_ = false;
+  run_end_time_ = end_time;
 
   if (!initialized_) initialize();
 
@@ -201,6 +206,7 @@ void Simulator::run_impl(std::optional<Time> end_time) {
   }
 
   running_ = false;
+  run_end_time_.reset();
   current_process_ = nullptr;
   if (pending_error_) {
     std::exception_ptr e = pending_error_;
@@ -242,7 +248,7 @@ void Simulator::resume_thread(Process& p) {
   ++p.wake_gen_;  // invalidate every stale registration of this process
   current_process_ = &p;
   p.ensure_started();
-  detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.get(),
+  detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.base,
                              p.stack_bytes_);
   detail::stlm_ctx_swap(&sched_sp_, p.sp_);
   detail::fiber_switch_end(sched_fake_stack_);
@@ -296,29 +302,51 @@ void Simulator::dispatch_timed(const TimedEntry& entry) {
   }
 }
 
-bool Simulator::advance_time(std::optional<Time> end_time) {
-  // Drop stale leading entries so we do not advance time for nothing.
-  auto entry_stale = [this](const TimedEntry& e) {
-    if (e.event) {
-      return !event_alive(e.event) || !e.event->timed_pending_ ||
-             e.event->sched_gen_ != e.gen;
-    }
-    return !process_alive(e.proc) || e.proc->terminated_ ||
-           e.proc->wake_gen_ != e.gen;
-  };
-  while (!timed_.empty() && entry_stale(timed_.top())) timed_.pop();
-  if (timed_.empty()) return false;
+// Stale pruning happens inside the wheel's peek(): entries cancelled
+// or overridden since registration never advance time. Plain function
+// pointer + context so peek allocates nothing per call.
+bool Simulator::timed_entry_stale(const void* ctx, const TimedEntry& e) {
+  const auto* self = static_cast<const Simulator*>(ctx);
+  if (e.event) {
+    return !self->event_alive(e.event) || !e.event->timed_pending_ ||
+           e.event->sched_gen_ != e.gen;
+  }
+  return !self->process_alive(e.proc) || e.proc->terminated_ ||
+         e.proc->wake_gen_ != e.gen;
+}
 
-  const Time next = timed_.top().when;
+bool Simulator::advance_inline(Time abs) {
+  if (!runnable_.empty() || !method_queue_.empty()) return false;
+  if (!delta_events_.empty() || !update_requests_.empty()) return false;
+  if (!post_delta_hooks_.empty()) return false;
+  if (stop_requested_) return false;
+  if (run_end_time_ && abs > *run_end_time_) return false;
+  // Strictly later: an entry at exactly `abs` was registered before this
+  // call (smaller seq), so FIFO order requires it to fire before the
+  // caller resumes — take the scheduler path.
+  const TimedEntry* head = timed_.peek(&Simulator::timed_entry_stale, this);
+  if (head && head->when <= abs) return false;
+  now_ = abs;
+  return true;
+}
+
+bool Simulator::advance_time(std::optional<Time> end_time) {
+  const TimedEntry* head = timed_.peek(&Simulator::timed_entry_stale, this);
+  if (!head) return false;
+
+  const Time next = head->when;
   if (end_time && next > *end_time) {
     now_ = *end_time;
     return false;
   }
   now_ = next;
-  while (!timed_.empty() && timed_.top().when == next) {
-    TimedEntry entry = timed_.top();
-    timed_.pop();
+  // Dispatch every live entry at `next` in FIFO (seq) order. Triggering
+  // only marks processes runnable / queues methods, so the drain loop
+  // cannot race with new same-timestamp pushes.
+  while (head && head->when == next) {
+    TimedEntry entry = timed_.pop();
     dispatch_timed(entry);
+    head = timed_.peek(&Simulator::timed_entry_stale, this);
   }
   return true;
 }
@@ -340,6 +368,9 @@ void wait(Event& e) {
 void wait(Time delay) {
   Simulator& sim = Simulator::require_current();
   Process& p = sim.require_process("wait(Time)");
+  // Zero-delay waits keep their yield-past-this-instant semantics; any
+  // other delay tries the lone-runner inline advance first.
+  if (!delay.is_zero() && sim.advance_inline(sim.now() + delay)) return;
   sim.schedule_timeout(p, sim.now() + delay, p.wake_gen());
   sim.suspend_current();
 }

@@ -22,12 +22,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "kernel/event.hpp"
+#include "kernel/event_wheel.hpp"
 #include "kernel/process.hpp"
 #include "kernel/report.hpp"
 #include "kernel/time.hpp"
@@ -100,12 +100,30 @@ public:
   void schedule_delta_event(Event& e);
   void schedule_timeout(Process& p, Time abs_time, std::uint64_t gen);
 
+  // Lone-runner fast path for wait(delay): when the calling process is
+  // the only activity in the simulator and nothing else — runnable
+  // process, queued method, delta/update request, live timed entry at or
+  // before `abs`, run_for horizon, post-delta tracing hook — could
+  // legally run first, advance simulated time to `abs` inline and return
+  // true: no timed-queue registration, no scheduler round trip, no
+  // coroutine switches. Returns false when the full suspend path must
+  // run. Timing-neutral by construction: the skipped delta cycles are
+  // exactly the empty ones the scheduler would have burned through.
+  bool advance_inline(Time abs);
+
   void register_process(ProcessBase& p);
   void unregister_process(ProcessBase& p);
+  // Liveness checks run on every scheduler dispatch (millions per
+  // simulation). Until the first unregistration, every pointer the
+  // scheduler holds is necessarily live — short-circuit the hash lookup
+  // and fall back to the registry only once some object has actually
+  // died (typically only at teardown, when nothing is dispatched).
   bool process_alive(const ProcessBase* p) const {
-    return live_processes_.contains(p);
+    return !process_unregistered_ever_ || live_processes_.contains(p);
   }
-  bool event_alive(const Event* e) const { return live_events_.contains(e); }
+  bool event_alive(const Event* e) const {
+    return !event_unregistered_ever_ || live_events_.contains(e);
+  }
   void register_event(Event& e);
   void unregister_event(Event& e);
 
@@ -135,17 +153,7 @@ public:
   Event* last_triggered_event() const;
 
 private:
-  struct TimedEntry {
-    Time when;
-    std::uint64_t seq;       // FIFO tie-break for determinism
-    Event* event;            // exactly one of event/proc is set
-    Process* proc;
-    std::uint64_t gen;       // wake/sched generation at registration
-    bool operator>(const TimedEntry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
-  };
+  using TimedEntry = detail::TimedEntry;
 
   void initialize();
   void check_elaboration();
@@ -157,6 +165,9 @@ private:
   void run_method(MethodProcess& m);
   void resume_thread(Process& p);
   void dispatch_timed(const TimedEntry& e);
+  // Stale predicate shared by advance_time and advance_inline: entries
+  // cancelled or overridden since registration never advance time.
+  static bool timed_entry_stale(const void* ctx, const TimedEntry& e);
 
   Time now_ = Time::zero();
   std::uint64_t delta_count_ = 0;
@@ -166,17 +177,23 @@ private:
   bool running_ = false;
   bool stop_requested_ = false;
 
+  // run_for() horizon of the active run (nullopt for run()); stored so
+  // advance_inline never warps simulated time past it.
+  std::optional<Time> run_end_time_;
+
   std::deque<Process*> runnable_;
   std::deque<MethodProcess*> method_queue_;
   std::vector<Event*> delta_events_;
   std::vector<UpdateIf*> update_requests_;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
-                      std::greater<TimedEntry>>
-      timed_;
+  // Timed notifications: calendar queue with deterministic FIFO order
+  // within a timestamp (see kernel/event_wheel.hpp).
+  detail::EventWheel timed_;
 
   std::vector<ProcessBase*> all_processes_;
   TxnPool txn_pool_;
   std::uint64_t events_registered_total_ = 0;
+  bool event_unregistered_ever_ = false;
+  bool process_unregistered_ever_ = false;
   std::unordered_set<const Event*> live_events_;
   std::unordered_set<const ProcessBase*> live_processes_;
   std::vector<Module*> modules_;

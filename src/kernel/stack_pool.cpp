@@ -1,0 +1,121 @@
+#include "kernel/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "kernel/context.hpp"
+#include "kernel/report.hpp"
+
+#ifdef STLM_ASAN_FIBERS
+extern "C" void __asan_unpoison_memory_region(const void* addr,
+                                              std::size_t size);
+#endif
+
+namespace stlm::detail {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+}  // namespace
+
+StackPool& StackPool::local() {
+  thread_local StackPool pool;
+  return pool;
+}
+
+StackPool::~StackPool() { trim(); }
+
+StackPool::Block StackPool::map_block(std::size_t bytes) {
+  const std::size_t page = page_size();
+  void* raw = ::mmap(nullptr, bytes + page, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) {
+    throw SimulationError("StackPool: mmap failed for coroutine stack");
+  }
+  // Guard page below the stack: an overflow faults instead of silently
+  // scribbling over whatever mmap placed underneath.
+  ::mprotect(raw, page, PROT_NONE);
+  return Block{static_cast<char*>(raw) + page, bytes};
+}
+
+void StackPool::unmap_block(const Block& b) {
+  const std::size_t page = page_size();
+  ::munmap(b.base - page, b.bytes + page);
+}
+
+StackPool::Block StackPool::acquire(std::size_t bytes) {
+  const std::size_t page = page_size();
+  bytes = (bytes + page - 1) / page * page;
+  SizeClass& sc = classes_[bytes];
+  ++sc.in_use;
+  if (sc.in_use > sc.hwm) sc.hwm = sc.in_use;
+  if (!sc.free.empty()) {
+    Block b = sc.free.back();
+    sc.free.pop_back();
+    ++reuses_;
+#ifdef STLM_ASAN_FIBERS
+    // The previous coroutine's shadow poison is meaningless for the next
+    // user of this address range.
+    __asan_unpoison_memory_region(b.base, b.bytes);
+#endif
+    return b;
+  }
+  ++maps_;
+  return map_block(bytes);
+}
+
+void StackPool::release(Block b) {
+  if (!b) return;
+  SizeClass& sc = classes_[b.bytes];
+  // A block may be released on a different thread than it was acquired
+  // on (blocks are plain address ranges); such a pool never saw the
+  // acquire, so guard the usage counter.
+  if (sc.in_use > 0) --sc.in_use;
+  if (sc.free.size() < sc.cache_cap()) {
+    sc.free.push_back(b);
+  } else {
+    ++unmaps_;
+    unmap_block(b);
+  }
+  // Epoch boundary: demand fully drained. Shed anything above the
+  // two-epoch high-water mark and roll the epoch over, so cache size
+  // tracks recent peak demand rather than the all-time one.
+  if (sc.in_use == 0) {
+    while (sc.free.size() > sc.cache_cap()) {
+      ++unmaps_;
+      unmap_block(sc.free.back());
+      sc.free.pop_back();
+    }
+    sc.prev_hwm = sc.hwm;
+    sc.hwm = 0;
+  }
+}
+
+void StackPool::trim() {
+  for (auto& [bytes, sc] : classes_) {
+    for (const Block& b : sc.free) {
+      ++unmaps_;
+      unmap_block(b);
+    }
+    sc.free.clear();
+    sc.hwm = sc.in_use;
+    sc.prev_hwm = 0;
+  }
+}
+
+std::size_t StackPool::cached_blocks() const {
+  std::size_t n = 0;
+  for (const auto& [bytes, sc] : classes_) n += sc.free.size();
+  return n;
+}
+
+std::size_t StackPool::cached_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [bytes, sc] : classes_) n += bytes * sc.free.size();
+  return n;
+}
+
+}  // namespace stlm::detail

@@ -1,0 +1,85 @@
+#pragma once
+// Pooled coroutine stacks.
+//
+// Every thread process used to own a 256 KiB `new char[]` stack:
+// allocation, zero-fill, and first-touch page faults on every spawn. A
+// thousand-platform exploration sweep spawns tens of thousands of
+// short-lived processes, so the stacks dominated platform setup cost.
+//
+// StackPool replaces that with a per-OS-thread free list of mmap'd
+// blocks. Each block carries a PROT_NONE guard page below the usable
+// range, so a coroutine overflowing its stack faults immediately instead
+// of corrupting a neighbouring allocation — strictly better than the old
+// heap arrays. Release returns a block to the calling thread's pool
+// (blocks are plain address ranges, so a block acquired on one thread
+// may be released on another; each pool only ever touches its own
+// lists, so no locking is needed).
+//
+// Shrink policy (high-water mark): a size class never caches more
+// blocks than its peak concurrent demand over the current and previous
+// "epoch" (an epoch ends each time usage drains to zero). Steady
+// repeated demand — a sweep tearing down one platform and building the
+// next — therefore recycles every stack, while a one-off burst is shed
+// after two quiet epochs instead of being pinned forever.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace stlm::detail {
+
+class StackPool {
+public:
+  // A usable stack range: [base, base + bytes), guard page below base.
+  struct Block {
+    char* base = nullptr;
+    std::size_t bytes = 0;
+    explicit operator bool() const { return base != nullptr; }
+  };
+
+  // The calling OS thread's pool (thread-local singleton).
+  static StackPool& local();
+
+  ~StackPool();
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  // A block with at least `bytes` usable (rounded up to whole pages),
+  // recycled from the free list when possible. Throws SimulationError
+  // if the kernel refuses the mapping.
+  Block acquire(std::size_t bytes);
+  // Return a block. It must have come from a StackPool (any thread's).
+  void release(Block b);
+
+  // Unmap every cached block (used by tests and the destructor).
+  void trim();
+
+  // --- observability (pool-behaviour regression tests) -------------------
+  std::uint64_t maps() const { return maps_; }
+  std::uint64_t unmaps() const { return unmaps_; }
+  std::uint64_t reuses() const { return reuses_; }
+  std::size_t cached_blocks() const;
+  std::size_t cached_bytes() const;
+
+private:
+  StackPool() = default;
+
+  struct SizeClass {
+    std::vector<Block> free;
+    std::size_t in_use = 0;
+    std::size_t hwm = 0;       // peak concurrent usage this epoch
+    std::size_t prev_hwm = 0;  // previous epoch's peak
+    std::size_t cache_cap() const { return hwm > prev_hwm ? hwm : prev_hwm; }
+  };
+
+  static Block map_block(std::size_t bytes);
+  static void unmap_block(const Block& b);
+
+  std::unordered_map<std::size_t, SizeClass> classes_;
+  std::uint64_t maps_ = 0;
+  std::uint64_t unmaps_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace stlm::detail

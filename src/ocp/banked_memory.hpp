@@ -65,17 +65,26 @@ public:
       txn.respond_error();
       return;
     }
-    charge_timing(txn.addr - base_, len ? len : 1);
+    const Time latency = access_latency(txn.addr - base_, len ? len : 1);
+    if (!latency.is_zero()) wait(latency);
+    access(txn);
+  }
 
-    const std::size_t off = static_cast<std::size_t>(txn.addr - base_);
-    if (txn.op == Txn::Op::Write) {
-      std::copy(txn.data.begin(), txn.data.end(), mem_.begin() + off);
-      ++writes_;
-      txn.respond_ok();
-      return;
+  // Fast path: bank state (free_at, open_row) evolves as a pure function
+  // of (current time, offset, length) — the wait in the slow path never
+  // changes what the *next* access observes, because free_at is stamped
+  // before waiting. So the same evolution can run from the initiator's
+  // context with the latency returned instead of wait()ed.
+  bool fast_capable() const override { return true; }
+  Time fast_handle(Txn& txn) override {
+    const std::size_t len = txn.payload_bytes();
+    if (txn.addr < base_ || txn.addr + len > base_ + mem_.size()) {
+      txn.respond_error();
+      return Time::zero();
     }
-    ++reads_;
-    txn.respond_data(mem_.data() + off, len);
+    const Time latency = access_latency(txn.addr - base_, len ? len : 1);
+    access(txn);
+    return latency;
   }
 
   // Test/back-door access (no simulated time).
@@ -101,7 +110,10 @@ private:
     std::uint64_t open_row = ~0ull;  // no row open yet
   };
 
-  void charge_timing(std::uint64_t offset, std::size_t len) {
+  // Evolve the bank timing state for an access starting now and return
+  // its service latency (stall-until-free + hit/miss). Does not wait:
+  // the slow path waits the result, the fast path returns it upward.
+  Time access_latency(std::uint64_t offset, std::size_t len) {
     Simulator& sim = Simulator::require_current();
     const Time now = sim.now();
     const std::size_t first =
@@ -143,7 +155,21 @@ private:
       b.free_at = done + cfg_.bank_busy;
       b.open_row = row;
     }
-    if (done > now) wait(done - now);
+    return done - now;
+  }
+
+  // The untimed copy/respond half, shared by both paths.
+  void access(Txn& txn) {
+    const std::size_t len = txn.payload_bytes();
+    const std::size_t off = static_cast<std::size_t>(txn.addr - base_);
+    if (txn.op == Txn::Op::Write) {
+      std::copy(txn.data.begin(), txn.data.end(), mem_.begin() + off);
+      ++writes_;
+      txn.respond_ok();
+      return;
+    }
+    ++reads_;
+    txn.respond_data(mem_.data() + off, len);
   }
 
   std::string name_;

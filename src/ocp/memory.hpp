@@ -27,6 +27,37 @@ public:
   using ocp_tl_slave_if::handle;
   void handle(Txn& txn) override {
     if (!access_time_.is_zero()) wait(access_time_);
+    access(txn);
+  }
+
+  // Fast path: a flat memory is a pure function of (state, txn) plus a
+  // constant leading latency, so it can run from the initiator's
+  // context with the latency returned instead of wait()ed.
+  bool fast_capable() const override { return true; }
+  Time fast_handle(Txn& txn) override {
+    access(txn);
+    return access_time_;
+  }
+  // The latency is one configured constant and access() is a pure
+  // state/txn function — the merged-completion contract holds.
+  std::optional<Time> fast_fixed_latency() const override {
+    return access_time_;
+  }
+
+  // Test/back-door access (no simulated time).
+  std::uint8_t peek(std::uint64_t addr) const { return mem_.at(addr - base_); }
+  void poke(std::uint64_t addr, std::uint8_t v) { mem_.at(addr - base_) = v; }
+
+  std::uint64_t base() const { return base_; }
+  std::size_t size() const { return mem_.size(); }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  const std::string& name() const { return name_; }
+
+private:
+  // The untimed access itself (both paths; the error response also pays
+  // the full access time, matching the pre-fast-path behaviour).
+  void access(Txn& txn) {
     const std::size_t len = txn.payload_bytes();
     if (txn.addr < base_ || txn.addr + len > base_ + mem_.size()) {
       txn.respond_error();
@@ -43,17 +74,6 @@ public:
     txn.respond_data(mem_.data() + off, len);
   }
 
-  // Test/back-door access (no simulated time).
-  std::uint8_t peek(std::uint64_t addr) const { return mem_.at(addr - base_); }
-  void poke(std::uint64_t addr, std::uint8_t v) { mem_.at(addr - base_) = v; }
-
-  std::uint64_t base() const { return base_; }
-  std::size_t size() const { return mem_.size(); }
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
-  const std::string& name() const { return name_; }
-
-private:
   std::string name_;
   std::uint64_t base_;
   std::vector<std::uint8_t> mem_;

@@ -65,6 +65,11 @@ public:
   // the logger's lifetime. Channels call this once at wiring time.
   std::uint32_t intern(const std::string& channel);
   const std::string& channel_name(std::uint32_t id) const;
+  // Number of interned channels; valid ids are [0, channel_count()).
+  // Lets consumers classify channels once instead of per record.
+  std::uint32_t channel_count() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
 
   // Hot path: fixed-width row, no string traffic. The phase-less
   // overload records grant == data == start (no distinguishable phases

@@ -19,6 +19,19 @@ using namespace stlm;
 using namespace stlm::cam;
 using namespace stlm::time_literals;
 
+// Rows a CAM records under its own channel. Buses additionally duplicate
+// every row under a per-master "<bus>.<master>" channel for per-master
+// latency distributions; tests pinning row counts/order look at the bus
+// channel only.
+static std::vector<trace::TxnRecord> channel_rows(const trace::TxnLogger& log,
+                                                  const std::string& channel) {
+  std::vector<trace::TxnRecord> out;
+  for (const auto& r : log.records()) {
+    if (log.channel_name(r.channel) == channel) out.push_back(r);
+  }
+  return out;
+}
+
 // ------------------------------------------------------- GrantEngine ----
 
 TEST(GrantEngine, TracksPendingAndInflightPerMaster) {
@@ -389,8 +402,13 @@ TEST(CamSplit, AtomicEngineStampsFusedPhasesAndQueueing) {
   });
   sim.run();
 
-  ASSERT_EQ(log.size(), 2u);
-  for (const auto& r : log.records()) {
+  // One row under the bus channel plus one under each issuing master's
+  // "<bus>.<master>" channel.
+  const auto rows = channel_rows(log, "plb");
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(channel_rows(log, "plb.a").size(), 1u);
+  ASSERT_EQ(channel_rows(log, "plb.b").size(), 1u);
+  for (const auto& r : rows) {
     EXPECT_EQ(r.grant, r.data);               // fused phases
     EXPECT_LE(r.start, r.grant);
     EXPECT_LE(r.data, r.end);
@@ -401,9 +419,9 @@ TEST(CamSplit, AtomicEngineStampsFusedPhasesAndQueueing) {
   // is the back-to-back 8-beat transfer (80 ns): its 180 ns end-to-end
   // latency is mostly queueing, which is precisely what the split
   // metrics exist to say.
-  EXPECT_DOUBLE_EQ(log.records()[0].queue_ns(), 0.0);
-  EXPECT_DOUBLE_EQ(log.records()[1].queue_ns(), 100.0);
-  EXPECT_DOUBLE_EQ(log.records()[1].service_ns(), 80.0);
+  EXPECT_DOUBLE_EQ(rows[0].queue_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].queue_ns(), 100.0);
+  EXPECT_DOUBLE_EQ(rows[1].service_ns(), 80.0);
   // The stats set separates service from end-to-end latency.
   EXPECT_DOUBLE_EQ(bus.stats().acc("service_ns").mean(), 90.0);
   EXPECT_DOUBLE_EQ(bus.stats().acc("latency_ns").mean(), 140.0);
@@ -436,27 +454,31 @@ TEST(CamSplit, SplitEngineRowsDivergeGrantFromCompletion) {
   });
   sim.run();
 
-  ASSERT_EQ(log.size(), 2u);
+  const auto rows = channel_rows(log, "plb");
+  ASSERT_EQ(rows.size(), 2u);
   // Completion order in the log: the fast write's row lands first even
   // though its grant came second.
-  const auto& first_done = log.records()[0];
-  const auto& second_done = log.records()[1];
+  const auto& first_done = rows[0];
+  const auto& second_done = rows[1];
   EXPECT_GT(first_done.grant, second_done.grant)
       << "completions did not reorder against grants - no OoO captured";
-  for (const auto& r : log.records()) {
+  for (const auto& r : rows) {
     EXPECT_LE(r.start, r.grant);
     EXPECT_LE(r.grant, r.data);  // data phase strictly after the address phase
     EXPECT_LE(r.data, r.end);
   }
-  // Both rows survive the CSV round trip with their phases intact.
+  // All rows (bus channel + per-master duplicates) survive the CSV round
+  // trip with their phases intact.
   std::ostringstream os;
   log.dump_csv(os);
   trace::TxnLogger back;
   std::istringstream is(os.str());
   back.load_csv(is);
-  ASSERT_EQ(back.size(), 2u);
-  EXPECT_EQ(back.records()[0].grant, first_done.grant);
-  EXPECT_EQ(back.records()[1].data, second_done.data);
+  ASSERT_EQ(back.size(), log.size());
+  const auto back_rows = channel_rows(back, "plb");
+  ASSERT_EQ(back_rows.size(), 2u);
+  EXPECT_EQ(back_rows[0].grant, first_done.grant);
+  EXPECT_EQ(back_rows[1].data, second_done.data);
 }
 
 // Every row any engine writes respects the phase order invariant — the
@@ -486,9 +508,15 @@ TEST(CamSplit, SplitRunRowsRespectPhaseOrderInvariant) {
     });
   }
   sim.run();
-  ASSERT_EQ(log.size(), 120u);
+  // 120 bus-channel rows plus a per-master duplicate of each.
+  ASSERT_EQ(log.size(), 240u);
+  const auto rows = channel_rows(log, "plb");
+  ASSERT_EQ(rows.size(), 120u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(channel_rows(log, "plb.m" + std::to_string(m)).size(), 40u);
+  }
   std::size_t queued = 0;
-  for (const auto& r : log.records()) {
+  for (const auto& r : rows) {
     ASSERT_LE(r.start, r.grant);
     ASSERT_LE(r.grant, r.data);
     ASSERT_LE(r.data, r.end);

@@ -148,20 +148,32 @@ TEST(Explorer, GridCoversCrossProduct) {
   const auto cands = grid_candidates();
   // 3 arbitrated buses x 3 arbiters + crossbar, each x 2 cycles x 2
   // widths; split-capable points (all but OPB) double across the
-  // outstanding axis {1, 4}: (12 + 12 + 4) x 2 + 12 = 68.
-  EXPECT_EQ(cands.size(), 68u);
+  // outstanding axis {1, 4}: (12 + 12 + 4) x 2 + 12 = 68 timing points.
+  // The fast-target axis then duplicates each of the 40 atomic points
+  // as a "-fast" variant: 68 + 40 = 108.
+  EXPECT_EQ(cands.size(), 108u);
   std::set<std::string> names;
   for (const auto& p : cands) names.insert(p.name);
   EXPECT_EQ(names.size(), cands.size()) << "grid names must be unique";
   EXPECT_TRUE(names.count("plb-round-robin-10ns-64b"));
+  EXPECT_TRUE(names.count("plb-round-robin-10ns-64b-fast"));
   EXPECT_TRUE(names.count("plb-round-robin-10ns-64b-split4"));
   EXPECT_TRUE(names.count("crossbar-20ns-32b"));
+  EXPECT_TRUE(names.count("crossbar-20ns-32b-fast"));
   EXPECT_TRUE(names.count("crossbar-20ns-32b-split4"));
+  EXPECT_FALSE(names.count("plb-round-robin-10ns-64b-split4-fast"))
+      << "the fast axis must not apply to split points";
+  std::size_t fast_points = 0;
   for (const auto& p : cands) {
     if (p.bus == core::BusKind::Opb) {
       EXPECT_FALSE(p.split_txns) << p.name;  // OPB has no split points
     }
+    if (p.fast_targets) {
+      ++fast_points;
+      EXPECT_FALSE(p.split_txns) << p.name;  // fast is atomic-mode only
+    }
   }
+  EXPECT_EQ(fast_points, 40u);
 }
 
 TEST(Explorer, GridSpecIsParameterizable) {
@@ -171,6 +183,7 @@ TEST(Explorer, GridSpecIsParameterizable) {
   spec.bus_cycles = {10_ns};
   spec.data_widths = {4, 8, 16};
   spec.max_outstanding = {1};
+  spec.fast_targets = {false};
   const auto cands = grid_candidates(spec);
   ASSERT_EQ(cands.size(), 3u);
   EXPECT_EQ(cands[2].data_width_bytes, 16u);
@@ -185,6 +198,15 @@ TEST(Explorer, GridSpecIsParameterizable) {
   EXPECT_TRUE(split_cands[1].split_txns);
   EXPECT_EQ(split_cands[1].max_outstanding, 2u);
   EXPECT_EQ(split_cands[2].name, "plb-priority-10ns-32b-split8");
+
+  // The fast-target axis duplicates atomic points only, with a "-fast"
+  // suffix and the knob stamped onto the platform.
+  spec.fast_targets = {false, true};
+  const auto fast_cands = grid_candidates(spec);
+  ASSERT_EQ(fast_cands.size(), 12u);  // 3 atomic x 2 fast + 6 split
+  EXPECT_FALSE(fast_cands[0].fast_targets);
+  EXPECT_TRUE(fast_cands[1].fast_targets);
+  EXPECT_EQ(fast_cands[1].name, "plb-priority-10ns-32b-fast");
 }
 
 TEST(Explorer, DataWidthChangesTiming) {
@@ -274,6 +296,7 @@ TEST(Explorer, WorkloadGrid200RowsParallelMatchesSequentialBitExactly) {
   Explorer ex;
   GridSpec atomic_spec;
   atomic_spec.max_outstanding = {1};
+  atomic_spec.fast_targets = {false};  // keep the historical 40 platforms
   const auto plats = grid_candidates(atomic_spec);
   const auto loads = workload_candidates();
   ASSERT_EQ(plats.size() * loads.size(), 200u);
@@ -358,20 +381,23 @@ TrafficSignature run_cell(const core::Platform& p,
 // pinned separately by
 // CamSplit.MaxOutstandingOneIsBitIdenticalToSeedTiming.)
 TEST(Explorer, GridConservesTrafficAcrossSplitModeAndWorkloads) {
-  const auto plats = grid_candidates();  // includes the -split4 points
+  const auto plats = grid_candidates();  // includes -split4 and -fast points
   const auto loads = workload_candidates();
-  ASSERT_EQ(plats.size(), 68u);
+  ASSERT_EQ(plats.size(), 108u);
   ASSERT_EQ(loads.size(), 5u);
 
-  // "-splitN" strips to the atomic counterpart's name.
+  // "-splitN" / "-fast" strips to the plain atomic counterpart's name.
   auto base_name = [](const std::string& name) {
-    const auto pos = name.rfind("-split");
-    return pos == std::string::npos ? name : name.substr(0, pos);
+    for (const char* suffix : {"-split", "-fast"}) {
+      const auto pos = name.rfind(suffix);
+      if (pos != std::string::npos) return name.substr(0, pos);
+    }
+    return name;
   };
 
   std::map<std::pair<std::string, std::string>, TrafficSignature> atomic;
   for (const auto& p : plats) {
-    if (p.split_txns) continue;
+    if (p.split_txns || p.fast_targets) continue;
     for (const auto& w : loads) {
       TrafficSignature sig = run_cell(p, w);
       EXPECT_TRUE(sig.completed) << p.name << "/" << w.name;
@@ -381,9 +407,10 @@ TEST(Explorer, GridConservesTrafficAcrossSplitModeAndWorkloads) {
     }
   }
   std::size_t split_points = 0;
+  std::size_t fast_points = 0;
   for (const auto& p : plats) {
-    if (!p.split_txns) continue;
-    ++split_points;
+    if (!p.split_txns && !p.fast_targets) continue;
+    ++(p.split_txns ? split_points : fast_points);
     for (const auto& w : loads) {
       const TrafficSignature sig = run_cell(p, w);
       EXPECT_TRUE(sig.completed) << p.name << "/" << w.name;
@@ -396,7 +423,8 @@ TEST(Explorer, GridConservesTrafficAcrossSplitModeAndWorkloads) {
       EXPECT_EQ(sig.write_bytes, a.write_bytes) << p.name << "/" << w.name;
     }
   }
-  EXPECT_EQ(split_points, 28u);  // 68 grid points - 40 atomic points
+  EXPECT_EQ(split_points, 28u);  // 68 timing points - 40 atomic points
+  EXPECT_EQ(fast_points, 40u);   // one -fast variant per atomic point
 }
 
 TEST(Explorer, PrintTableShowsWorkloadColumnOnlyWhenPresent) {

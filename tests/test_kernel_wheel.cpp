@@ -1,0 +1,186 @@
+// Tests for the calendar-queue event wheel behind the simulator's timed
+// schedule — FIFO tie-break determinism at one instant, cancel /
+// re-notify / override against pending wheel entries, bucket rollover
+// and overflow-heap migration — plus the pooled coroutine stacks that
+// recycle thread stacks across simulators.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "kernel/stack_pool.hpp"
+
+using namespace stlm;
+using namespace stlm::time_literals;
+
+// --------------------------------------------------------- event wheel ----
+
+// The determinism contract: notifications landing on the same timestamp
+// fire in the order they were *issued*, regardless of the event objects'
+// construction or the waiters' spawn order.
+TEST(TimedWheel, SameInstantFiresInNotifyOrder) {
+  Simulator sim;
+  Event e0(sim, "e0"), e1(sim, "e1"), e2(sim, "e2");
+  std::vector<int> order;
+  sim.spawn_thread("w0", [&] { wait(e0); order.push_back(0); });
+  sim.spawn_thread("w1", [&] { wait(e1); order.push_back(1); });
+  sim.spawn_thread("w2", [&] { wait(e2); order.push_back(2); });
+  sim.spawn_thread("notifier", [&] {
+    // Deliberately not in construction/spawn order.
+    e2.notify(40_ns);
+    e0.notify(40_ns);
+    e1.notify(40_ns);
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 40_ns);
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+}
+
+// Plain timeouts at one instant keep issue order too (same seq counter).
+TEST(TimedWheel, TimeoutsAtSameInstantKeepIssueOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn_thread("t" + std::to_string(i), [&, i] {
+      wait(25_ns);
+      order.push_back(i);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// cancel() invalidates the pending wheel entry; a re-notify at the very
+// same timestamp must land exactly once (the stale entry is pruned, not
+// double-fired).
+TEST(TimedWheel, CancelThenRenotifySameInstantFiresOnce) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  std::vector<Time> wakes;
+  sim.spawn_thread("waiter", [&] {
+    for (;;) {
+      wait(ev);
+      wakes.push_back(sim.now());
+    }
+  });
+  sim.spawn_thread("ctl", [&] {
+    ev.notify(30_ns);
+    ev.cancel();
+    ev.notify(30_ns);
+  });
+  sim.run();
+  ASSERT_EQ(wakes.size(), 1u);
+  EXPECT_EQ(wakes[0], 30_ns);
+}
+
+// An earlier notify overrides a pending later one; the superseded wheel
+// entry must not fire when its bucket comes around.
+TEST(TimedWheel, EarlierNotifyOverridesPendingLaterEntry) {
+  Simulator sim;
+  Event ev(sim, "ev");
+  std::vector<Time> wakes;
+  sim.spawn_thread("waiter", [&] {
+    for (;;) {
+      wait(ev);
+      wakes.push_back(sim.now());
+    }
+  });
+  sim.spawn_thread("ctl", [&] {
+    ev.notify(100_ns);
+    ev.notify(10_ns);  // earlier: replaces the 100 ns entry
+    wait(200_ns);      // outlive the stale bucket
+  });
+  sim.run();
+  ASSERT_EQ(wakes.size(), 1u);
+  EXPECT_EQ(wakes[0], 10_ns);
+}
+
+// The wheel window is ~2.1 us (2048 buckets x ~1.05 ns); notifications
+// past the horizon park in the overflow heap and migrate into the wheel
+// as it rotates. Same-instant entries must keep their issue order across
+// that migration.
+TEST(TimedWheel, OverflowMigrationKeepsSameInstantOrder) {
+  Simulator sim;
+  Event e0(sim, "e0"), e1(sim, "e1");
+  std::vector<int> order;
+  sim.spawn_thread("w0", [&] { wait(e0); order.push_back(0); });
+  sim.spawn_thread("w1", [&] { wait(e1); order.push_back(1); });
+  sim.spawn_thread("notifier", [&] {
+    e1.notify(Time::us(5));  // far past the wheel horizon
+    e0.notify(Time::us(5));
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::us(5));
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+// Thousands of short waits force the wheel through many full rotations
+// (rebase + bucket reuse); interleaved long hops exercise the
+// overflow-to-wheel path. The accumulated time must stay exact.
+TEST(TimedWheel, RolloverAndLongHopsAccumulateExactly) {
+  Simulator sim;
+  Time expected = Time::zero();
+  sim.spawn_thread("hopper", [&] {
+    for (int i = 0; i < 5000; ++i) wait(Time::ns(3));
+    for (int i = 0; i < 8; ++i) wait(Time::us(10));
+    wait(Time::ns(1));
+  });
+  expected = Time::ns(3) * 5000 + Time::us(10) * 8 + Time::ns(1);
+  sim.run();
+  EXPECT_EQ(sim.now(), expected);
+}
+
+// --------------------------------------------------------- stack pool ----
+
+namespace {
+
+void run_sim_with_threads(std::size_t n) {
+  Simulator sim;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.spawn_thread("t" + std::to_string(i), [] { wait(1_ns); });
+  }
+  sim.run();
+}
+
+}  // namespace
+
+// Destroying a simulator returns every thread stack to the calling
+// thread's pool; the next simulator on this thread recycles them
+// instead of mmap'ing fresh ones.
+TEST(StackPool, RecyclesStacksAcrossSimulators) {
+  auto& pool = detail::StackPool::local();
+  run_sim_with_threads(8);  // warm the pool to at least 8 cached blocks
+  const auto maps_before = pool.maps();
+  const auto reuses_before = pool.reuses();
+  run_sim_with_threads(8);
+  EXPECT_EQ(pool.maps(), maps_before) << "second run must not mmap";
+  EXPECT_GE(pool.reuses() - reuses_before, 8u);
+}
+
+// Two-epoch high-water shrink: a burst's stacks stay cached through the
+// next epoch (steady repeated demand recycles everything), then get
+// shed once two consecutive epochs no longer need them.
+TEST(StackPool, ShedsBurstAfterTwoQuietEpochs) {
+  auto& pool = detail::StackPool::local();
+  run_sim_with_threads(16);  // burst epoch: high-water mark 16
+  const auto cached_after_burst = pool.cached_blocks();
+  EXPECT_GE(cached_after_burst, 16u);
+  const auto unmaps_before = pool.unmaps();
+  run_sim_with_threads(1);  // quiet epoch 1: burst still protected
+  EXPECT_GE(pool.cached_blocks(), 16u);
+  run_sim_with_threads(1);  // quiet epoch 2: cap drops to the new demand
+  EXPECT_LE(pool.cached_blocks(), 2u);
+  EXPECT_GE(pool.unmaps() - unmaps_before, 14u);
+}
+
+// trim() is the explicit release valve: an idle pool drops every cached
+// block immediately.
+TEST(StackPool, TrimReleasesAllCachedBlocks) {
+  auto& pool = detail::StackPool::local();
+  run_sim_with_threads(4);
+  EXPECT_GE(pool.cached_blocks(), 1u);
+  pool.trim();
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+  EXPECT_EQ(pool.cached_bytes(), 0u);
+}
