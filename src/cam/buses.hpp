@@ -129,6 +129,11 @@ public:
   std::size_t add_master(const std::string& name) override;
   ocp::ocp_tl_master_if& master_port(std::size_t i) override;
   std::size_t master_count() const override { return masters_.size(); }
+  const std::string& master_label(std::size_t i) const override {
+    STLM_ASSERT(i < masters_.size(),
+                "master index out of range on " + full_name());
+    return masters_[i]->label;
+  }
   void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                     const std::string& label) override;
   void post(std::size_t master, Txn& txn) override;

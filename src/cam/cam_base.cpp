@@ -145,6 +145,7 @@ void CamBase::MasterPort::transport(Txn& txn) {
 bool CamBase::fast_eligible(const Txn& txn, std::size_t* slave_out) const {
   if (!fast_targets_) return false;
   if (fast_pending_) return false;                 // a fast post is in flight
+  if (fast_inflight_) return false;                // a fast transport is
   if (sim().now() < fast_busy_until_) return false;  // bus still occupied
   // Any queued or granted engine work means arbitration order matters —
   // take the engine. (Between an engine grant and its retire the txn is
@@ -175,15 +176,24 @@ bool CamBase::try_fast_transport(std::size_t master, Txn& txn) {
   engine_.note_fast_grant(master, now_cycle());
   // Hold the bus: competing requests issued during the occupancy fall
   // back to the engine, whose gate stalls until fast_busy_until_.
+  // fast_inflight_ closes the strict time check's boundary hole: a
+  // competitor (or the engine) whose timed wake lands at exactly
+  // fast_busy_until_ and runs before this process resumes must still
+  // see the bus as taken.
+  fast_inflight_ = true;
   const auto fixed = slaves_[s]->fast_fixed_latency();
   if (fixed) {
     // Constant-latency target: the access resolves at grant time and a
     // single merged wait covers occupancy + service (see the
     // fast_fixed_latency() contract for why the reordering is legal).
+    // The retire instant is known now — stamp it up front so a
+    // completion-instant reader can never observe a stale value.
     fast_busy_until_ = sim().now() + occupancy + *fixed;
+    last_txn_end_ = fast_busy_until_;
+    engine_busy_ = true;
     const Time latency = slaves_[s]->fast_handle(txn);
-    busy_time_ += occupancy;
     wait(occupancy + latency);
+    busy_time_ += occupancy;
   } else {
     fast_busy_until_ = sim().now() + occupancy;
     wait(occupancy);
@@ -194,11 +204,15 @@ bool CamBase::try_fast_transport(std::size_t master, Txn& txn) {
       fast_busy_until_ = sim().now() + latency;
       wait(latency);
     }
+    last_txn_end_ = sim().now();
+    engine_busy_ = true;
   }
-  last_txn_end_ = sim().now();
-  engine_busy_ = true;
+  fast_inflight_ = false;
   ++*cnt_fast_hits_;
   complete_txn(txn, master, cycles);
+  // Competitors that fell back while we held the bus are grantable now;
+  // the engine may be parked in its gate waiting for exactly this.
+  if (engine_.any_pending()) new_request_.notify_delta();
   return true;
 }
 
@@ -223,15 +237,22 @@ bool CamBase::try_fast_post(std::size_t master, Txn& txn) {
   fast_pending_master_ = master;
   fast_pending_slave_ = s;
   fast_pending_cycles_ = cycles;
+  // Bus occupancy is accounted by fast_post_step's next firing — the
+  // engine's accounting instant (after its occupancy wait) — not here at
+  // grant, so a run_for() cutoff mid-transaction samples the same
+  // utilization either way.
+  fast_pending_busy_ = occupancy;
   const auto fixed = slaves_[s]->fast_fixed_latency();
   if (fixed) {
     // Constant-latency target: service the access now and schedule one
     // merged completion — fast_post_step fires once, straight into its
-    // completion stage.
-    busy_time_ += occupancy;
+    // completion stage. The retire instant is known now; stamp it so a
+    // completion-instant reader can never observe a stale value.
     const Time latency = slaves_[s]->fast_handle(txn);
     fast_in_service_ = true;
     fast_busy_until_ = sim().now() + occupancy + latency;
+    last_txn_end_ = fast_busy_until_;
+    engine_busy_ = true;
     fast_complete_.notify(occupancy + latency);
   } else {
     fast_in_service_ = false;
@@ -244,11 +265,14 @@ bool CamBase::try_fast_post(std::size_t master, Txn& txn) {
 void CamBase::fast_post_step() {
   if (!fast_pending_) return;
   Txn& txn = *fast_pending_;
+  // Deferred occupancy accounting: charged exactly once, at the first
+  // firing after the occupancy elapsed (for merged fixed-latency posts
+  // that is the single completion firing).
+  busy_time_ += fast_pending_busy_;
+  fast_pending_busy_ = Time::zero();
   if (!fast_in_service_) {
     // Occupancy elapsed — the effective access instant, exactly when the
-    // engine path would have called handle(). Account the bus busy span
-    // now (the engine adds it after its occupancy wait).
-    busy_time_ += cycle_ * fast_pending_cycles_;
+    // engine path would have called handle().
     const Time latency = slaves_[fast_pending_slave_]->fast_handle(txn);
     if (!latency.is_zero()) {
       fast_in_service_ = true;
@@ -279,9 +303,17 @@ void CamBase::atomic_engine() {
     // Fast-path gate: a fast transaction holds the bus until
     // fast_busy_until_; stall behind it (re-checked, because a fast
     // post's service stage may extend it). Never taken with the fast
-    // knob off — fast_busy_until_ stays zero.
-    if (sim().now() < fast_busy_until_) {
-      wait(fast_busy_until_ - sim().now());
+    // knob off — fast_busy_until_ and fast_inflight_ stay clear. At the
+    // exact occupancy-end instant a fast *transport* may not have
+    // resumed yet (fast posts are finished by the method, which runs
+    // before threads); its completion notifies new_request_ when work is
+    // pending, so parking on the event cannot strand a grantable txn.
+    if (fast_inflight_ || sim().now() < fast_busy_until_) {
+      if (sim().now() < fast_busy_until_) {
+        wait(fast_busy_until_ - sim().now());
+      } else {
+        wait(new_request_);
+      }
       continue;
     }
     std::size_t g = 0;

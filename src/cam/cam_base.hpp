@@ -75,6 +75,11 @@ public:
   std::size_t add_master(const std::string& name) override;
   ocp::ocp_tl_master_if& master_port(std::size_t i) override;
   std::size_t master_count() const override { return masters_.size(); }
+  const std::string& master_label(std::size_t i) const override {
+    STLM_ASSERT(i < masters_.size(),
+                "master index out of range on " + full_name());
+    return masters_[i]->label;
+  }
   void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
                     const std::string& label) override;
   void post(std::size_t master, Txn& txn) override;
@@ -160,16 +165,21 @@ private:
 
   // Fast-path state. slave_fast_ caches fast_capable() per attached
   // slave; fast_busy_until_ is the instant the bus frees again after a
-  // fast transaction (the engine's gate); the fast_pending_* slot holds
-  // the single posted fast transaction between its issue and the timed
-  // fast_complete_ callback that finishes it.
+  // fast transaction (the engine's gate); fast_inflight_ marks a fast
+  // *transport* for its whole span — the strict time check alone would
+  // let a competitor waking at exactly fast_busy_until_, before the
+  // initiator's coroutine resumes, treat the bus as idle; the
+  // fast_pending_* slot holds the single posted fast transaction between
+  // its issue and the timed fast_complete_ callback that finishes it.
   bool fast_targets_ = false;
   std::vector<bool> slave_fast_;
   Time fast_busy_until_ = Time::zero();
+  bool fast_inflight_ = false;
   Txn* fast_pending_ = nullptr;
   std::size_t fast_pending_master_ = 0;
   std::size_t fast_pending_slave_ = 0;
   std::uint64_t fast_pending_cycles_ = 0;
+  Time fast_pending_busy_ = Time::zero();  // occupancy to charge at firing
   bool fast_in_service_ = false;  // stage 2: target latency elapsing
   Event fast_complete_;
   std::uint64_t* cnt_fast_hits_ = nullptr;

@@ -41,6 +41,10 @@ public:
   virtual ocp::ocp_tl_master_if& master_port(std::size_t i) = 0;
   virtual std::size_t master_count() const = 0;
 
+  /// Label master `i` was registered with — the suffix of its per-master
+  /// statistics slot and of its "<bus>.<label>" supplementary log channel.
+  virtual const std::string& master_label(std::size_t i) const = 0;
+
   /// Attach a slave device decoding `range`; later transactions whose
   /// address falls inside the range are delivered to `slave.handle()`.
   virtual void attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,

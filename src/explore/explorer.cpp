@@ -44,6 +44,13 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   const trace::TxnLogger& log = ms->txn_log();
   const std::string bus_channel =
       ms->bus() ? ms->bus()->name() : std::string();
+  std::vector<std::string> master_labels;
+  if (ms->bus()) {
+    master_labels.reserve(ms->bus()->master_count());
+    for (std::size_t i = 0; i < ms->bus()->master_count(); ++i) {
+      master_labels.push_back(ms->bus()->master_label(i));
+    }
+  }
   std::vector<trace::TxnRecord> overall;
   overall.reserve(log.size());
   std::map<std::uint32_t, std::vector<trace::TxnRecord>> per_master;
@@ -53,7 +60,8 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   std::vector<char> is_master(log.channel_count(), 0);
   if (!bus_channel.empty()) {
     for (std::uint32_t id = 0; id < log.channel_count(); ++id) {
-      is_master[id] = is_master_channel(log.channel_name(id), bus_channel);
+      is_master[id] =
+          is_master_channel(log.channel_name(id), bus_channel, master_labels);
     }
   }
   for (const auto& r : log.records()) {

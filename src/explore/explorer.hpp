@@ -56,11 +56,23 @@ struct ExplorationRow {
 // row under "<bus>.<master>" so per-master latency distributions can be
 // derived. Consumers aggregating across channels (the overall latency
 // distribution above) must skip these rows or they count twice.
+// `master_labels` are the bus's registered master names (see
+// CamIf::master_label); matching the suffix against them keeps other
+// channels that merely share the bus-name prefix plus a dot (e.g. a
+// hierarchical child module of the bus) in the overall distribution.
 inline bool is_master_channel(const std::string& channel,
-                              const std::string& bus_channel) {
-  return channel.size() > bus_channel.size() + 1 &&
-         channel.compare(0, bus_channel.size(), bus_channel) == 0 &&
-         channel[bus_channel.size()] == '.';
+                              const std::string& bus_channel,
+                              const std::vector<std::string>& master_labels) {
+  if (channel.size() <= bus_channel.size() + 1 ||
+      channel.compare(0, bus_channel.size(), bus_channel) != 0 ||
+      channel[bus_channel.size()] != '.') {
+    return false;
+  }
+  const char* suffix = channel.c_str() + bus_channel.size() + 1;
+  for (const std::string& label : master_labels) {
+    if (label == suffix) return true;
+  }
+  return false;
 }
 
 class Explorer {

@@ -3,6 +3,8 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "kernel/context.hpp"
 #include "kernel/report.hpp"
 
@@ -38,7 +40,10 @@ StackPool::Block StackPool::map_block(std::size_t bytes) {
   // Guard page below the stack: an overflow faults instead of silently
   // scribbling over whatever mmap placed underneath.
   ::mprotect(raw, page, PROT_NONE);
-  return Block{static_cast<char*>(raw) + page, bytes};
+  Block b;
+  b.base = static_cast<char*>(raw) + page;
+  b.bytes = bytes;
+  return b;
 }
 
 void StackPool::unmap_block(const Block& b) {
@@ -46,14 +51,22 @@ void StackPool::unmap_block(const Block& b) {
   ::munmap(b.base - page, b.bytes + page);
 }
 
+void StackPool::reconcile(SizeClass& sc) {
+  const std::size_t n =
+      sc.foreign_released.exchange(0, std::memory_order_relaxed);
+  sc.in_use -= std::min(n, sc.in_use);
+}
+
 StackPool::Block StackPool::acquire(std::size_t bytes) {
   const std::size_t page = page_size();
   bytes = (bytes + page - 1) / page * page;
   SizeClass& sc = classes_[bytes];
+  reconcile(sc);
   ++sc.in_use;
   if (sc.in_use > sc.hwm) sc.hwm = sc.in_use;
+  Block b;
   if (!sc.free.empty()) {
-    Block b = sc.free.back();
+    b = sc.free.back();
     sc.free.pop_back();
     ++reuses_;
 #ifdef STLM_ASAN_FIBERS
@@ -61,18 +74,30 @@ StackPool::Block StackPool::acquire(std::size_t bytes) {
     // user of this address range.
     __asan_unpoison_memory_region(b.base, b.bytes);
 #endif
-    return b;
+  } else {
+    ++maps_;
+    b = map_block(bytes);
   }
-  ++maps_;
-  return map_block(bytes);
+  b.owner = this;
+  b.home = &sc;
+  return b;
 }
 
 void StackPool::release(Block b) {
   if (!b) return;
-  SizeClass& sc = classes_[b.bytes];
-  // A block may be released on a different thread than it was acquired
-  // on (blocks are plain address ranges); such a pool never saw the
-  // acquire, so guard the usage counter.
+  if (b.owner != this) {
+    // Cross-thread release: the Process outlived the thread context it
+    // was created on. Never touch the foreign pool's lists — return the
+    // pages to the kernel here and credit the owning size class through
+    // its atomic, which the owner reconciles on its next operation (the
+    // owning thread's pool must still be alive; see the header).
+    b.home->foreign_released.fetch_add(1, std::memory_order_relaxed);
+    ++unmaps_;
+    unmap_block(b);
+    return;
+  }
+  SizeClass& sc = *b.home;
+  reconcile(sc);
   if (sc.in_use > 0) --sc.in_use;
   if (sc.free.size() < sc.cache_cap()) {
     sc.free.push_back(b);
@@ -96,6 +121,7 @@ void StackPool::release(Block b) {
 
 void StackPool::trim() {
   for (auto& [bytes, sc] : classes_) {
+    reconcile(sc);
     for (const Block& b : sc.free) {
       ++unmaps_;
       unmap_block(b);
@@ -115,6 +141,12 @@ std::size_t StackPool::cached_blocks() const {
 std::size_t StackPool::cached_bytes() const {
   std::size_t n = 0;
   for (const auto& [bytes, sc] : classes_) n += bytes * sc.free.size();
+  return n;
+}
+
+std::size_t StackPool::in_use_blocks() const {
+  std::size_t n = 0;
+  for (const auto& [bytes, sc] : classes_) n += sc.in_use;
   return n;
 }
 

@@ -10,10 +10,19 @@
 // blocks. Each block carries a PROT_NONE guard page below the usable
 // range, so a coroutine overflowing its stack faults immediately instead
 // of corrupting a neighbouring allocation — strictly better than the old
-// heap arrays. Release returns a block to the calling thread's pool
-// (blocks are plain address ranges, so a block acquired on one thread
-// may be released on another; each pool only ever touches its own
-// lists, so no locking is needed).
+// heap arrays.
+//
+// Threading contract: each pool only ever touches its own lists, so no
+// locking is needed on the hot path. A block remembers the pool (and
+// size-class node) it was acquired from. Releasing it on another thread
+// — a Process destroyed off its creating thread — never touches the
+// foreign pool's lists: the pages are unmapped immediately and the
+// owning size class is credited through an atomic counter, which the
+// owner folds back into its usage count on its next operation. That
+// keeps the owner's in_use / high-water bookkeeping exact instead of
+// ratcheting upward. The owning thread's pool must still be alive when
+// the block is released (true for every use in this repo: a Simulator
+// and its processes are torn down on the thread that created them).
 //
 // Shrink policy (high-water mark): a size class never caches more
 // blocks than its peak concurrent demand over the current and previous
@@ -22,6 +31,7 @@
 // next — therefore recycles every stack, while a one-off burst is shed
 // after two quiet epochs instead of being pinned forever.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -30,11 +40,18 @@
 namespace stlm::detail {
 
 class StackPool {
+  struct SizeClass;
+
 public:
   // A usable stack range: [base, base + bytes), guard page below base.
+  // `owner`/`home` identify the acquiring pool and its size-class node,
+  // so release() can detect a cross-thread return and credit the right
+  // bookkeeping (see the threading contract above).
   struct Block {
     char* base = nullptr;
     std::size_t bytes = 0;
+    StackPool* owner = nullptr;
+    SizeClass* home = nullptr;
     explicit operator bool() const { return base != nullptr; }
   };
 
@@ -49,7 +66,10 @@ public:
   // recycled from the free list when possible. Throws SimulationError
   // if the kernel refuses the mapping.
   Block acquire(std::size_t bytes);
-  // Return a block. It must have come from a StackPool (any thread's).
+  // Return a block acquired from a StackPool. Called on a pool other
+  // than the acquiring one (cross-thread destruction), the block is
+  // unmapped immediately and the owner credited — see the header
+  // comment for the lifetime contract.
   void release(Block b);
 
   // Unmap every cached block (used by tests and the destructor).
@@ -61,17 +81,30 @@ public:
   std::uint64_t reuses() const { return reuses_; }
   std::size_t cached_blocks() const;
   std::size_t cached_bytes() const;
+  // Blocks acquired from this pool and not yet returned (a cross-thread
+  // release counts once the pool has reconciled it, i.e. after the next
+  // acquire/release/trim on this pool).
+  std::size_t in_use_blocks() const;
 
 private:
   StackPool() = default;
 
+  // Size classes live in a node-based map: node addresses are stable
+  // across rehash and for the pool's lifetime, which is what lets a
+  // Block safely carry its `home` pointer to another thread.
   struct SizeClass {
     std::vector<Block> free;
     std::size_t in_use = 0;
     std::size_t hwm = 0;       // peak concurrent usage this epoch
     std::size_t prev_hwm = 0;  // previous epoch's peak
+    // Blocks of this class released on another thread since the last
+    // reconcile; the only member a foreign thread may touch.
+    std::atomic<std::size_t> foreign_released{0};
     std::size_t cache_cap() const { return hwm > prev_hwm ? hwm : prev_hwm; }
   };
+
+  // Fold foreign (cross-thread) releases into the usage count.
+  static void reconcile(SizeClass& sc);
 
   static Block map_block(std::size_t bytes);
   static void unmap_block(const Block& b);

@@ -230,6 +230,100 @@ TEST(CamFast, ContendedTrafficFallsBackBitIdentical) {
   EXPECT_LT(fast.fast_hits, fast.transactions);
 }
 
+// Occupancy-end boundary: master b's timed wake is registered *before*
+// a's fast transaction exists and lands at exactly the instant a's bus
+// occupancy ends — so b runs first at that timestamp, before a's own
+// resume. b must still see the bus as taken (the in-flight guard, not
+// just the strict fast_busy_until_ check) and fall back to the engine;
+// otherwise two fast transactions overlap and bank-state evolution
+// diverges from the engine run.
+TEST(CamFast, OccupancyEndBoundaryContentionBitIdentical) {
+  auto run = [](bool fast) {
+    Simulator sim;
+    PlbCam bus(sim, "bus", 10_ns, std::make_unique<PriorityArbiter>(), 0,
+               SplitConfig{}, fast);
+    ocp::BankedMemorySlave mem("dram", 0, 1 << 18);  // variable latency
+    bus.attach_slave(mem, {0, 1 << 18}, "dram");
+    const std::size_t m0 = bus.add_master("a");
+    const std::size_t m1 = bus.add_master("b");
+    // PLB @10ns, 8-byte width, 64-byte payload: a non-back-to-back
+    // write occupies 2 + 8 = 10 cycles = 100 ns. b is spawned first so
+    // its wait(100ns) gets the smaller wheel sequence number and runs
+    // before a's occupancy-end resume at the same instant.
+    sim.spawn_thread("b", [&] {
+      wait(100_ns);
+      std::vector<std::uint8_t> p(64, 2);
+      Txn t;
+      for (int i = 0; i < 6; ++i) {
+        t.begin_write(0x8000 + static_cast<std::uint64_t>(i) * 64, p.data(),
+                      p.size());
+        bus.master_port(m1).transport(t);
+      }
+    });
+    sim.spawn_thread("a", [&] {
+      std::vector<std::uint8_t> p(64, 1);
+      Txn t;
+      for (int i = 0; i < 6; ++i) {
+        t.begin_write(static_cast<std::uint64_t>(i) * 256, p.data(),
+                      p.size());
+        bus.master_port(m0).transport(t);
+        wait(40_ns);
+      }
+    });
+    sim.run();
+    return collect(sim, bus);
+  };
+  const RunResult slow = run(false);
+  const RunResult fast = run(true);
+  expect_identical(fast, slow);
+  EXPECT_GT(fast.fast_hits, 0u);
+  EXPECT_LT(fast.fast_hits, fast.transactions)
+      << "the boundary-instant issue must fall back to the engine";
+}
+
+// Completion-instant boundary (fixed-latency target): b wakes at exactly
+// the instant a's fast transaction completes, before a's thread resumes.
+// b must not read stale last-transaction state — the engine path would
+// retire a first and then grant b with back-to-back timing.
+TEST(CamFast, CompletionInstantBackToBackBitIdentical) {
+  auto run = [](bool fast) {
+    Simulator sim;
+    PlbCam bus(sim, "bus", 10_ns, std::make_unique<PriorityArbiter>(), 0,
+               SplitConfig{}, fast);
+    ocp::MemorySlave mem("mem", 0, 1 << 16, 40_ns);  // fixed latency
+    bus.attach_slave(mem, {0, 1 << 16}, "mem");
+    const std::size_t m0 = bus.add_master("a");
+    const std::size_t m1 = bus.add_master("b");
+    // a's first write: 10 cycles occupancy (100 ns) + 40 ns service —
+    // completes at exactly 140 ns, where b's pre-registered wake lands.
+    sim.spawn_thread("b", [&] {
+      wait(140_ns);
+      std::vector<std::uint8_t> p(64, 2);
+      Txn t;
+      for (int i = 0; i < 4; ++i) {
+        t.begin_write(0x1000 + static_cast<std::uint64_t>(i) * 64, p.data(),
+                      p.size());
+        bus.master_port(m1).transport(t);
+      }
+    });
+    sim.spawn_thread("a", [&] {
+      std::vector<std::uint8_t> p(64, 1);
+      Txn t;
+      for (int i = 0; i < 4; ++i) {
+        t.begin_write(static_cast<std::uint64_t>(i) * 64, p.data(), p.size());
+        bus.master_port(m0).transport(t);
+        wait(60_ns);
+      }
+    });
+    sim.run();
+    return collect(sim, bus);
+  };
+  const RunResult slow = run(false);
+  const RunResult fast = run(true);
+  expect_identical(fast, slow);
+  EXPECT_GT(fast.fast_hits, 0u);
+}
+
 // The documented divergence: two masters issuing in the same delta at
 // the same instant are served first-issuer-first with fast on (the
 // engine would let the arbiter rank them a delta later). The outcome
@@ -339,15 +433,23 @@ TEST(CamFast, PerMasterChannelsCarryLatencyDistributions) {
   sim.run();
 
   const auto stats = trace::per_channel_stats(log);
+  const std::vector<std::string> labels{"a", "b"};
   double a_mean = -1.0, b_mean = -1.0;
   std::uint64_t bus_count = 0;
   for (const auto& c : stats) {
     if (c.channel == "plb") bus_count = c.dist.count;
     if (c.channel == "plb.a") a_mean = c.dist.mean_ns;
     if (c.channel == "plb.b") b_mean = c.dist.mean_ns;
-    EXPECT_EQ(expl::is_master_channel(c.channel, "plb"), c.channel != "plb")
+    EXPECT_EQ(expl::is_master_channel(c.channel, "plb", labels),
+              c.channel != "plb")
         << c.channel;
   }
+  // Only registered master labels count: a channel that merely shares
+  // the bus-name prefix (a hierarchical child, another module) stays in
+  // the overall distribution.
+  EXPECT_FALSE(expl::is_master_channel("plb.child", "plb", labels));
+  EXPECT_FALSE(expl::is_master_channel("plb2.a", "plb", labels));
+  EXPECT_TRUE(expl::is_master_channel("plb.a", "plb", labels));
   EXPECT_EQ(bus_count, 4u);
   // The per-master channel distributions match the per-master stat slots
   // the bus already tracks.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernel/kernel.hpp"
@@ -172,6 +173,37 @@ TEST(StackPool, ShedsBurstAfterTwoQuietEpochs) {
   run_sim_with_threads(1);  // quiet epoch 2: cap drops to the new demand
   EXPECT_LE(pool.cached_blocks(), 2u);
   EXPECT_GE(pool.unmaps() - unmaps_before, 14u);
+}
+
+// Cross-thread release: a block released on a pool other than the one
+// it was acquired from is unmapped immediately (the releasing pool's
+// lists and counters stay untouched), and the owning pool reconciles
+// its usage count on its next operation — so its epoch/high-water
+// bookkeeping cannot ratchet upward under acquire-here/release-there
+// churn.
+TEST(StackPool, CrossThreadReleaseReconcilesOwner) {
+  auto& pool = detail::StackPool::local();
+  pool.trim();
+  const auto b1 = pool.acquire(64 * 1024);
+  const auto b2 = pool.acquire(64 * 1024);
+  EXPECT_EQ(pool.in_use_blocks(), 2u);
+  std::thread t([&] {
+    auto& other = detail::StackPool::local();
+    const auto unmaps_before = other.unmaps();
+    const auto cached_before = other.cached_blocks();
+    other.release(b1);  // foreign block: pages returned on the spot
+    EXPECT_EQ(other.unmaps(), unmaps_before + 1);
+    EXPECT_EQ(other.cached_blocks(), cached_before);
+    EXPECT_EQ(other.in_use_blocks(), 0u);
+  });
+  t.join();
+  // The credit is folded in at the owner's next operation: releasing b2
+  // drains usage to zero, so the epoch logic still runs (cached blocks
+  // capped by the high-water mark, not pinned by a phantom user).
+  pool.release(b2);
+  EXPECT_EQ(pool.in_use_blocks(), 0u);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  pool.trim();
 }
 
 // trim() is the explicit release valve: an idle pool drops every cached
