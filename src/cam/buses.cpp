@@ -19,7 +19,6 @@ std::size_t CrossbarCam::add_master(const std::string& name) {
   mp->xbar = this;
   mp->index = masters_.size();
   mp->label = name;
-  mp->latency = &stats_.acc("master_" + name + "_latency_ns");
   if (logger_) mp->log.bind(logger_, full_name() + "." + name);
   masters_.push_back(std::move(mp));
   inflight_.push_back(0);
@@ -38,6 +37,7 @@ void CrossbarCam::attach_slave(ocp::ocp_tl_slave_if& slave, AddressRange range,
   slave_fast_.push_back(slave.fast_capable());
   lanes_.push_back(
       std::make_unique<Mutex>(sim(), full_name() + ".lane" + label));
+  lane_stats_.push_back(std::make_unique<LaneStats>());
   if (split_.active()) {
     lane_q_.push_back(std::make_unique<TxnQueue>());
     lane_avail_.push_back(
@@ -55,6 +55,34 @@ double CrossbarCam::utilization() const {
          (elapsed.to_seconds() * static_cast<double>(lanes_.size()));
 }
 
+trace::StatSet& CrossbarCam::stats() {
+  // Recompute the lane-derived slots from the shards on every read. The
+  // fold order is lane-index order — fixed at elaboration — so the
+  // published floating-point sums cannot depend on how the scheduler
+  // interleaved the lanes. decode_errors is counted directly on stats_
+  // (integer increments commute) and survives the fold untouched.
+  trace::Accumulator latency, service;
+  std::uint64_t txns = 0, bytes = 0;
+  for (const auto& ls : lane_stats_) {
+    latency.merge(ls->latency);
+    service.merge(ls->service);
+    txns += ls->transactions;
+    bytes += ls->bytes;
+  }
+  stats_.acc("latency_ns") = latency;
+  stats_.acc("service_ns") = service;
+  stats_.counter_slot("transactions") = txns;
+  stats_.counter_slot("bytes") = bytes;
+  for (std::size_t m = 0; m < masters_.size(); ++m) {
+    trace::Accumulator per_master;
+    for (const auto& ls : lane_stats_) {
+      if (m < ls->per_master.size()) per_master.merge(ls->per_master[m]);
+    }
+    stats_.acc("master_" + masters_[m]->label + "_latency_ns") = per_master;
+  }
+  return stats_;
+}
+
 void CrossbarCam::set_txn_logger(trace::TxnLogger* log) {
   logger_ = log;
   log_.bind(log, full_name());
@@ -63,6 +91,7 @@ void CrossbarCam::set_txn_logger(trace::TxnLogger* log) {
 
 void CrossbarCam::MasterPort::transport(Txn& txn) {
   CrossbarCam& x = *xbar;
+  audit::on_access(x.sim(), this, audit::Mode::Write, "cam.master", label);
   if (!x.split_.active()) {
     x.route(index, txn);
     return;
@@ -81,6 +110,8 @@ void CrossbarCam::MasterPort::transport(Txn& txn) {
 void CrossbarCam::post(std::size_t master, Txn& txn) {
   STLM_ASSERT(master < masters_.size(),
               "master index out of range on " + full_name());
+  audit::on_access(sim(), masters_[master].get(), audit::Mode::Write,
+                   "cam.master", masters_[master]->label);
   if (!split_.active()) {
     // CamIf::post contract: without split support the call may run the
     // transaction to completion before returning — the initiator's
@@ -107,6 +138,11 @@ void CrossbarCam::post(std::size_t master, Txn& txn) {
   // cannot launch deeper than its outstanding capability.
   while (inflight_[master] >= split_.max_outstanding) wait(slot_free_);
   ++inflight_[master];
+  // Lanes are arbiter-free FIFOs: same-delta pushes from two masters
+  // would be served in dispatch order, so the push side of each lane
+  // queue is an audited object (the pop side is a single lane engine).
+  audit::on_access(sim(), lane_q_[*slave].get(), audit::Mode::Write,
+                   "cam.lane", Module::name());
   lane_q_[*slave]->push_back(txn);
   lane_avail_[*slave]->notify_delta();
 }
@@ -124,7 +160,7 @@ void CrossbarCam::lane_engine(std::size_t lane) {
     const Time occupancy = cycle_ * (1 + beats);  // route setup + data
     serve(lane, *txn, occupancy);
     const auto master = static_cast<std::size_t>(txn->master_id);
-    finish(master, *txn, txn->enqueued);
+    finish(master, lane, *txn, txn->enqueued);
     --inflight_[master];
     slot_free_.notify_delta();
     txn->done.complete(sim());
@@ -149,7 +185,7 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
   const std::uint64_t beats = beats_for(bytes, width_);
   const Time occupancy = cycle_ * (1 + beats);  // route setup + data
   serve(*slave, txn, occupancy);
-  finish(master, txn, start);
+  finish(master, *slave, txn, start);
 }
 
 void CrossbarCam::serve(std::size_t s, Txn& txn, Time occ) {
@@ -164,15 +200,24 @@ void CrossbarCam::serve(std::size_t s, Txn& txn, Time occ) {
 }
 
 // Statistics/logging shared by the atomic route and the split lanes.
-void CrossbarCam::finish(std::size_t master, Txn& txn, Time start) {
+// Completions run concurrently across lanes, so everything here lands in
+// the lane's own shard (see LaneStats); within one lane, updates are
+// totally ordered — the lane mutex (atomic) or the single lane engine
+// (split) — which is exactly what the audit key asserts.
+void CrossbarCam::finish(std::size_t master, std::size_t lane, Txn& txn,
+                         Time start) {
+  audit::on_access(sim(), lane_stats_[lane].get(), audit::Mode::Write,
+                   "cam.stats", Module::name());
   txn.t_complete = sim().now();
   const std::size_t bytes = txn.payload_bytes();
-  stats_.count("transactions");
-  stats_.count("bytes", bytes);
+  LaneStats& ls = *lane_stats_[lane];
+  ++ls.transactions;
+  ls.bytes += bytes;
   const double latency_ns = (txn.t_complete - start).to_ns();
-  stats_.acc("latency_ns").add(latency_ns);
-  stats_.acc("service_ns").add((txn.t_complete - txn.t_grant).to_ns());
-  masters_[master]->latency->add(latency_ns);
+  ls.latency.add(latency_ns);
+  ls.service.add((txn.t_complete - txn.t_grant).to_ns());
+  if (ls.per_master.size() <= master) ls.per_master.resize(masters_.size());
+  ls.per_master[master].add(latency_ns);
   const auto kind = txn.op == Txn::Op::Read ? trace::TxnKind::Read
                                             : trace::TxnKind::Write;
   if (log_) {

@@ -140,7 +140,9 @@ public:
   const std::string& name() const override { return Module::name(); }
   Time cycle() const override { return cycle_; }
   const AddressMap& address_map() const override { return map_; }
-  trace::StatSet& stats() override { return stats_; }
+  // Folds the per-lane stat shards (lane-index order, scheduler-free)
+  // into the public set before returning it — see LaneStats below.
+  trace::StatSet& stats() override;
   void set_txn_logger(trace::TxnLogger* log) override;
   double utilization() const override;
 
@@ -157,13 +159,29 @@ private:
     CrossbarCam* xbar = nullptr;
     std::size_t index = 0;
     std::string label;
-    trace::Accumulator* latency = nullptr;
     trace::LogHandle log;  // per-master channel: "<bus>.<master>"
+  };
+
+  // Per-lane statistics shard. Crossbar completions run concurrently on
+  // per-lane coroutines (initiators holding the lane mutex in atomic
+  // mode, one lane engine in split mode), so a single shared StatSet
+  // would make its floating-point sums depend on dispatch order — the
+  // exact hazard the determinism auditor flags. Each lane accumulates
+  // into its own shard (updates within a lane are totally ordered:
+  // mutex-serialized at distinct instants, or a single engine process);
+  // stats() folds the shards in lane-index order, so the published sums
+  // are invariant under any legal scheduler interleaving.
+  struct LaneStats {
+    std::uint64_t transactions = 0;
+    std::uint64_t bytes = 0;
+    trace::Accumulator latency;
+    trace::Accumulator service;
+    std::vector<trace::Accumulator> per_master;  // grown on demand
   };
 
   void route(std::size_t master, Txn& txn);
   void lane_engine(std::size_t lane);
-  void finish(std::size_t master, Txn& txn, Time start);
+  void finish(std::size_t master, std::size_t lane, Txn& txn, Time start);
 
   // Deliver `txn` to slave `s`, charging lane occupancy `occ` and then
   // the target's service latency (fast path when the slave opted in).
@@ -177,6 +195,7 @@ private:
   std::vector<ocp::ocp_tl_slave_if*> slaves_;
   std::vector<bool> slave_fast_;
   std::vector<std::unique_ptr<Mutex>> lanes_;
+  std::vector<std::unique_ptr<LaneStats>> lane_stats_;  // one per lane
   // Split mode: per-lane intrusive queues + wake events, per-master
   // in-flight counts bounded by max_outstanding.
   std::vector<std::unique_ptr<TxnQueue>> lane_q_;

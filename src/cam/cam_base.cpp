@@ -109,6 +109,11 @@ double CamBase::utilization() const {
 void CamBase::post(std::size_t master, Txn& txn) {
   STLM_ASSERT(master < masters_.size(),
               "master index out of range on " + full_name());
+  // Audited per access point: the arbiter ranks same-delta requests from
+  // *different* masters deterministically, but two processes issuing
+  // through one master port race for its pending queue's order.
+  audit::on_access(sim(), masters_[master].get(), audit::Mode::Write,
+                   "cam.master", masters_[master]->label);
   if (try_fast_post(master, txn)) return;
   txn.enqueued = sim().now();
   txn.reset_phases();  // re-queued descriptors must not carry stale stamps
@@ -119,6 +124,7 @@ void CamBase::post(std::size_t master, Txn& txn) {
 
 void CamBase::MasterPort::transport(Txn& txn) {
   CamBase& c = *cam;
+  audit::on_access(c.sim(), this, audit::Mode::Write, "cam.master", label);
   // A bridge may forward the same descriptor into this CAM while the
   // original initiator still waits on it: shelve the outer waiter (and
   // the outer CAM's enqueue/phase timestamps) for the inner round-trip.
@@ -434,6 +440,11 @@ void CamBase::data_engine() {
 // waking the initiator.
 void CamBase::complete_txn(Txn& txn, std::size_t master,
                            std::uint64_t cycles) {
+  // Stat slots accumulate floating-point sums: two same-delta completions
+  // from different processes would make the totals depend on dispatch
+  // order, so the whole StatSet is audited as one object.
+  audit::on_access(sim(), &stats_, audit::Mode::Write, "cam.stats",
+                   Module::name());
   txn.t_complete = sim().now();
   const std::size_t bytes = txn.payload_bytes();
   ++*cnt_transactions_;

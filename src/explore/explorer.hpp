@@ -49,6 +49,10 @@ struct ExplorationRow {
   double bus_utilization = 0.0;
   std::uint64_t transactions = 0;
   std::uint64_t bytes = 0;
+  // Same-delta scheduling conflicts the determinism auditor recorded for
+  // this cell's simulator (kernel/audit.hpp). Zero whenever auditing was
+  // off; the grid-audit test asserts zero with it on.
+  std::uint64_t audit_conflicts = 0;
 };
 
 // True when `channel` is a per-master supplementary channel of the bus

@@ -38,6 +38,46 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save,
 }
 #endif
 
+// ThreadSanitizer has the same blind spot plus a worse failure mode: it
+// tracks each OS thread's stack region, and a raw stack switch makes
+// every coroutine frame look like an access to "another thread's" stack
+// — the parallel sweep then drowns in false data-race reports between a
+// platform's own processes. TSan's fiber API fixes this: each coroutine
+// registers as a fiber, and every switch is announced so the analysis
+// carries the happens-before state across it.
+#if defined(__SANITIZE_THREAD__)
+#define STLM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STLM_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef STLM_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+void __tsan_set_fiber_name(void* fiber, const char* name);
+}
+#endif
+
+// Teardown stack unwinding (Simulator::kill_process resuming a parked
+// process with a ProcessKilled throw) is compiled only into sanitized
+// builds, where it buys LeakSanitizer-at-full-strength CI, plus any
+// build that asks for it explicitly (-DSTLM_FORCE_KILL_UNWIND). The
+// gating exists because merely making the context-switch path
+// *potentially-throwing* strips the whole wait() call tree of its
+// nothrow status — every caller grows exception-cleanup bookkeeping —
+// which measures as a double-digit percent regression on switch-bound
+// benchmarks. Release builds keep the historical teardown semantics:
+// parked stacks are reclaimed without running destructors.
+#if defined(STLM_ASAN_FIBERS) || defined(STLM_TSAN_FIBERS) || \
+    defined(STLM_FORCE_KILL_UNWIND)
+#define STLM_KILL_UNWIND 1
+#endif
+
 namespace stlm::detail {
 
 #if !defined(__x86_64__)
@@ -75,6 +115,50 @@ inline void fiber_switch_end(void* save, const void** bottom_old = nullptr,
   (void)save;
   (void)bottom_old;
   (void)size_old;
+#endif
+}
+
+// --- TSan fiber identities (no-ops in non-TSan builds) ------------------
+//
+// Each thread process owns a fiber handle created at first start and
+// destroyed with the process; the scheduler context is the OS thread's
+// implicit fiber. tsan_fiber_switch is called immediately before each
+// stlm_ctx_swap with the handle of the context being switched *to*, with
+// flag 0 so TSan carries synchronization (happens-before) across the
+// switch — coroutines of one simulator genuinely are one logical thread.
+
+inline void* tsan_fiber_current() {
+#ifdef STLM_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void* tsan_fiber_create(const char* name) {
+#ifdef STLM_TSAN_FIBERS
+  void* f = __tsan_create_fiber(0);
+  __tsan_set_fiber_name(f, name);
+  return f;
+#else
+  (void)name;
+  return nullptr;
+#endif
+}
+
+inline void tsan_fiber_destroy(void* fiber) {
+#ifdef STLM_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+inline void tsan_fiber_switch(void* fiber) {
+#ifdef STLM_TSAN_FIBERS
+  __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
 #endif
 }
 

@@ -1,3 +1,5 @@
+// stlm-lint: hot-path — dispatched on every event/delta; steady-state
+// simulation must stay heap-allocation-free (see tools/stlm_lint.py).
 #include "kernel/event.hpp"
 
 #include "kernel/process.hpp"

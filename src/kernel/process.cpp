@@ -40,6 +40,8 @@ namespace {
 thread_local Process* g_starting_process = nullptr;
 }  // namespace
 
+void throw_process_killed() { throw ProcessKilled{}; }
+
 // ---------------------------------------------------------------- base --
 
 ProcessBase::ProcessBase(Simulator& sim, std::string name, Kind kind)
@@ -78,7 +80,15 @@ Process::Process(Simulator& sim, std::string name, std::function<void()> body,
   STLM_ASSERT(body_ != nullptr, "thread process needs a body: " + name_);
 }
 
-Process::~Process() { detail::StackPool::local().release(stack_); }
+Process::~Process() {
+  // A process destroyed while parked mid-wait still has live frames (and
+  // their locals) on its coroutine stack. Unwind them so destructors run
+  // and LeakSanitizer sees every allocation released — without this,
+  // sanitized CI had to run with leak detection off.
+  if (started_ && !terminated_) sim_.kill_process(*this);
+  detail::tsan_fiber_destroy(tsan_fiber_);
+  detail::StackPool::local().release(stack_);
+}
 
 Event& Process::terminated_event() {
   if (!terminated_event_) {
@@ -97,6 +107,8 @@ void Process::trampoline() {
                            &self->sim_.sched_stack_size_);
   try {
     self->body_();
+  } catch (const ProcessKilled&) {
+    // Teardown unwind (Simulator::kill_process): expected, not an error.
   } catch (...) {
     self->error_ = std::current_exception();
   }
@@ -106,6 +118,7 @@ void Process::trampoline() {
   // fiber is done, release its sanitizer fake frames).
   detail::fiber_switch_begin(nullptr, self->sim_.sched_stack_bottom_,
                              self->sim_.sched_stack_size_);
+  detail::tsan_fiber_switch(self->sim_.tsan_sched_fiber_);
   detail::stlm_ctx_swap(&self->sp_, self->sim_.sched_sp_);
   // A terminated process is never resumed.
   std::abort();
@@ -124,6 +137,9 @@ void Process::ensure_started() {
   frame[6] = reinterpret_cast<void*>(&Process::trampoline);
   frame[7] = nullptr;                                 // alignment pad
   sp_ = frame;
+#ifdef STLM_TSAN_FIBERS
+  tsan_fiber_ = detail::tsan_fiber_create(name_.c_str());
+#endif
   g_starting_process = this;
 }
 

@@ -18,12 +18,38 @@
 #include <string>
 #include <vector>
 
+#include "kernel/context.hpp"
 #include "kernel/stack_pool.hpp"
 
 namespace stlm {
 
 class Simulator;
 class Event;
+
+// Thrown through a parked coroutine by Simulator::kill_process to unwind
+// its stack (running the destructors of everything the body holds) at
+// teardown. Deliberately not derived from std::exception: a `catch
+// (const std::exception&)` in process code will not swallow it. Process
+// bodies that use `catch (...)` around code that may wait() MUST rethrow
+// this type, or the kill is lost and the stack is reclaimed un-unwound.
+struct ProcessKilled {};
+
+// Out-of-line cold throw: a `throw` statement inside the context-switch
+// hot path (Simulator::suspend_current) pessimizes its codegen enough to
+// show up on switch-bound benchmarks, so the Kill check calls this
+// instead.
+[[noreturn]] void throw_process_killed();
+
+// True when teardown unwinding is compiled in (see the STLM_KILL_UNWIND
+// rationale in kernel/context.hpp). Tests that assert destructors ran on
+// killed stacks skip themselves when this is false.
+constexpr bool kill_unwind_compiled_in() {
+#ifdef STLM_KILL_UNWIND
+  return true;
+#else
+  return false;
+#endif
+}
 
 class ProcessBase {
 public:
@@ -44,6 +70,11 @@ public:
   void set_static_sensitivity(const std::vector<Event*>& events);
   const std::vector<Event*>& static_sensitivity() const { return static_events_; }
 
+  // Dispatch sequence number at the moment this process was last made
+  // runnable (determinism auditor; see kernel/audit.hpp). enq == the
+  // enqueuer's own dispatch seq means the wake was causal.
+  std::uint64_t audit_enq_seq() const { return audit_enq_seq_; }
+
 protected:
   friend class Simulator;
   friend class Event;
@@ -52,6 +83,7 @@ protected:
   std::string name_;
   Kind kind_;
   bool terminated_ = false;
+  std::uint64_t audit_enq_seq_ = 0;
   std::vector<Event*> static_events_;
 };
 
@@ -64,7 +96,7 @@ public:
           std::size_t stack_bytes = kDefaultStackBytes);
   ~Process() override;
 
-  enum class WakeReason { None, Start, Event, Timeout };
+  enum class WakeReason { None, Start, Event, Timeout, Kill };
 
   // Event that fires when this process terminates (body returned or threw).
   Event& terminated_event();
@@ -86,6 +118,7 @@ private:
   detail::StackPool::Block stack_;  // pooled, guard-paged (see stack_pool.hpp)
   std::size_t stack_bytes_;
   void* fake_stack_ = nullptr;  // sanitizer fiber handle (ASan builds)
+  void* tsan_fiber_ = nullptr;  // fiber identity (TSan builds)
   void* sp_ = nullptr;  // saved stack pointer while suspended
   bool started_ = false;
   bool runnable_ = false;                    // queued in the runnable list

@@ -14,7 +14,11 @@ namespace {
 thread_local std::vector<Simulator*> g_sim_stack;
 }  // namespace
 
-Simulator::Simulator() { g_sim_stack.push_back(this); }
+Simulator::Simulator() {
+  g_sim_stack.push_back(this);
+  txn_pool_.sim_ = this;
+  if (audit::default_enabled()) set_audit_enabled(true);
+}
 
 Simulator::~Simulator() {
   owned_processes_.clear();
@@ -117,12 +121,18 @@ void Simulator::make_runnable(Process& p, Process::WakeReason reason,
   p.runnable_ = true;
   p.wake_reason_ = reason;
   p.last_event_ = cause;
+#ifdef STLM_AUDIT
+  p.audit_enq_seq_ = audit_dispatch_seq_;
+#endif
   runnable_.push_back(&p);
 }
 
 void Simulator::queue_method(MethodProcess& m) {
   if (m.terminated_ || m.queued_) return;
   m.queued_ = true;
+#ifdef STLM_AUDIT
+  m.audit_enq_seq_ = audit_dispatch_seq_;
+#endif
   method_queue_.push_back(&m);
 }
 
@@ -139,6 +149,17 @@ void Simulator::schedule_timeout(Process& p, Time abs_time,
 
 Event* Simulator::last_triggered_event() const {
   return current_process_ ? current_process_->last_event_ : nullptr;
+}
+
+// ------------------------------------------------------------- auditing --
+
+void Simulator::set_audit_enabled(bool on) {
+  if (on == audit_enabled()) return;
+  auditor_ = on ? std::make_unique<audit::Auditor>(*this) : nullptr;
+}
+
+audit::Report Simulator::audit_report() const {
+  return auditor_ ? auditor_->report() : audit::Report{};
 }
 
 // ------------------------------------------------------------- running --
@@ -185,6 +206,9 @@ void Simulator::run_impl(std::optional<Time> end_time) {
     explicit CurrentGuard(Simulator* s) { g_sim_stack.push_back(s); }
     ~CurrentGuard() { g_sim_stack.pop_back(); }
   } guard(this);
+#ifdef STLM_TSAN_FIBERS
+  tsan_sched_fiber_ = detail::tsan_fiber_current();
+#endif
   // New modules/ports may have appeared since the last run.
   elaborated_ = false;
   check_elaboration();
@@ -234,6 +258,10 @@ void Simulator::evaluate_phase() {
 
 void Simulator::run_method(MethodProcess& m) {
   m.queued_ = false;
+#ifdef STLM_AUDIT
+  ++audit_dispatch_seq_;
+  audit_current_ = &m;
+#endif
   try {
     m.fn_();
   } catch (...) {
@@ -241,18 +269,29 @@ void Simulator::run_method(MethodProcess& m) {
     m.terminated_ = true;
     stop_requested_ = true;
   }
+#ifdef STLM_AUDIT
+  audit_current_ = nullptr;
+#endif
 }
 
 void Simulator::resume_thread(Process& p) {
   p.runnable_ = false;
   ++p.wake_gen_;  // invalidate every stale registration of this process
   current_process_ = &p;
+#ifdef STLM_AUDIT
+  ++audit_dispatch_seq_;
+  audit_current_ = &p;
+#endif
   p.ensure_started();
   detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.base,
                              p.stack_bytes_);
+  detail::tsan_fiber_switch(p.tsan_fiber_);
   detail::stlm_ctx_swap(&sched_sp_, p.sp_);
   detail::fiber_switch_end(sched_fake_stack_);
   current_process_ = nullptr;
+#ifdef STLM_AUDIT
+  audit_current_ = nullptr;
+#endif
   if (p.error_) {
     if (!pending_error_) pending_error_ = p.error_;
     p.error_ = nullptr;
@@ -264,9 +303,54 @@ Process::WakeReason Simulator::suspend_current() {
   Process& p = require_process("wait");
   detail::fiber_switch_begin(&p.fake_stack_, sched_stack_bottom_,
                              sched_stack_size_);
+  detail::tsan_fiber_switch(tsan_sched_fiber_);
   detail::stlm_ctx_swap(&p.sp_, sched_sp_);
   detail::fiber_switch_end(p.fake_stack_);
+#ifdef STLM_KILL_UNWIND
+  if (p.wake_reason_ == Process::WakeReason::Kill) [[unlikely]]
+    throw_process_killed();
+#endif
   return p.wake_reason_;
+}
+
+void Simulator::kill_process(Process& p) {
+#ifndef STLM_KILL_UNWIND
+  // Unwinding is compiled out (see kernel/context.hpp): keep the
+  // historical teardown semantics — the parked stack is reclaimed by the
+  // pool without running destructors.
+  (void)p;
+#else
+  if (!p.started_ || p.terminated_) return;
+  // The unwound frames switch straight back to sched_sp_ via the
+  // trampoline, which is only meaningful from the scheduler context.
+  // Mid-run destruction therefore keeps the old behavior (stack reclaimed
+  // without unwinding).
+  if (running_ || current_process_ != nullptr) return;
+  // Destructors on the dying stack may wait()/notify(); make sure those
+  // resolve against this simulator even during ~Simulator.
+  struct CurrentGuard {
+    explicit CurrentGuard(Simulator* s) { g_sim_stack.push_back(s); }
+    ~CurrentGuard() { g_sim_stack.pop_back(); }
+  } guard(this);
+#ifdef STLM_TSAN_FIBERS
+  tsan_sched_fiber_ = detail::tsan_fiber_current();
+#endif
+  ++p.wake_gen_;  // invalidate stale timeouts/waits on this process
+  p.runnable_ = false;
+  p.wake_reason_ = Process::WakeReason::Kill;
+  p.last_event_ = nullptr;
+  current_process_ = &p;
+  detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.base,
+                             p.stack_bytes_);
+  detail::tsan_fiber_switch(p.tsan_fiber_);
+  detail::stlm_ctx_swap(&sched_sp_, p.sp_);
+  detail::fiber_switch_end(sched_fake_stack_);
+  current_process_ = nullptr;
+  // Anything thrown while unwinding a killed process has nowhere to go
+  // (we are usually inside ~Simulator); drop it like the trampoline
+  // dropped the ProcessKilled itself.
+  p.error_ = nullptr;
+#endif
 }
 
 void Simulator::update_phase() {

@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "kernel/audit.hpp"
 #include "kernel/event.hpp"
 #include "kernel/event_wheel.hpp"
 #include "kernel/process.hpp"
@@ -150,7 +151,35 @@ public:
   // Returns the reason the process was woken.
   Process::WakeReason suspend_current();
 
+  // Unwind a parked coroutine by resuming it with WakeReason::Kill; the
+  // wait() it parked in throws ProcessKilled, destructors on the stack
+  // run, and the trampoline retires the process. Only legal between
+  // runs (no-op while the simulator is running or a process is current):
+  // the unwound frames hand control straight back here, which is only
+  // sound from the scheduler context. ~Process calls this for any
+  // started, unterminated process, so teardown leaks nothing.
+  void kill_process(Process& p);
+
   Event* last_triggered_event() const;
+
+  // --- determinism auditor (kernel/audit.hpp) ----------------------------
+  // Runtime switch for per-delta access-set recording. New simulators
+  // sample audit::default_enabled(); flip that before constructing (or
+  // before Explorer sweeps construct their internal simulators) to audit
+  // whole runs. Instrumentation only exists when built with STLM_AUDIT.
+  void set_audit_enabled(bool on);
+  bool audit_enabled() const { return auditor_ != nullptr; }
+  // Conflict summary for this simulator's run so far. With auditing off
+  // (or STLM_AUDIT compiled out) returns a report with enabled == false.
+  audit::Report audit_report() const;
+
+  // Hook plumbing (see audit.hpp). audit_current() is the dispatched
+  // process an access is attributed to — unlike current_process() it also
+  // covers method processes; audit_dispatch_seq() numbers dispatches so
+  // the auditor can tell co-runnable accesses from causally ordered ones.
+  audit::Auditor* auditor() { return auditor_.get(); }
+  ProcessBase* audit_current() const { return audit_current_; }
+  std::uint64_t audit_dispatch_seq() const { return audit_dispatch_seq_; }
 
 private:
   using TimedEntry = detail::TimedEntry;
@@ -201,6 +230,12 @@ private:
   std::vector<std::function<void(Time)>> post_delta_hooks_;
 
   Process* current_process_ = nullptr;
+  // Determinism-audit bookkeeping (see audit.hpp): the process a hook
+  // attributes accesses to, a monotonically increasing dispatch counter,
+  // and the recorder itself (null while auditing is off).
+  ProcessBase* audit_current_ = nullptr;
+  std::uint64_t audit_dispatch_seq_ = 0;
+  std::unique_ptr<audit::Auditor> auditor_;
   void* sched_sp_ = nullptr;  // scheduler context while a process runs
   // Sanitizer fiber bookkeeping (unused in non-ASan builds): the
   // scheduler context's fake-stack handle, and the bounds of the stack
@@ -208,6 +243,9 @@ private:
   void* sched_fake_stack_ = nullptr;
   const void* sched_stack_bottom_ = nullptr;
   std::size_t sched_stack_size_ = 0;
+  // TSan identity of the scheduler context (the OS thread's implicit
+  // fiber); refreshed on each run in case the simulator migrates threads.
+  void* tsan_sched_fiber_ = nullptr;
   std::exception_ptr pending_error_;
 
   friend class Process;

@@ -43,6 +43,12 @@ StackPool::Block StackPool::map_block(std::size_t bytes) {
   Block b;
   b.base = static_cast<char*>(raw) + page;
   b.bytes = bytes;
+#ifdef STLM_ASAN_FIBERS
+  // munmap does not clear ASan shadow, so a fresh mapping can inherit
+  // stale redzone poison from an earlier coroutine stack unmapped at
+  // the same address.
+  __asan_unpoison_memory_region(b.base, b.bytes);
+#endif
   return b;
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "kernel/audit.hpp"
 #include "kernel/time.hpp"
 
 namespace stlm {
@@ -328,17 +329,20 @@ public:
   Txn& acquire() {
     ++acquired_;
     if (Txn* t = free_.pop_front()) {
+      audit_acquire(*t);
       return *t;
     }
     auto owned = std::make_unique<Txn>();
     Txn& t = *owned;
     storage_.push_back(std::move(owned));
+    audit_acquire(t);
     return t;
   }
 
   /// Return a descriptor to the free list. The caller must be done with
   /// it: the pool may hand it to anyone on the next acquire().
   void release(Txn& t) {
+    audit_release(t);
     ++released_;
     // Reset logical state but keep both payload buffers' capacity.
     t.flags = 0;
@@ -360,6 +364,42 @@ public:
   }
 
 private:
+  friend class Simulator;
+
+  // Determinism audit (kernel/audit.hpp): descriptors are audited
+  // per-descriptor, not pool-wide, and each descriptor splits into a
+  // live-side key (acquire) and a free-side key (release). A same-delta
+  // release -> acquire handoff through the FIFO free list only decides
+  // *which* interchangeable descriptor the acquirer gets — host-level
+  // identity, not simulated outcome — so the sides stay quiet against
+  // each other, and acquire() additionally starts a fresh audit lifetime
+  // for the descriptor (the previous occupant's same-delta accesses
+  // belong to a logically different object). A double release of one
+  // live window is a same-key W/W on the free side and gets flagged.
+  void audit_acquire(Txn& t) {
+#ifdef STLM_AUDIT
+    if (sim_ != nullptr) {
+      static const std::string label("descriptor");
+      audit::on_fresh(*sim_, &t);
+      audit::on_fresh(*sim_, &t.done);
+      audit::on_access(*sim_, &t, audit::Mode::Write, "txn.live", label);
+    }
+#else
+    (void)t;
+#endif
+  }
+  void audit_release(Txn& t) {
+#ifdef STLM_AUDIT
+    if (sim_ != nullptr) {
+      static const std::string label("descriptor");
+      audit::on_access(*sim_, &t.done, audit::Mode::Write, "txn.free", label);
+    }
+#else
+    (void)t;
+#endif
+  }
+
+  Simulator* sim_ = nullptr;  // owning simulator; set by Simulator's ctor
   TxnQueue free_;
   std::vector<std::unique_ptr<Txn>> storage_;
   std::uint64_t acquired_ = 0;

@@ -67,6 +67,30 @@ public:
     return var > 0.0 ? std::sqrt(var) : 0.0;
   }
 
+  // Fold another accumulator into this one (Chan's parallel variant of
+  // Welford's update). Lets producers accumulate into per-shard
+  // accumulators — one per lane/worker, each updated by a single ordered
+  // producer — and combine them in a *fixed* shard order at read time,
+  // so the folded sums never depend on how the scheduler interleaved the
+  // producers (the hazard the determinism auditor flags on shared slots).
+  void merge(const Accumulator& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const std::uint64_t n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta *
+                       (static_cast<double>(n_) * static_cast<double>(o.n_) /
+                        static_cast<double>(n));
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
   void reset() { *this = Accumulator{}; }
 
 private:

@@ -1,6 +1,7 @@
 // Tests for thread/method processes, modules, ports, and elaboration.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -234,3 +235,89 @@ TEST_P(ProcessSweep, ManyProcessesAllComplete) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ProcessSweep,
                          ::testing::Values(1, 2, 8, 32, 128));
+
+// --- teardown unwind (Simulator::kill_process) ---------------------------
+
+namespace {
+// Flags its destruction — the observable that a parked coroutine's stack
+// was actually unwound rather than just reclaimed.
+struct UnwindProbe {
+  explicit UnwindProbe(bool& flag) : flag_(flag) {}
+  ~UnwindProbe() { flag_ = true; }
+  bool& flag_;
+};
+}  // namespace
+
+// A process parked forever mid-wait still has live locals on its stack.
+// In sanitized builds (STLM_KILL_UNWIND, see kernel/context.hpp)
+// destroying the simulator must unwind that stack so their destructors
+// run — this is what lets sanitized CI run with LeakSanitizer on.
+TEST(ProcessKill, TeardownUnwindsParkedStacks) {
+  if (!kill_unwind_compiled_in())
+    GTEST_SKIP() << "teardown unwind not compiled in (release build)";
+  bool unwound = false;
+  {
+    Simulator sim;
+    sim.spawn_thread("parked", [&] {
+      UnwindProbe probe(unwound);
+      auto heap = std::make_unique<std::vector<int>>(1024, 7);
+      Event never(sim, "never");
+      wait(never);
+      ADD_FAILURE() << "woke a process that nothing notifies";
+    });
+    sim.spawn_thread("done", [] { wait(10_ns); });
+    sim.run();
+    EXPECT_FALSE(unwound) << "unwind must happen at teardown, not at run end";
+  }
+  EXPECT_TRUE(unwound);
+}
+
+// Module-owned processes unwind when the module dies — while the
+// module's own members are still alive, so destructors on the stack may
+// touch them.
+TEST(ProcessKill, ModuleTeardownUnwindsItsProcesses) {
+  if (!kill_unwind_compiled_in())
+    GTEST_SKIP() << "teardown unwind not compiled in (release build)";
+  Simulator sim;
+  bool unwound = false;
+  {
+    Module m(sim, "m");
+    m.spawn_thread("loop", [&] {
+      UnwindProbe probe(unwound);
+      for (;;) wait(1_ms);
+    });
+    sim.run_for(5_ms);
+    EXPECT_FALSE(unwound);
+  }
+  EXPECT_TRUE(unwound);
+  sim.run_for(1_ms);  // the survivor-free simulator still runs cleanly
+}
+
+// ProcessKilled must not be reported as a process error, and a process
+// that already terminated is not re-entered at teardown.
+TEST(ProcessKill, KillIsNotAnError) {
+  bool ran = false;
+  {
+    Simulator sim;
+    sim.spawn_thread("finishes", [&] { ran = true; });
+    sim.spawn_thread("parked", [&] {
+      Event never(sim, "never");
+      wait(never);
+    });
+    sim.run();  // would rethrow a process error
+  }
+  EXPECT_TRUE(ran);
+}
+
+// A never-started process (spawned after the last run) has no frames to
+// unwind; teardown must not fabricate a start for it.
+TEST(ProcessKill, NeverStartedProcessIsNotEntered) {
+  bool entered = false;
+  {
+    Simulator sim;
+    sim.spawn_thread("first", [] {});
+    sim.run();
+    sim.spawn_thread("late", [&] { entered = true; });
+  }
+  EXPECT_FALSE(entered);
+}

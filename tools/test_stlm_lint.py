@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/stlm_lint.py (stdlib only; run under ctest).
+
+Each case materializes a miniature repo (src/ + tests/) in a temp
+directory and runs the linter's main() against it, asserting on the
+findings it prints and the exit status.
+"""
+
+import contextlib
+import io
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import stlm_lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    def run_lint(self, files):
+        """files: mapping of repo-relative path -> content. Returns
+        (exit_code, stdout_text)."""
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            for rel, content in files.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(content)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(io.StringIO()):
+                code = stlm_lint.main([str(root)])
+            return code, out.getvalue()
+
+    # Minimal covered pair so test-coverage stays quiet unless a case
+    # targets it explicitly.
+    BASE = {
+        "src/kernel/mod.hpp": "#pragma once\nint mod();\n",
+        "src/kernel/mod.cpp": '#include "kernel/mod.hpp"\nint mod() { return 1; }\n',
+        "tests/test_mod.cpp": '#include "kernel/mod.hpp"\n',
+    }
+
+    def lint_src(self, body, **extra):
+        files = dict(self.BASE)
+        files["src/kernel/mod.cpp"] = (
+            '#include "kernel/mod.hpp"\n' + body + "\nint mod() { return 1; }\n")
+        files.update(extra)
+        return self.run_lint(files)
+
+
+class TestDeterminismRules(LintHarness):
+    def test_rand_flagged(self):
+        code, out = self.lint_src("int f() { return rand(); }")
+        self.assertEqual(code, 1)
+        self.assertIn("[determinism-rand]", out)
+
+    def test_srand_and_random_device_flagged(self):
+        code, out = self.lint_src(
+            "#include <random>\nvoid g() { srand(7); std::random_device rd; }")
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[determinism-rand]"), 2)
+
+    def test_wall_clock_flagged(self):
+        code, out = self.lint_src(
+            "#include <chrono>\nauto t = std::chrono::steady_clock::now();")
+        self.assertEqual(code, 1)
+        self.assertIn("[determinism-wall-clock]", out)
+
+    def test_rand_in_comment_and_string_ignored(self):
+        code, out = self.lint_src(
+            '// rand() here is prose\nconst char* s = "rand()";')
+        self.assertEqual(code, 0, out)
+
+
+class TestIoRule(LintHarness):
+    def test_cout_and_printf_flagged(self):
+        code, out = self.lint_src(
+            '#include <cstdio>\nvoid h() { printf("x"); }\n'
+            "#include <iostream>\nvoid i() { std::cout << 1; }")
+        self.assertEqual(code, 1)
+        self.assertEqual(out.count("[io-stdout]"), 2)
+
+    def test_snprintf_fprintf_allowed(self):
+        code, out = self.lint_src(
+            '#include <cstdio>\nvoid h(char* b) { snprintf(b, 4, "x"); '
+            'fprintf(stderr, "y"); }')
+        self.assertEqual(code, 0, out)
+
+
+class TestHotPathRule(LintHarness):
+    def test_alloc_in_tagged_file_flagged(self):
+        code, out = self.lint_src(
+            "// stlm-lint: hot-path\nint* f() { return new int(3); }")
+        self.assertEqual(code, 1)
+        self.assertIn("[hot-path-alloc]", out)
+
+    def test_alloc_in_untagged_file_ok(self):
+        code, out = self.lint_src("int* f() { return new int(3); }")
+        self.assertEqual(code, 0, out)
+
+    def test_make_unique_in_tagged_file_flagged(self):
+        code, out = self.lint_src(
+            "// stlm-lint: hot-path\n#include <memory>\n"
+            "auto p = std::make_unique<int>(1);")
+        self.assertEqual(code, 1)
+        self.assertIn("[hot-path-alloc]", out)
+
+
+class TestSuppressions(LintHarness):
+    def test_trailing_allow_with_justification(self):
+        code, out = self.lint_src(
+            "int f() { return rand(); }  "
+            "// stlm-lint: allow(determinism-rand): fixture, not library code")
+        self.assertEqual(code, 0, out)
+
+    def test_standalone_allow_covers_next_code_line(self):
+        code, out = self.lint_src(
+            "// stlm-lint: allow(determinism-rand): justification that\n"
+            "// wraps onto a second comment line\n"
+            "int f() { return rand(); }")
+        self.assertEqual(code, 0, out)
+
+    def test_allow_without_justification_is_finding(self):
+        code, out = self.lint_src(
+            "int f() { return rand(); }  // stlm-lint: allow(determinism-rand)")
+        self.assertEqual(code, 1)
+        self.assertIn("[bad-suppression]", out)
+        self.assertNotIn("[determinism-rand]", out)
+
+    def test_unknown_rule_is_finding(self):
+        code, out = self.lint_src(
+            "int f();  // stlm-lint: allow(no-such-rule): whatever")
+        self.assertEqual(code, 1)
+        self.assertIn("unknown rule", out)
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        code, out = self.lint_src(
+            "int f() { return rand(); }  "
+            "// stlm-lint: allow(io-stdout): wrong rule")
+        self.assertEqual(code, 1)
+        self.assertIn("[determinism-rand]", out)
+
+
+class TestTestCoverage(LintHarness):
+    def test_unreferenced_tu_flagged(self):
+        files = dict(self.BASE)
+        files["src/kernel/orphan.hpp"] = "#pragma once\nint orphan();\n"
+        files["src/kernel/orphan.cpp"] = (
+            '#include "kernel/orphan.hpp"\nint orphan() { return 2; }\n')
+        code, out = self.run_lint(files)
+        self.assertEqual(code, 1)
+        self.assertIn("[test-coverage]", out)
+        self.assertIn("orphan", out)
+
+    def test_transitive_include_counts(self):
+        files = dict(self.BASE)
+        files["src/kernel/deep.hpp"] = "#pragma once\nint deep();\n"
+        files["src/kernel/deep.cpp"] = (
+            '#include "kernel/deep.hpp"\nint deep() { return 3; }\n')
+        # mod.hpp (reached by the test) pulls deep.hpp transitively.
+        files["src/kernel/mod.hpp"] = (
+            '#pragma once\n#include "kernel/deep.hpp"\nint mod();\n')
+        code, out = self.run_lint(files)
+        self.assertEqual(code, 0, out)
+
+
+class TestStripper(unittest.TestCase):
+    def test_raw_string_stripped(self):
+        text = 'asm(R"(\n  rand()\n)");\nint x;\n'
+        stripped = stlm_lint.strip_code(text)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int x;", stripped)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+
+    def test_block_comment_preserves_lines(self):
+        text = "a /* rand()\n cout */ b\n"
+        stripped = stlm_lint.strip_code(text)
+        self.assertNotIn("rand", stripped)
+        self.assertEqual(stripped.count("\n"), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
