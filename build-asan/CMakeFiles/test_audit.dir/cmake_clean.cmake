@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audit.dir/tests/test_audit.cpp.o"
+  "CMakeFiles/test_audit.dir/tests/test_audit.cpp.o.d"
+  "test_audit"
+  "test_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

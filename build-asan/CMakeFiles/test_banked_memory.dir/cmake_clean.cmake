@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banked_memory.dir/tests/test_banked_memory.cpp.o"
+  "CMakeFiles/test_banked_memory.dir/tests/test_banked_memory.cpp.o.d"
+  "test_banked_memory"
+  "test_banked_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banked_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam_basics.dir/tests/test_cam_basics.cpp.o"
+  "CMakeFiles/test_cam_basics.dir/tests/test_cam_basics.cpp.o.d"
+  "test_cam_basics"
+  "test_cam_basics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam_basics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

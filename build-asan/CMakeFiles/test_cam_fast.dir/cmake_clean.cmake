@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam_fast.dir/tests/test_cam_fast.cpp.o"
+  "CMakeFiles/test_cam_fast.dir/tests/test_cam_fast.cpp.o.d"
+  "test_cam_fast"
+  "test_cam_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam_stress.dir/tests/test_cam_stress.cpp.o"
+  "CMakeFiles/test_cam_stress.dir/tests/test_cam_stress.cpp.o.d"
+  "test_cam_stress"
+  "test_cam_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam_wrappers.dir/tests/test_cam_wrappers.cpp.o"
+  "CMakeFiles/test_cam_wrappers.dir/tests/test_cam_wrappers.cpp.o.d"
+  "test_cam_wrappers"
+  "test_cam_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cam_wrappers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore.dir/tests/test_explore.cpp.o"
+  "CMakeFiles/test_explore.dir/tests/test_explore.cpp.o.d"
+  "test_explore"
+  "test_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_errors.dir/tests/test_flow_errors.cpp.o"
+  "CMakeFiles/test_flow_errors.dir/tests/test_flow_errors.cpp.o.d"
+  "test_flow_errors"
+  "test_flow_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

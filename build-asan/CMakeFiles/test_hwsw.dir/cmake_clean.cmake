@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwsw.dir/tests/test_hwsw.cpp.o"
+  "CMakeFiles/test_hwsw.dir/tests/test_hwsw.cpp.o.d"
+  "test_hwsw"
+  "test_hwsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_events.dir/tests/test_kernel_events.cpp.o"
+  "CMakeFiles/test_kernel_events.dir/tests/test_kernel_events.cpp.o.d"
+  "test_kernel_events"
+  "test_kernel_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocp_pin.dir/tests/test_ocp_pin.cpp.o"
+  "CMakeFiles/test_ocp_pin.dir/tests/test_ocp_pin.cpp.o.d"
+  "test_ocp_pin"
+  "test_ocp_pin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocp_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

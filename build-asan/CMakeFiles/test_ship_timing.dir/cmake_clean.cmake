@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ship_timing.dir/tests/test_ship_timing.cpp.o"
+  "CMakeFiles/test_ship_timing.dir/tests/test_ship_timing.cpp.o.d"
+  "test_ship_timing"
+  "test_ship_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ship_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

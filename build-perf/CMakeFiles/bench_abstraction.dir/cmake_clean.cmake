@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstraction.dir/bench/bench_abstraction.cpp.o"
+  "CMakeFiles/bench_abstraction.dir/bench/bench_abstraction.cpp.o.d"
+  "bench_abstraction"
+  "bench_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

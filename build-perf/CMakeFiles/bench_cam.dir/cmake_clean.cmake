@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cam.dir/bench/bench_cam.cpp.o"
+  "CMakeFiles/bench_cam.dir/bench/bench_cam.cpp.o.d"
+  "bench_cam"
+  "bench_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_esw.
+# This may be replaced when dependencies are built.

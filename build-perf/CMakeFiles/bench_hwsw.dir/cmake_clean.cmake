@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hwsw.dir/bench/bench_hwsw.cpp.o"
+  "CMakeFiles/bench_hwsw.dir/bench/bench_hwsw.cpp.o.d"
+  "bench_hwsw"
+  "bench_hwsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serialization.dir/bench/bench_serialization.cpp.o"
+  "CMakeFiles/bench_serialization.dir/bench/bench_serialization.cpp.o.d"
+  "bench_serialization"
+  "bench_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

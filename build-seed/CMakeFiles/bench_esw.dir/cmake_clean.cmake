@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_esw.dir/bench/bench_esw.cpp.o"
+  "CMakeFiles/bench_esw.dir/bench/bench_esw.cpp.o.d"
+  "bench_esw"
+  "bench_esw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_esw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

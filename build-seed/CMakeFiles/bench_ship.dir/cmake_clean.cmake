@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ship.dir/bench/bench_ship.cpp.o"
+  "CMakeFiles/bench_ship.dir/bench/bench_ship.cpp.o.d"
+  "bench_ship"
+  "bench_ship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrapper_ablation.dir/bench/bench_wrapper_ablation.cpp.o"
+  "CMakeFiles/bench_wrapper_ablation.dir/bench/bench_wrapper_ablation.cpp.o.d"
+  "bench_wrapper_ablation"
+  "bench_wrapper_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrapper_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

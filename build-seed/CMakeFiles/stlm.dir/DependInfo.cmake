@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accessor/master_accessor.cpp" "CMakeFiles/stlm.dir/src/accessor/master_accessor.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/accessor/master_accessor.cpp.o.d"
+  "/root/repo/src/accessor/rtl_arbiter.cpp" "CMakeFiles/stlm.dir/src/accessor/rtl_arbiter.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/accessor/rtl_arbiter.cpp.o.d"
+  "/root/repo/src/accessor/slave_accessor.cpp" "CMakeFiles/stlm.dir/src/accessor/slave_accessor.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/accessor/slave_accessor.cpp.o.d"
+  "/root/repo/src/cam/address_map.cpp" "CMakeFiles/stlm.dir/src/cam/address_map.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/address_map.cpp.o.d"
+  "/root/repo/src/cam/bridge.cpp" "CMakeFiles/stlm.dir/src/cam/bridge.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/bridge.cpp.o.d"
+  "/root/repo/src/cam/buses.cpp" "CMakeFiles/stlm.dir/src/cam/buses.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/buses.cpp.o.d"
+  "/root/repo/src/cam/cam_base.cpp" "CMakeFiles/stlm.dir/src/cam/cam_base.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/cam_base.cpp.o.d"
+  "/root/repo/src/cam/grant_engine.cpp" "CMakeFiles/stlm.dir/src/cam/grant_engine.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/grant_engine.cpp.o.d"
+  "/root/repo/src/cam/wrappers.cpp" "CMakeFiles/stlm.dir/src/cam/wrappers.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cam/wrappers.cpp.o.d"
+  "/root/repo/src/core/esw.cpp" "CMakeFiles/stlm.dir/src/core/esw.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/core/esw.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "CMakeFiles/stlm.dir/src/core/mapper.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/core/mapper.cpp.o.d"
+  "/root/repo/src/core/system_graph.cpp" "CMakeFiles/stlm.dir/src/core/system_graph.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/core/system_graph.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "CMakeFiles/stlm.dir/src/cpu/cpu.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cpu/cpu.cpp.o.d"
+  "/root/repo/src/cpu/irq.cpp" "CMakeFiles/stlm.dir/src/cpu/irq.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/cpu/irq.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "CMakeFiles/stlm.dir/src/explore/explorer.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/explore/explorer.cpp.o.d"
+  "/root/repo/src/hwsw/driver.cpp" "CMakeFiles/stlm.dir/src/hwsw/driver.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/hwsw/driver.cpp.o.d"
+  "/root/repo/src/hwsw/hw_adapter.cpp" "CMakeFiles/stlm.dir/src/hwsw/hw_adapter.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/hwsw/hw_adapter.cpp.o.d"
+  "/root/repo/src/kernel/clock.cpp" "CMakeFiles/stlm.dir/src/kernel/clock.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/clock.cpp.o.d"
+  "/root/repo/src/kernel/event.cpp" "CMakeFiles/stlm.dir/src/kernel/event.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/event.cpp.o.d"
+  "/root/repo/src/kernel/event_wheel.cpp" "CMakeFiles/stlm.dir/src/kernel/event_wheel.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/event_wheel.cpp.o.d"
+  "/root/repo/src/kernel/module.cpp" "CMakeFiles/stlm.dir/src/kernel/module.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/module.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "CMakeFiles/stlm.dir/src/kernel/process.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/process.cpp.o.d"
+  "/root/repo/src/kernel/report.cpp" "CMakeFiles/stlm.dir/src/kernel/report.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/report.cpp.o.d"
+  "/root/repo/src/kernel/simulator.cpp" "CMakeFiles/stlm.dir/src/kernel/simulator.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/simulator.cpp.o.d"
+  "/root/repo/src/kernel/stack_pool.cpp" "CMakeFiles/stlm.dir/src/kernel/stack_pool.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/stack_pool.cpp.o.d"
+  "/root/repo/src/kernel/time.cpp" "CMakeFiles/stlm.dir/src/kernel/time.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/time.cpp.o.d"
+  "/root/repo/src/kernel/txn.cpp" "CMakeFiles/stlm.dir/src/kernel/txn.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/kernel/txn.cpp.o.d"
+  "/root/repo/src/ocp/monitor.cpp" "CMakeFiles/stlm.dir/src/ocp/monitor.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/monitor.cpp.o.d"
+  "/root/repo/src/ocp/pin_master.cpp" "CMakeFiles/stlm.dir/src/ocp/pin_master.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/pin_master.cpp.o.d"
+  "/root/repo/src/ocp/pin_slave.cpp" "CMakeFiles/stlm.dir/src/ocp/pin_slave.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/pin_slave.cpp.o.d"
+  "/root/repo/src/ocp/tl_channel.cpp" "CMakeFiles/stlm.dir/src/ocp/tl_channel.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/tl_channel.cpp.o.d"
+  "/root/repo/src/ocp/tl_if.cpp" "CMakeFiles/stlm.dir/src/ocp/tl_if.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/tl_if.cpp.o.d"
+  "/root/repo/src/ocp/types.cpp" "CMakeFiles/stlm.dir/src/ocp/types.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ocp/types.cpp.o.d"
+  "/root/repo/src/rtos/rtos.cpp" "CMakeFiles/stlm.dir/src/rtos/rtos.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/rtos/rtos.cpp.o.d"
+  "/root/repo/src/ship/channel.cpp" "CMakeFiles/stlm.dir/src/ship/channel.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ship/channel.cpp.o.d"
+  "/root/repo/src/ship/serialization.cpp" "CMakeFiles/stlm.dir/src/ship/serialization.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/ship/serialization.cpp.o.d"
+  "/root/repo/src/trace/channel_stats.cpp" "CMakeFiles/stlm.dir/src/trace/channel_stats.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/trace/channel_stats.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "CMakeFiles/stlm.dir/src/trace/stats.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/txn_log.cpp" "CMakeFiles/stlm.dir/src/trace/txn_log.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/trace/txn_log.cpp.o.d"
+  "/root/repo/src/trace/vcd.cpp" "CMakeFiles/stlm.dir/src/trace/vcd.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/trace/vcd.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "CMakeFiles/stlm.dir/src/workload/spec.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/workload/spec.cpp.o.d"
+  "/root/repo/src/workload/trace_replay.cpp" "CMakeFiles/stlm.dir/src/workload/trace_replay.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/workload/trace_replay.cpp.o.d"
+  "/root/repo/src/workload/validate.cpp" "CMakeFiles/stlm.dir/src/workload/validate.cpp.o" "gcc" "CMakeFiles/stlm.dir/src/workload/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accessor.dir/tests/test_accessor.cpp.o"
+  "CMakeFiles/test_accessor.dir/tests/test_accessor.cpp.o.d"
+  "test_accessor"
+  "test_accessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cam_split.dir/tests/test_cam_split.cpp.o"
+  "CMakeFiles/test_cam_split.dir/tests/test_cam_split.cpp.o.d"
+  "test_cam_split"
+  "test_cam_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cam_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

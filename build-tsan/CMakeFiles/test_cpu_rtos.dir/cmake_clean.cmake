@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_rtos.dir/tests/test_cpu_rtos.cpp.o"
+  "CMakeFiles/test_cpu_rtos.dir/tests/test_cpu_rtos.cpp.o.d"
+  "test_cpu_rtos"
+  "test_cpu_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

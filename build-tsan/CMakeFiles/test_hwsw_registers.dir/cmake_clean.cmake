@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwsw_registers.dir/tests/test_hwsw_registers.cpp.o"
+  "CMakeFiles/test_hwsw_registers.dir/tests/test_hwsw_registers.cpp.o.d"
+  "test_hwsw_registers"
+  "test_hwsw_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwsw_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

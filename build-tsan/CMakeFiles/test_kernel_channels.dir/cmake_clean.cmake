@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_channels.dir/tests/test_kernel_channels.cpp.o"
+  "CMakeFiles/test_kernel_channels.dir/tests/test_kernel_channels.cpp.o.d"
+  "test_kernel_channels"
+  "test_kernel_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_process.dir/tests/test_kernel_process.cpp.o"
+  "CMakeFiles/test_kernel_process.dir/tests/test_kernel_process.cpp.o.d"
+  "test_kernel_process"
+  "test_kernel_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

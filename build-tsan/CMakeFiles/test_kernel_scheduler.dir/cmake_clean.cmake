@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_scheduler.dir/tests/test_kernel_scheduler.cpp.o"
+  "CMakeFiles/test_kernel_scheduler.dir/tests/test_kernel_scheduler.cpp.o.d"
+  "test_kernel_scheduler"
+  "test_kernel_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_time.dir/tests/test_kernel_time.cpp.o"
+  "CMakeFiles/test_kernel_time.dir/tests/test_kernel_time.cpp.o.d"
+  "test_kernel_time"
+  "test_kernel_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

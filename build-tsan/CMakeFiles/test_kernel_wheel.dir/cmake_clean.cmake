@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_wheel.dir/tests/test_kernel_wheel.cpp.o"
+  "CMakeFiles/test_kernel_wheel.dir/tests/test_kernel_wheel.cpp.o.d"
+  "test_kernel_wheel"
+  "test_kernel_wheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocp_tl.dir/tests/test_ocp_tl.cpp.o"
+  "CMakeFiles/test_ocp_tl.dir/tests/test_ocp_tl.cpp.o.d"
+  "test_ocp_tl"
+  "test_ocp_tl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocp_tl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ship_channel.dir/tests/test_ship_channel.cpp.o"
+  "CMakeFiles/test_ship_channel.dir/tests/test_ship_channel.cpp.o.d"
+  "test_ship_channel"
+  "test_ship_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ship_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ship_serialization.dir/tests/test_ship_serialization.cpp.o"
+  "CMakeFiles/test_ship_serialization.dir/tests/test_ship_serialization.cpp.o.d"
+  "test_ship_serialization"
+  "test_ship_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ship_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

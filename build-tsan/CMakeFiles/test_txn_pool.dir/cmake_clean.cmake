@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn_pool.dir/tests/test_txn_pool.cpp.o"
+  "CMakeFiles/test_txn_pool.dir/tests/test_txn_pool.cpp.o.d"
+  "test_txn_pool"
+  "test_txn_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
