@@ -8,6 +8,12 @@ Copies BUILD_DIR/BENCH_cam.json and BUILD_DIR/BENCH_exploration.json
 into bench/history/NNNN-SHORT_LABEL/ where NNNN is one past the highest
 existing entry number. Refuses to overwrite and validates that each file
 is Google-Benchmark JSON (has a "benchmarks" list) before copying.
+
+Also distils a summary.json into the entry: real_time plus the kernel
+observability counters (ctx_switches, fast_hit_rate) for the grid
+benchmarks, so the "did the wall-clock move because scheduling changed"
+question is answerable from the history alone, without re-parsing the
+full benchmark documents.
 """
 
 import json
@@ -17,6 +23,27 @@ import sys
 from pathlib import Path
 
 SUITES = ("BENCH_cam.json", "BENCH_exploration.json")
+
+# Benchmarks whose per-PR trajectory the summary tracks; substring match
+# against the emitted row names (which carry /arg/real_time suffixes).
+SUMMARY_BENCHES = ("BM_ExploreGrid", "BM_ExploreFastGrid")
+SUMMARY_COUNTERS = ("ctx_switches", "fast_hit_rate")
+
+
+def summarize(exploration_doc: dict) -> dict:
+    """Digest of the grid rows: real_time + observability counters."""
+    out = {}
+    for row in exploration_doc.get("benchmarks", []):
+        name = row.get("name", "")
+        if not any(name.startswith(b + "/") for b in SUMMARY_BENCHES):
+            continue
+        entry = {"real_time": row.get("real_time"),
+                 "time_unit": row.get("time_unit")}
+        for counter in SUMMARY_COUNTERS:
+            if counter in row:
+                entry[counter] = row[counter]
+        out[name] = entry
+    return out
 
 
 def fail(msg: str) -> "None":
@@ -35,6 +62,7 @@ def main() -> int:
              "directory name)")
 
     sources = []
+    summary = {}
     for name in SUITES:
         src = build_dir / name
         if not src.is_file():
@@ -47,6 +75,8 @@ def main() -> int:
             fail(f"{src} is not readable JSON: {e}")
         if not isinstance(doc.get("benchmarks"), list) or not doc["benchmarks"]:
             fail(f"{src} has no 'benchmarks' rows — not benchmark JSON?")
+        if name == "BENCH_exploration.json":
+            summary = summarize(doc)
         sources.append(src)
 
     history = Path(__file__).resolve().parent / "history"
@@ -63,6 +93,11 @@ def main() -> int:
     for src in sources:
         shutil.copy(src, dest / src.name)
         print(f"  {src} -> {dest / src.name}")
+    if summary:
+        with open(dest / "summary.json", "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"  grid digest -> {dest / 'summary.json'}")
     print(f"created {dest.relative_to(history.parent.parent)} — commit it "
           "together with the refreshed bench/baselines/")
     return 0

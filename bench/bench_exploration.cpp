@@ -56,6 +56,25 @@ expl::Explorer::GraphFactory soc_factory() {
 std::vector<expl::ExplorationRow> g_last_rows;
 bool g_grid_bench_ran = false;
 
+// Kernel-observability counters from the last sweep's rows (src/obs):
+// total coroutine dispatches across the grid and the mean fast-path hit
+// rate. Both land in the emitted JSON next to real_time, so the bench
+// history records *why* a wall-clock number moved (fewer switches /
+// more fast-path completions), not just that it moved. Zero when built
+// with -DSTLM_OBS=OFF.
+void set_obs_counters(benchmark::State& state,
+                      const std::vector<expl::ExplorationRow>& rows) {
+  double switches = 0.0;
+  double hit_sum = 0.0;
+  for (const auto& r : rows) {
+    switches += static_cast<double>(r.ctx_switches);
+    hit_sum += r.fast_hit_rate;
+  }
+  state.counters["ctx_switches"] = switches;
+  state.counters["fast_hit_rate"] =
+      rows.empty() ? 0.0 : hit_sum / static_cast<double>(rows.size());
+}
+
 void BM_ExploreCamLibrary(benchmark::State& state) {
   expl::Explorer explorer(soc_factory());
   const auto candidates = expl::default_candidates();
@@ -100,8 +119,9 @@ void BM_ExploreGrid(benchmark::State& state) {
   g_grid_bench_ran = true;
   expl::Explorer explorer(soc_factory());
   const auto candidates = atomic_grid();
+  std::vector<expl::ExplorationRow> rows;
   for (auto _ : state) {
-    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    rows = explorer.sweep_parallel(candidates, 200_ms, threads);
     for (const auto& r : rows) {
       if (!r.completed) state.SkipWithError("candidate did not complete");
     }
@@ -111,6 +131,7 @@ void BM_ExploreGrid(benchmark::State& state) {
                           static_cast<std::int64_t>(candidates.size()));
   state.counters["architectures"] = static_cast<double>(candidates.size());
   state.counters["threads"] = static_cast<double>(threads);
+  set_obs_counters(state, rows);
 }
 
 // The 40-platform atomic grid with fast targets on, sharded over
@@ -122,8 +143,9 @@ void BM_ExploreFastGrid(benchmark::State& state) {
   g_grid_bench_ran = true;
   expl::Explorer explorer(soc_factory());
   const auto candidates = fast_grid();
+  std::vector<expl::ExplorationRow> rows;
   for (auto _ : state) {
-    auto rows = explorer.sweep_parallel(candidates, 200_ms, threads);
+    rows = explorer.sweep_parallel(candidates, 200_ms, threads);
     for (const auto& r : rows) {
       if (!r.completed) state.SkipWithError("candidate did not complete");
     }
@@ -133,6 +155,7 @@ void BM_ExploreFastGrid(benchmark::State& state) {
                           static_cast<std::int64_t>(candidates.size()));
   state.counters["architectures"] = static_cast<double>(candidates.size());
   state.counters["threads"] = static_cast<double>(threads);
+  set_obs_counters(state, rows);
 }
 
 // The 68-platform timing grid — the 40 atomic points plus the -split4

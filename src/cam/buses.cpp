@@ -1,5 +1,7 @@
 #include "cam/buses.hpp"
 
+#include "obs/trace_session.hpp"
+
 namespace stlm::cam {
 
 CrossbarCam::CrossbarCam(Simulator& sim, std::string name, Time cycle,
@@ -231,6 +233,14 @@ void CrossbarCam::finish(std::size_t master, std::size_t lane, Txn& txn,
     masters_[master]->log.record(kind, txn.id, bytes, start, sim().now(),
                                  txn.t_grant, txn.t_data);
   }
+#ifdef STLM_OBS
+  // Timeline spans: `start` (the outer arrival time) is the issue stamp —
+  // hierarchical routes re-stamp txn.enqueued per hop, but the span
+  // should cover the whole crossbar round trip.
+  if (obs::TraceSession* ts = sim().trace_session(); ts != nullptr) {
+    ts->txn_phases(full_name(), txn, start);
+  }
+#endif
 }
 
 }  // namespace stlm::cam

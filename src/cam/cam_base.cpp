@@ -1,5 +1,7 @@
 #include "cam/cam_base.hpp"
 
+#include "obs/trace_session.hpp"
+
 namespace stlm::cam {
 
 CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
@@ -115,6 +117,16 @@ void CamBase::post(std::size_t master, Txn& txn) {
   audit::on_access(sim(), masters_[master].get(), audit::Mode::Write,
                    "cam.master", masters_[master]->label);
   if (try_fast_post(master, txn)) return;
+#ifdef STLM_OBS
+  // A fast-capable bus fell back to the full engine path (contention,
+  // split mode, non-fast target): mark the spot on the timeline so
+  // fast-hit-rate regressions can be localized in simulated time.
+  if (fast_targets_) {
+    if (obs::TraceSession* ts = sim().trace_session(); ts != nullptr) {
+      ts->instant(full_name(), "fast_fallback", sim().now());
+    }
+  }
+#endif
   txn.enqueued = sim().now();
   txn.reset_phases();  // re-queued descriptors must not carry stale stamps
   txn.status = Txn::Status::Pending;
@@ -131,6 +143,13 @@ void CamBase::MasterPort::transport(Txn& txn) {
   Txn::PhaseShelf shelf(txn);
   CompletionEvent::NestedScope nest(txn.done);
   if (c.try_fast_transport(index, txn)) return;
+#ifdef STLM_OBS
+  if (c.fast_targets_) {
+    if (obs::TraceSession* ts = c.sim().trace_session(); ts != nullptr) {
+      ts->instant(c.full_name(), "fast_fallback", c.sim().now());
+    }
+  }
+#endif
   txn.enqueued = c.sim().now();
   txn.reset_phases();
   txn.status = Txn::Status::Pending;
@@ -473,6 +492,15 @@ void CamBase::complete_txn(Txn& txn, std::size_t master,
     mp.log.record(kind, txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
                   txn.t_data);
   }
+#ifdef STLM_OBS
+  // Timeline spans for this transaction. complete_txn is the single
+  // completion point shared by the atomic engine, the split data engine,
+  // AND both fast paths — so fast-path completions show up in the trace
+  // by construction (the fast-path blind spot the VCD tracer has).
+  if (obs::TraceSession* ts = sim().trace_session(); ts != nullptr) {
+    ts->txn_phases(full_name(), txn, txn.enqueued);
+  }
+#endif
   txn.done.complete(sim());  // immediate: initiator resumes within this delta
 }
 

@@ -101,6 +101,15 @@ public:
   std::uint64_t fast_path_hits() const {
     return cnt_fast_hits_ ? *cnt_fast_hits_ : 0;
   }
+  // Requests enqueued but not yet granted, summed over masters — an
+  // instantaneous queue-depth gauge for obs::MetricsRegistry time series.
+  std::size_t queued_requests() const {
+    std::size_t n = 0;
+    for (std::size_t m = 0; m < engine_.master_count(); ++m) {
+      n += engine_.pending_count(m);
+    }
+    return n;
+  }
 
 protected:
   // Bus cycles a transaction occupies in atomic mode. `back_to_back` is

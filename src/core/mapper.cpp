@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "obs/obs.hpp"
 #include "trace/channel_stats.hpp"
 
 namespace stlm::core {
@@ -96,6 +97,52 @@ void MappedSystem::report(std::ostream& out) const {
     out << "  rtos context switches            " << rtos_->context_switches()
         << "\n";
   }
+  if (!monitors_.empty()) {
+    out << "  ocp monitors:\n";
+    for (const ocp::OcpMonitor* m : monitors_) {
+      out << "    " << m->name() << ": cmd_beats=" << m->command_beats()
+          << " resp_beats=" << m->response_beats()
+          << " stall_cycles=" << m->stall_cycles()
+          << " violations=" << m->violations()
+          << " outstanding=" << m->outstanding() << "\n";
+    }
+  }
+  if constexpr (obs::compiled_in()) {
+    // Kernel observability counters (maintained under STLM_OBS; the
+    // whole section is omitted when compiled out rather than printing
+    // misleading zeros).
+    out << "  kernel ctx switches              " << sim_.ctx_switches() << "\n"
+        << "  kernel inline advances           " << sim_.inline_advances()
+        << "\n";
+    if (cam_) {
+      auto& st = const_cast<cam::CamIf*>(cam_.get())->stats();
+      const std::uint64_t tx = st.counter("transactions");
+      if (tx != 0) {
+        out << "  bus fast-path hit rate           "
+            << static_cast<double>(st.counter("fast_path_hits")) /
+                   static_cast<double>(tx)
+            << "\n";
+      }
+    }
+  }
+}
+
+void MappedSystem::install_default_gauges(obs::MetricsRegistry& reg) {
+  reg.add_gauge("bus_utilization",
+                [this] { return cam_ ? cam_->utilization() : 0.0; });
+  reg.add_gauge("outstanding_txns", [this] {
+    return static_cast<double>(sim_.txn_pool().outstanding());
+  });
+  reg.add_gauge("queue_depth", [this] {
+    if (auto* cb = dynamic_cast<cam::CamBase*>(cam_.get())) {
+      return static_cast<double>(cb->queued_requests());
+    }
+    double n = 0.0;
+    for (const auto& ch : channels_) {
+      n += static_cast<double>(ch->queued_messages());
+    }
+    return n;
+  });
 }
 
 // --------------------------------------------------------------- Mapper --

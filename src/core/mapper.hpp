@@ -32,6 +32,8 @@
 #include "cpu/irq.hpp"
 #include "hwsw/hwsw.hpp"
 #include "kernel/clock.hpp"
+#include "obs/metrics.hpp"
+#include "ocp/monitor.hpp"
 
 namespace stlm::core {
 
@@ -65,6 +67,22 @@ public:
   // Human-readable mapping + statistics report.
   void report(std::ostream& os_out) const;
 
+  // Register a protocol monitor so report() surfaces its statistics
+  // (stall cycles, violations, outstanding commands). Monitors are built
+  // by the harness, not the mapper, hence the explicit attach; the
+  // pointer must outlive this MappedSystem.
+  void attach_monitor(const ocp::OcpMonitor& mon) {
+    monitors_.push_back(&mon);
+  }
+
+  // Register the standard time-series gauges for this system with `reg`:
+  // bus utilization, outstanding pooled transactions, and queue depth
+  // (grant-engine backlog at CAM level, summed SHIP channel depth at the
+  // abstract levels). Pair with an obs::PeriodicSampler to capture them
+  // over simulated time. The registry's gauges reference this system, so
+  // it must outlive `reg`'s sampling.
+  void install_default_gauges(obs::MetricsRegistry& reg);
+
 private:
   friend class Mapper;
   MappedSystem(Simulator& sim, const Platform& p, AbstractionLevel l)
@@ -91,6 +109,7 @@ private:
   std::vector<std::unique_ptr<SwExecContext>> sw_ctx_;
   std::vector<Process*> hw_procs_;
   std::vector<std::string> mapping_notes_;
+  std::vector<const ocp::OcpMonitor*> monitors_;
 };
 
 class Mapper {

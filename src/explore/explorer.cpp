@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "trace/channel_stats.hpp"
 #include "trace/stats.hpp"
 
@@ -28,6 +31,13 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   graph.discover_roles();
 
   Simulator sim;
+  // Opt-in per-cell timeline trace (see TraceTarget in the header).
+  std::optional<obs::TraceSession> cell_trace;
+  if (!trace_target_.path.empty() && trace_target_.platform == platform.name &&
+      trace_target_.workload == workload_name) {
+    cell_trace.emplace();
+    cell_trace->attach(sim);
+  }
   auto ms = core::Mapper::map(sim, graph, platform,
                               core::AbstractionLevel::Cam);
   // stlm-lint: allow(determinism-wall-clock): measures host wall time for
@@ -87,11 +97,26 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
     row.worst_master_p99_ns =
         std::max(row.worst_master_p99_ns, trace::latency_dist(rows).p99_ns);
   }
-  if (ms->bus()) row.bus_utilization = ms->bus()->utilization();
+  if (ms->bus()) {
+    row.bus_utilization = ms->bus()->utilization();
+    // stats() folds sharded counters (crossbar), so read it once here.
+    const trace::StatSet& st = ms->bus()->stats();
+    const std::uint64_t tx = st.counter("transactions");
+    if (tx != 0) {
+      row.fast_hit_rate = static_cast<double>(st.counter("fast_path_hits")) /
+                          static_cast<double>(tx);
+    }
+  }
+  row.ctx_switches = sim.ctx_switches();
   // With auditing on (audit::set_default_enabled before the sweep), fold
   // this cell's conflict-pair count into the row so grid tests can assert
   // a clean sweep without reaching into worker-thread simulators.
   row.audit_conflicts = sim.audit_report().conflicts.size();
+  if (cell_trace) {
+    cell_trace->detach();
+    std::ofstream trace_out(trace_target_.path);
+    cell_trace->write_json(trace_out);
+  }
   return row;
 }
 
@@ -225,10 +250,11 @@ void Explorer::print_table(std::ostream& os,
      << std::setw(12) << "p95_ns" << std::setw(12) << "p99_ns"
      << std::setw(12) << "queue_ns" << std::setw(12) << "wm_p99_ns"
      << std::setw(10) << "bus_util"
-     << std::setw(10) << "txns" << std::setw(12) << "bytes" << "\n";
+     << std::setw(10) << "txns" << std::setw(12) << "bytes"
+     << std::setw(12) << "ctx_sw" << std::setw(10) << "fast_hit" << "\n";
   os << std::string(static_cast<std::size_t>(nw) +
                         (with_workload ? static_cast<std::size_t>(ww) : 0) +
-                        138,
+                        160,
                     '-')
      << "\n";
   for (const auto& r : rows) {
@@ -243,7 +269,9 @@ void Explorer::print_table(std::ostream& os,
        << std::setw(12) << r.p99_latency_ns << std::setw(12) << r.mean_queue_ns
        << std::setw(12) << r.worst_master_p99_ns
        << std::setw(10) << std::setprecision(3) << r.bus_utilization
-       << std::setw(10) << r.transactions << std::setw(12) << r.bytes << "\n";
+       << std::setw(10) << r.transactions << std::setw(12) << r.bytes
+       << std::setw(12) << r.ctx_switches
+       << std::setw(10) << std::setprecision(3) << r.fast_hit_rate << "\n";
   }
 }
 

@@ -53,6 +53,13 @@ struct ExplorationRow {
   // this cell's simulator (kernel/audit.hpp). Zero whenever auditing was
   // off; the grid-audit test asserts zero with it on.
   std::uint64_t audit_conflicts = 0;
+  // Kernel thread-coroutine dispatches this cell's simulator performed —
+  // the scheduler-overhead side of the wall_ms column (src/obs). Zero
+  // when built without STLM_OBS.
+  std::uint64_t ctx_switches = 0;
+  // Fast-path completions / total bus transactions for this cell (0 for
+  // buses without a fast path, e.g. the crossbar).
+  double fast_hit_rate = 0.0;
 };
 
 // True when `channel` is a per-master supplementary channel of the bus
@@ -89,6 +96,20 @@ public:
   // Workload-grid sweeps carry their factories in the WorkloadCase list.
   Explorer() = default;
   explicit Explorer(GraphFactory factory) : factory_(std::move(factory)) {}
+
+  // Opt-in "trace this row": when a sweep evaluates the cell whose
+  // platform (and workload, empty for single-factory sweeps) names match,
+  // an obs::TraceSession is attached to that cell's private simulator and
+  // the Chrome Trace Event JSON is written to `path` after the run —
+  // drill into any grid candidate with Perfetto without re-running the
+  // sweep under a debugger. No-op when `path` is empty or STLM_OBS is
+  // compiled out (the file is still written, containing only metadata).
+  struct TraceTarget {
+    std::string platform;
+    std::string workload;
+    std::string path;
+  };
+  void set_trace_target(TraceTarget t) { trace_target_ = std::move(t); }
 
   // Map + simulate one candidate.
   ExplorationRow evaluate(const core::Platform& platform, Time max_time);
@@ -143,6 +164,7 @@ private:
                           const std::function<void(std::size_t)>& eval);
 
   GraphFactory factory_;
+  TraceTarget trace_target_;
 };
 
 // Canonical candidate list covering the CAM library.

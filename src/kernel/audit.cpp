@@ -5,6 +5,7 @@
 
 #include "kernel/process.hpp"
 #include "kernel/simulator.hpp"
+#include "obs/trace_session.hpp"
 
 namespace stlm::audit {
 
@@ -66,6 +67,13 @@ void Auditor::begin_lifetime(const void* key) {
 void Auditor::note_conflict(const Object& obj, const Access& first,
                             const Access& second) {
   ++conflict_events_;
+#ifdef STLM_OBS
+  // Surface the conflict on the timeline too: an instant event on a
+  // dedicated "audit" track at the simulated time it was detected.
+  if (obs::TraceSession* ts = sim_.trace_session(); ts != nullptr) {
+    ts->instant("audit", "conflict: " + obj.label, sim_.now());
+  }
+#endif
   const std::string f = process_name(first.proc);
   const std::string s = process_name(second.proc);
   std::string pair_key;

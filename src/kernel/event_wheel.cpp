@@ -56,8 +56,16 @@ std::uint64_t EventWheel::next_occupied(std::uint64_t from) const {
 
 void EventWheel::push(const TimedEntry& e) {
   if (buckets_.empty()) buckets_.resize(kWheelBuckets);
+#ifdef STLM_OBS
+  ++stats_.pushes;
+  const std::size_t sz = size() + 1;
+  if (sz > stats_.peak_size) stats_.peak_size = sz;
+#endif
   const std::uint64_t idx = idx_of(e.when);
   if (idx >= base_ + kWheelBuckets) {
+#ifdef STLM_OBS
+    ++stats_.overflow_pushes;
+#endif
     overflow_.push(e);
     return;
   }
@@ -88,6 +96,9 @@ void EventWheel::spill_wheel() {
 }
 
 void EventWheel::rebase(std::uint64_t idx) {
+#ifdef STLM_OBS
+  ++stats_.rebases;
+#endif
   base_ = idx;
   scan_idx_ = idx;
   const std::uint64_t horizon = base_ + kWheelBuckets;

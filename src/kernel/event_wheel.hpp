@@ -83,6 +83,19 @@ public:
   // overflow heap.
   void push(const TimedEntry& e);
 
+  // Behaviour counters for the obs::Profiler: how often pushes landed in
+  // the wheel vs. spilled to the overflow heap, how often the window was
+  // re-anchored, and the peak queue occupancy. Plain members (no heap, no
+  // branches beyond an increment) so this file's hot-path contract holds;
+  // only maintained when built with STLM_OBS, zeros otherwise.
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t overflow_pushes = 0;
+    std::uint64_t rebases = 0;
+    std::size_t peak_size = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
   // Earliest live entry, pruning stale leading entries via `stale` and
   // migrating overflow buckets as the cursor reaches them. Returns
   // nullptr when nothing live remains. The pointer is valid until the
@@ -145,6 +158,7 @@ private:
   std::uint64_t base_ = 0;
   std::uint64_t scan_idx_ = 0;
   std::size_t wheel_count_ = 0;  // unconsumed entries in the wheel
+  Stats stats_;
 };
 
 }  // namespace detail

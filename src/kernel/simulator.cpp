@@ -4,6 +4,8 @@
 
 #include "kernel/context.hpp"
 #include "kernel/module.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_session.hpp"
 
 namespace stlm {
 
@@ -262,6 +264,10 @@ void Simulator::run_method(MethodProcess& m) {
   ++audit_dispatch_seq_;
   audit_current_ = &m;
 #endif
+#ifdef STLM_OBS
+  if (profiler_ != nullptr) profiler_->dispatch_begin(m);
+  if (trace_session_ != nullptr) trace_session_->process_begin(m, now_);
+#endif
   try {
     m.fn_();
   } catch (...) {
@@ -269,6 +275,10 @@ void Simulator::run_method(MethodProcess& m) {
     m.terminated_ = true;
     stop_requested_ = true;
   }
+#ifdef STLM_OBS
+  if (trace_session_ != nullptr) trace_session_->process_end(m, now_);
+  if (profiler_ != nullptr) profiler_->dispatch_end(m);
+#endif
 #ifdef STLM_AUDIT
   audit_current_ = nullptr;
 #endif
@@ -282,6 +292,11 @@ void Simulator::resume_thread(Process& p) {
   ++audit_dispatch_seq_;
   audit_current_ = &p;
 #endif
+#ifdef STLM_OBS
+  ++ctx_switches_;
+  if (profiler_ != nullptr) profiler_->dispatch_begin(p);
+  if (trace_session_ != nullptr) trace_session_->process_begin(p, now_);
+#endif
   p.ensure_started();
   detail::fiber_switch_begin(&sched_fake_stack_, p.stack_.base,
                              p.stack_bytes_);
@@ -289,6 +304,12 @@ void Simulator::resume_thread(Process& p) {
   detail::stlm_ctx_swap(&sched_sp_, p.sp_);
   detail::fiber_switch_end(sched_fake_stack_);
   current_process_ = nullptr;
+#ifdef STLM_OBS
+  // now_ may have moved while the process ran (lone-runner inline
+  // advances), so the end stamp closes a span of real simulated width.
+  if (trace_session_ != nullptr) trace_session_->process_end(p, now_);
+  if (profiler_ != nullptr) profiler_->dispatch_end(p);
+#endif
 #ifdef STLM_AUDIT
   audit_current_ = nullptr;
 #endif
@@ -411,6 +432,9 @@ bool Simulator::advance_inline(Time abs) {
   const TimedEntry* head = timed_.peek(&Simulator::timed_entry_stale, this);
   if (head && head->when <= abs) return false;
   now_ = abs;
+#ifdef STLM_OBS
+  ++inline_advances_;
+#endif
   return true;
 }
 

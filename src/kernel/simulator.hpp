@@ -38,6 +38,11 @@ namespace stlm {
 
 class Module;
 
+namespace obs {
+class TraceSession;
+class Profiler;
+}  // namespace obs
+
 // Implemented by primitive channels (signals) that need an update phase.
 class UpdateIf {
 public:
@@ -181,6 +186,24 @@ public:
   ProcessBase* audit_current() const { return audit_current_; }
   std::uint64_t audit_dispatch_seq() const { return audit_dispatch_seq_; }
 
+  // --- observability layer (src/obs) -------------------------------------
+  // Non-owning session pointers set by obs::TraceSession::attach /
+  // obs::Profiler::attach. The kernel and CAM hooks test these pointers
+  // (under STLM_OBS) before recording; with nothing attached each hook is
+  // one branch. The counters below are maintained unconditionally under
+  // STLM_OBS — they are single increments on paths that already swap
+  // whole coroutine contexts — and read 0 when compiled out.
+  void set_trace_session(obs::TraceSession* t) { trace_session_ = t; }
+  obs::TraceSession* trace_session() const { return trace_session_; }
+  void set_profiler(obs::Profiler* p) { profiler_ = p; }
+  obs::Profiler* profiler() const { return profiler_; }
+  // Thread-coroutine resumes (two raw context swaps each: in and out).
+  std::uint64_t ctx_switches() const { return ctx_switches_; }
+  // Successful lone-runner inline advances (see advance_inline).
+  std::uint64_t inline_advances() const { return inline_advances_; }
+  // Read-only view of the timed queue for profiler snapshots.
+  const detail::EventWheel& timed_queue() const { return timed_; }
+
 private:
   using TimedEntry = detail::TimedEntry;
 
@@ -236,6 +259,11 @@ private:
   ProcessBase* audit_current_ = nullptr;
   std::uint64_t audit_dispatch_seq_ = 0;
   std::unique_ptr<audit::Auditor> auditor_;
+  // Observability hooks (see the public obs section above).
+  obs::TraceSession* trace_session_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  std::uint64_t ctx_switches_ = 0;
+  std::uint64_t inline_advances_ = 0;
   void* sched_sp_ = nullptr;  // scheduler context while a process runs
   // Sanitizer fiber bookkeeping (unused in non-ASan builds): the
   // scheduler context's fake-stack handle, and the bounds of the stack

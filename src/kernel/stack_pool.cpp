@@ -70,6 +70,10 @@ StackPool::Block StackPool::acquire(std::size_t bytes) {
   reconcile(sc);
   ++sc.in_use;
   if (sc.in_use > sc.hwm) sc.hwm = sc.in_use;
+  // Pool-level concurrent-usage high-water for profiler snapshots; the
+  // class map is tiny (one or two stack sizes), so the sum is cheap.
+  const std::size_t total = in_use_blocks();
+  if (total > peak_in_use_) peak_in_use_ = total;
   Block b;
   if (!sc.free.empty()) {
     b = sc.free.back();

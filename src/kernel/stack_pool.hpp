@@ -85,6 +85,9 @@ public:
   // release counts once the pool has reconciled it, i.e. after the next
   // acquire/release/trim on this pool).
   std::size_t in_use_blocks() const;
+  // Peak concurrent in-use blocks over the pool's lifetime (the stack
+  // high-water the obs::Profiler reports).
+  std::size_t peak_in_use_blocks() const { return peak_in_use_; }
 
 private:
   StackPool() = default;
@@ -113,6 +116,7 @@ private:
   std::uint64_t maps_ = 0;
   std::uint64_t unmaps_ = 0;
   std::uint64_t reuses_ = 0;
+  std::size_t peak_in_use_ = 0;
 };
 
 }  // namespace stlm::detail

@@ -1,0 +1,96 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <utility>
+
+#include "kernel/simulator.hpp"
+#include "trace/stats.hpp"
+
+namespace stlm::obs {
+
+namespace {
+
+// Fixed-point microseconds (fs / 1e9) with 9 fractional digits — the same
+// byte-deterministic mapping the trace exporter uses, so trace and
+// metrics timelines line up exactly.
+void write_time_us(std::ostream& os, Time t) {
+  const std::uint64_t fs = t.femtoseconds();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llu.%09llu",
+                static_cast<unsigned long long>(fs / 1'000'000'000ULL),
+                static_cast<unsigned long long>(fs % 1'000'000'000ULL));
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_gauge(std::string name, Gauge fn) {
+  names_.push_back(std::move(name));
+  gauges_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::sample(Time now) {
+  Row row;
+  row.when = now;
+  row.values.reserve(gauges_.size());
+  for (const Gauge& g : gauges_) row.values.push_back(g ? g() : 0.0);
+  rows_.push_back(std::move(row));
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  trace::ScopedOstreamFormat guard(os);
+  os << std::setprecision(9);
+  os << "time_us";
+  for (const std::string& n : names_) os << ',' << n;
+  os << '\n';
+  for (const Row& r : rows_) {
+    write_time_us(os, r.when);
+    for (const double v : r.values) os << ',' << v;
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  trace::ScopedOstreamFormat guard(os);
+  os << std::setprecision(9);
+  os << "{\"names\":[";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << (i ? ",\"" : "\"") << names_[i] << '"';
+  }
+  os << "],\"rows\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    os << (i ? ",\n" : "\n") << "{\"t_us\":";
+    write_time_us(os, r.when);
+    os << ",\"values\":[";
+    for (std::size_t j = 0; j < r.values.size(); ++j) {
+      os << (j ? "," : "") << r.values[j];
+    }
+    os << "]}";
+  }
+  os << (rows_.empty() ? "]}" : "\n]}") << '\n';
+}
+
+PeriodicSampler::PeriodicSampler(Simulator& sim, MetricsRegistry& reg,
+                                 Time interval, std::string name)
+    : state_(std::make_shared<State>()) {
+  state_->reg = &reg;
+  state_->interval = interval.is_zero() ? Time::ns(1) : interval;
+  // The body captures the shared state, not `this`: the handle object and
+  // the simulator may be destroyed in either order. On teardown the kill
+  // unwind throws straight out of wait(), so the loop never observes a
+  // dangling registry.
+  auto st = state_;
+  sim.spawn_thread(std::move(name), [st] {
+    for (;;) {
+      wait(st->interval);
+      if (st->stopped) return;
+      st->reg->sample(Simulator::require_current().now());
+      ++st->samples;
+    }
+  });
+}
+
+}  // namespace stlm::obs

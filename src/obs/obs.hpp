@@ -1,0 +1,38 @@
+#pragma once
+// Observability layer umbrella header.
+//
+// Three pillars, each usable on its own (see the individual headers):
+//   * obs::TraceSession    — Chrome Trace Event JSON timeline export
+//                            (loadable in Perfetto / chrome://tracing).
+//   * obs::Profiler        — host wall-clock + dispatch-count attribution
+//                            per process, plus kernel-internal snapshots
+//                            (event wheel, stack pool, fast-path hits).
+//   * obs::MetricsRegistry — simulated-time series of user gauges sampled
+//                            by a PeriodicSampler process into CSV/JSON.
+//
+// Gating follows the STLM_AUDIT pattern (kernel/audit.hpp): the classes
+// are always compiled so tooling can link against them unconditionally,
+// but the kernel/CAM hook *call sites* only exist when built with
+// -DSTLM_OBS (a CMake option, ON by default). With the option OFF every
+// hook compiles to nothing — the perf-gate CI job builds that
+// configuration and holds it to the strict benchmark gate. With the
+// option ON but no session attached, each hook is a single null-pointer
+// test on the owning Simulator.
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_session.hpp"
+
+namespace stlm::obs {
+
+// True when the kernel/CAM observability hooks are compiled in. Tests
+// gate hook-driven assertions on this, mirroring audit::compiled_in().
+constexpr bool compiled_in() {
+#ifdef STLM_OBS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace stlm::obs

@@ -1,0 +1,112 @@
+#pragma once
+// Kernel self-profiler: answers "where does host wall-clock go" for a
+// run, and exposes kernel internals that are otherwise invisible.
+//
+// Two data sources:
+//   * Scheduler hooks — every dispatch of a process (thread resume or
+//     method run) is bracketed, attributing host wall-clock and a
+//     dispatch count to that process. The wall clock is intentionally
+//     kept OUT of the trace/metrics artifacts: those must be
+//     byte-deterministic across runs, and host timing never is.
+//   * snapshot() — pulls counters the kernel maintains under STLM_OBS:
+//     context switches and lone-runner inline advances from the
+//     Simulator, push/overflow/rebase/occupancy statistics from the
+//     EventWheel, map/reuse/high-water counts from the calling thread's
+//     StackPool, plus per-bus transaction and fast-path-hit counters
+//     registered by the harness — one registry instead of four ad-hoc
+//     accessors.
+//
+// Output: write_table() renders a human-readable report; write_json()
+// emits a machine-readable dump for CI artifacts and bench history.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stlm {
+
+class Simulator;
+class ProcessBase;
+
+namespace obs {
+
+class Profiler {
+public:
+  // Per-bus counters sampled at snapshot time. Registered as a callback
+  // so CAMs that fold sharded counters lazily (the crossbar) are read
+  // fresh, and so this header needs no CAM dependency.
+  struct BusSample {
+    std::uint64_t transactions = 0;
+    std::uint64_t fast_hits = 0;
+  };
+  using BusSampleFn = std::function<BusSample()>;
+
+  // Per-process attribution accumulated by the scheduler hooks.
+  struct ProcessSlot {
+    std::string name;
+    std::uint64_t dispatches = 0;
+    double wall_ns = 0.0;
+  };
+
+  struct Snapshot {
+    // Scheduler.
+    std::uint64_t ctx_switches = 0;    // thread-coroutine resumes
+    std::uint64_t inline_advances = 0; // lone-runner wait() fast path
+    // Event wheel.
+    std::uint64_t wheel_pushes = 0;
+    std::uint64_t wheel_overflow_pushes = 0;
+    std::uint64_t wheel_rebases = 0;
+    std::size_t wheel_peak_size = 0;
+    std::size_t wheel_size = 0;
+    // Stack pool (the calling thread's pool).
+    std::uint64_t stack_maps = 0;
+    std::uint64_t stack_reuses = 0;
+    std::size_t stack_peak_in_use = 0;
+    // Buses.
+    struct Bus {
+      std::string name;
+      std::uint64_t transactions = 0;
+      std::uint64_t fast_hits = 0;
+      double fast_hit_rate = 0.0;
+    };
+    std::vector<Bus> buses;
+    std::uint64_t total_transactions = 0;
+    std::uint64_t total_fast_hits = 0;
+    double fast_hit_rate = 0.0;
+    // Processes, sorted by wall_ns descending (name tie-break).
+    std::vector<ProcessSlot> processes;
+    double total_wall_ns = 0.0;
+  };
+
+  // Register with `sim` so scheduler hooks feed this profiler.
+  void attach(Simulator& sim);
+  void detach();
+  Simulator* simulator() const { return sim_; }
+
+  void add_bus(std::string name, BusSampleFn sample);
+
+  // --- scheduler hooks (called by the kernel under STLM_OBS) ------------
+  void dispatch_begin(const ProcessBase& p);
+  void dispatch_end(const ProcessBase& p);
+
+  // Aggregate everything currently known. Reads the attached Simulator's
+  // counters (zeroes if detached) and the calling thread's StackPool, so
+  // call it on the thread that ran the simulation.
+  Snapshot snapshot() const;
+
+  void write_table(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+
+private:
+  Simulator* sim_ = nullptr;
+  std::unordered_map<const void*, ProcessSlot> procs_;
+  std::vector<std::pair<std::string, BusSampleFn>> buses_;
+  const void* active_ = nullptr;
+  std::uint64_t t0_ns_ = 0;  // dispatch start, steady-clock nanoseconds
+};
+
+}  // namespace obs
+}  // namespace stlm

@@ -26,6 +26,8 @@ public:
   std::uint64_t violations() const { return violations_; }
   // Edges where a command was pending but not accepted (wait cycles).
   std::uint64_t stall_cycles() const { return stalls_; }
+  // Commands accepted but not yet responded to at the last sampled edge.
+  std::int64_t outstanding() const { return outstanding_; }
 
 private:
   void sample();

@@ -82,6 +82,11 @@ public:
   // Lifetime counters.
   std::uint64_t messages_transferred() const { return messages_; }
   std::uint64_t bytes_transferred() const { return bytes_; }
+  // Messages currently queued across both directions — an instantaneous
+  // depth gauge for obs::MetricsRegistry time series.
+  std::size_t queued_messages() const {
+    return dir_[0].queue.size() + dir_[1].queue.size();
+  }
 
 private:
   struct Terminal final : ship_if {
