@@ -92,4 +92,89 @@ private:
   RoundRobinArbiter fallback_;
 };
 
+/// Static priority with aging (QoS): lowest index wins — unless some
+/// requester has been waiting at least `aging_cycles` bus cycles since
+/// it first requested, in which case the longest-waiting starved
+/// requester wins (ties broken by lower index). `aging_cycles == 0`
+/// degenerates to pure FCFS by first-request cycle.
+class AgingPriorityArbiter final : public Arbiter {
+public:
+  explicit AgingPriorityArbiter(std::uint64_t aging_cycles)
+      : aging_cycles_(aging_cycles) {}
+
+  int pick(const std::vector<bool>& requesting, std::uint64_t cycle) override {
+    if (since_.size() < requesting.size()) {
+      since_.resize(requesting.size(), kIdle);
+    }
+    // Track when each master's current request first became visible; a
+    // master that stops requesting (granted elsewhere / withdrawn)
+    // resets its age.
+    int first = -1;
+    for (std::size_t i = 0; i < requesting.size(); ++i) {
+      if (!requesting[i]) {
+        since_[i] = kIdle;
+        continue;
+      }
+      if (since_[i] == kIdle) since_[i] = cycle;
+      if (first < 0) first = static_cast<int>(i);
+    }
+    if (first < 0) return -1;
+    int aged = -1;
+    for (std::size_t i = 0; i < requesting.size(); ++i) {
+      if (!requesting[i] || cycle - since_[i] < aging_cycles_) continue;
+      if (aged < 0 || since_[i] < since_[static_cast<std::size_t>(aged)]) {
+        aged = static_cast<int>(i);
+      }
+    }
+    const int winner = aged >= 0 ? aged : first;
+    since_[static_cast<std::size_t>(winner)] = kIdle;
+    return winner;
+  }
+  std::string name() const override { return "aging"; }
+
+private:
+  static constexpr std::uint64_t kIdle = static_cast<std::uint64_t>(-1);
+  std::uint64_t aging_cycles_;
+  std::vector<std::uint64_t> since_;  // first-request cycle per master
+};
+
+/// Bandwidth reservation (QoS): deficit-credit weighted arbitration.
+/// Master i accrues `shares[i]` credits every pick it spends requesting;
+/// the requester with the most credits wins (ties broken by lower index)
+/// and pays the round's total requested share, so grant frequencies
+/// converge to the share ratios under saturation while staying strictly
+/// work-conserving and deterministic (integer arithmetic only). Masters
+/// beyond the shares table default to share 1.
+class BandwidthArbiter final : public Arbiter {
+public:
+  explicit BandwidthArbiter(std::vector<std::uint32_t> shares)
+      : shares_(std::move(shares)) {}
+
+  int pick(const std::vector<bool>& requesting, std::uint64_t) override {
+    if (credit_.size() < requesting.size()) credit_.resize(requesting.size());
+    int winner = -1;
+    std::int64_t round = 0;
+    for (std::size_t i = 0; i < requesting.size(); ++i) {
+      if (!requesting[i]) continue;
+      credit_[i] += share(i);
+      round += share(i);
+      if (winner < 0 || credit_[i] > credit_[static_cast<std::size_t>(winner)]) {
+        winner = static_cast<int>(i);
+      }
+    }
+    if (winner < 0) return -1;
+    credit_[static_cast<std::size_t>(winner)] -= round;
+    return winner;
+  }
+  std::string name() const override { return "bandwidth"; }
+
+private:
+  std::int64_t share(std::size_t i) const {
+    if (i >= shares_.size() || shares_[i] == 0) return 1;
+    return static_cast<std::int64_t>(shares_[i]);
+  }
+  std::vector<std::uint32_t> shares_;
+  std::vector<std::int64_t> credit_;
+};
+
 }  // namespace stlm::cam

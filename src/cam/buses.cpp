@@ -1,5 +1,6 @@
 #include "cam/buses.hpp"
 
+#include "fault/fault.hpp"
 #include "obs/trace_session.hpp"
 
 namespace stlm::cam {
@@ -193,6 +194,24 @@ void CrossbarCam::route(std::size_t master, Txn& txn) {
 void CrossbarCam::serve(std::size_t s, Txn& txn, Time occ) {
   wait(occ);
   busy_time_ += occ;
+  // Injected faults replace the target delivery: a latency spike is
+  // charged on the lane (before the verdict, like a slow decode), an
+  // error answers without touching the slave. Draw order per lane is the
+  // lane's deterministic service order, so same-seed runs inject the
+  // same faults at the same instants.
+  if (injector_ != nullptr) {
+    const auto f = injector_->on_access(s);
+    if (f.spike_cycles != 0) wait(cycle_ * f.spike_cycles);
+    if (f.error) {
+      txn.respond_error();
+#ifdef STLM_OBS
+      if (obs::TraceSession* ts = sim().trace_session(); ts != nullptr) {
+        ts->instant(full_name(), "fault", sim().now());
+      }
+#endif
+      return;
+    }
+  }
   if (fast_targets_ && slave_fast_[s]) {
     const Time lat = slaves_[s]->fast_handle(txn);
     if (!lat.is_zero()) wait(lat);
@@ -211,6 +230,11 @@ void CrossbarCam::finish(std::size_t master, std::size_t lane, Txn& txn,
   audit::on_access(sim(), lane_stats_[lane].get(), audit::Mode::Write,
                    "cam.stats", Module::name());
   txn.t_complete = sim().now();
+  // Completion point: an Ok answer that arrived after its armed watchdog
+  // deadline is a Timeout (same promotion rule as CamBase::complete_txn).
+  if (txn.deadline_missed && txn.status == Txn::Status::Ok) {
+    txn.status = Txn::Status::Timeout;
+  }
   const std::size_t bytes = txn.payload_bytes();
   LaneStats& ls = *lane_stats_[lane];
   ++ls.transactions;
@@ -222,16 +246,18 @@ void CrossbarCam::finish(std::size_t master, std::size_t lane, Txn& txn,
   ls.per_master[master].add(latency_ns);
   const auto kind = txn.op == Txn::Op::Read ? trace::TxnKind::Read
                                             : trace::TxnKind::Write;
+  const trace::TxnStatus row_status = txn_row_status(txn);
   if (log_) {
     log_.record(kind, txn.id, bytes, start, sim().now(), txn.t_grant,
-                txn.t_data);
+                txn.t_data, row_status, txn.retries);
   }
   // Per-master channel: same row under "<bus>.<master>". Consumers
   // aggregating across channels must skip these supplementary rows (see
   // expl::is_master_channel).
   if (masters_[master]->log) {
     masters_[master]->log.record(kind, txn.id, bytes, start, sim().now(),
-                                 txn.t_grant, txn.t_data);
+                                 txn.t_grant, txn.t_data, row_status,
+                                 txn.retries);
   }
 #ifdef STLM_OBS
   // Timeline spans: `start` (the outer arrival time) is the issue stamp —

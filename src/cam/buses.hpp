@@ -144,6 +144,7 @@ public:
   // into the public set before returning it — see LaneStats below.
   trace::StatSet& stats() override;
   void set_txn_logger(trace::TxnLogger* log) override;
+  void set_fault_injector(fault::Injector* inj) override { injector_ = inj; }
   double utilization() const override;
 
   bool split_active() const { return split_.active(); }
@@ -202,6 +203,10 @@ private:
   std::vector<std::unique_ptr<Event>> lane_avail_;
   std::vector<std::size_t> inflight_;
   Event slot_free_;
+  // Seeded fault source (nullptr = fault-free), consulted per lane
+  // delivery in serve(). Lanes are arbiter-free FIFOs, so the crossbar
+  // has no grant stream to stall — only errors and latency spikes apply.
+  fault::Injector* injector_ = nullptr;
   AddressMap map_;
   Time busy_time_ = Time::zero();
   trace::StatSet stats_;

@@ -8,4 +8,5 @@
 #include "cam/cam_base.hpp"
 #include "cam/cam_if.hpp"
 #include "cam/grant_engine.hpp"
+#include "cam/retry.hpp"
 #include "cam/wrappers.hpp"

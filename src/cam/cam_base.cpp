@@ -1,8 +1,36 @@
 #include "cam/cam_base.hpp"
 
+#include "fault/fault.hpp"
 #include "obs/trace_session.hpp"
 
 namespace stlm::cam {
+
+namespace {
+
+// Fault delivery shared by the engines: draw the injector's verdict for
+// one decoded access. Returns true when an error was injected (the
+// caller skips handle()); a latency spike is charged as extra bus cycles
+// before the verdict applies, from the calling engine's coroutine.
+bool inject_access_fault(fault::Injector* inj, std::size_t slave, Txn& txn,
+                         Time cycle, Simulator& sim,
+                         const std::string& channel) {
+  if (inj == nullptr) return false;
+  const auto f = inj->on_access(slave);
+  if (f.spike_cycles != 0) wait(cycle * f.spike_cycles);
+  if (!f.error) return false;
+  txn.respond_error();
+#ifdef STLM_OBS
+  if (obs::TraceSession* ts = sim.trace_session(); ts != nullptr) {
+    ts->instant(channel, "fault", sim.now());
+  }
+#else
+  (void)sim;
+  (void)channel;
+#endif
+  return true;
+}
+
+}  // namespace
 
 CamBase::CamBase(Simulator& sim, std::string name, Time cycle,
                  std::unique_ptr<Arbiter> arbiter, std::size_t width_bytes,
@@ -169,6 +197,11 @@ void CamBase::MasterPort::transport(Txn& txn) {
 
 bool CamBase::fast_eligible(const Txn& txn, std::size_t* slave_out) const {
   if (!fast_targets_) return false;
+  // Fault injection voids the fast path wholesale: injected spikes break
+  // the constant-latency contract merged completions rely on, and the
+  // injector draw itself must happen at the engine's delivery point to
+  // keep the per-slave streams in simulation order.
+  if (injector_ != nullptr) return false;
   if (fast_pending_) return false;                 // a fast post is in flight
   if (fast_inflight_) return false;                // a fast transport is
   if (sim().now() < fast_busy_until_) return false;  // bus still occupied
@@ -349,6 +382,15 @@ void CamBase::atomic_engine() {
       continue;
     }
 
+    // Grant-stall burst: the arbiter withholds the granted request for a
+    // few cycles. Charged before the grant stamp, so the stall reads as
+    // queueing delay (arbitration wait), not bus service.
+    if (injector_ != nullptr) {
+      if (const std::uint64_t stall = injector_->on_grant()) {
+        wait(cycle_ * stall);
+      }
+    }
+
     const bool back_to_back = engine_busy_ && last_txn_end_ == sim().now();
     const std::uint64_t cycles = txn_cycles(*txn, back_to_back);
     const Time occupancy = cycle_ * cycles;
@@ -367,7 +409,8 @@ void CamBase::atomic_engine() {
     if (!slave) {
       txn->respond_error();
       ++*cnt_decode_errors_;
-    } else {
+    } else if (!inject_access_fault(injector_, *slave, *txn, cycle_, sim(),
+                                    full_name())) {
       slaves_[*slave]->handle(*txn);
     }
 
@@ -396,6 +439,14 @@ void CamBase::addr_engine() {
       // new request or a retiring data phase re-arms the loop.
       wait(new_request_);
       continue;
+    }
+
+    // Grant-stall burst (see atomic_engine): delays the grant stamp, so
+    // the stall is accounted as arbitration wait.
+    if (injector_ != nullptr) {
+      if (const std::uint64_t stall = injector_->on_grant()) {
+        wait(cycle_ * stall);
+      }
     }
 
     txn->t_grant = sim().now();
@@ -428,7 +479,10 @@ void CamBase::service_worker() {
     const std::size_t bytes = txn->payload_bytes();
     const auto slave = map_.decode(txn->addr, bytes ? bytes : 1);
     STLM_ASSERT(slave.has_value(), "split service lost its decode");
-    slaves_[*slave]->handle(*txn);
+    if (!inject_access_fault(injector_, *slave, *txn, cycle_, sim(),
+                             full_name())) {
+      slaves_[*slave]->handle(*txn);
+    }
     resp_q_.push_back(*txn);
     resp_avail_.notify_delta();
   }
@@ -465,6 +519,14 @@ void CamBase::complete_txn(Txn& txn, std::size_t master,
   audit::on_access(sim(), &stats_, audit::Mode::Write, "cam.stats",
                    Module::name());
   txn.t_complete = sim().now();
+  // Final-status stamp. This is the one completion point shared by the
+  // atomic engine, the split data engine and both fast paths, so every
+  // path agrees on the same lifecycle: a watchdog-flagged transaction
+  // that still answered Ok is promoted to Timeout here (an Error stays
+  // an Error — it already failed harder than the deadline).
+  if (txn.deadline_missed && txn.status == Txn::Status::Ok) {
+    txn.status = Txn::Status::Timeout;
+  }
   const std::size_t bytes = txn.payload_bytes();
   ++*cnt_transactions_;
   ++*(txn.op == Txn::Op::Read ? cnt_reads_ : cnt_writes_);
@@ -479,9 +541,10 @@ void CamBase::complete_txn(Txn& txn, std::size_t master,
   masters_[master]->latency->add(latency_ns);
   const trace::TxnKind kind = txn.op == Txn::Op::Read ? trace::TxnKind::Read
                                                       : trace::TxnKind::Write;
+  const trace::TxnStatus row_status = txn_row_status(txn);
   if (log_) {
     log_.record(kind, txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
-                txn.t_data);
+                txn.t_data, row_status, txn.retries);
   }
   // Per-master channel ("<bus>.<master>"): same row keyed under the
   // issuing master, so channel_stats can report per-master latency
@@ -490,7 +553,7 @@ void CamBase::complete_txn(Txn& txn, std::size_t master,
   MasterPort& mp = *masters_[master];
   if (mp.log) {
     mp.log.record(kind, txn.id, bytes, txn.enqueued, sim().now(), txn.t_grant,
-                  txn.t_data);
+                  txn.t_data, row_status, txn.retries);
   }
 #ifdef STLM_OBS
   // Timeline spans for this transaction. complete_txn is the single

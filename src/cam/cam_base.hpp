@@ -88,6 +88,7 @@ public:
   const AddressMap& address_map() const override { return map_; }
   trace::StatSet& stats() override { return stats_; }
   void set_txn_logger(trace::TxnLogger* log) override;
+  void set_fault_injector(fault::Injector* inj) override { injector_ = inj; }
   double utilization() const override;
 
   const Arbiter& arbiter() const { return engine_.arbiter(); }
@@ -168,6 +169,11 @@ private:
   Time busy_time_ = Time::zero();
   Time last_txn_end_ = Time::zero();
   bool engine_busy_ = false;
+  // Seeded fault source (nullptr = fault-free). Consulted by the engines
+  // at grant (stalls) and at target delivery (errors/spikes); its
+  // presence also vetoes the fast path (fast_eligible), whose merged
+  // completions assume a constant service latency.
+  fault::Injector* injector_ = nullptr;
   trace::StatSet stats_;
   trace::LogHandle log_;
   trace::TxnLogger* logger_ = nullptr;  // for binding late-added masters

@@ -20,7 +20,30 @@
 #include "trace/stats.hpp"
 #include "trace/txn_log.hpp"
 
+namespace stlm::fault {
+class Injector;
+}  // namespace stlm::fault
+
 namespace stlm::cam {
+
+/// Map a completed descriptor's kernel-side status onto the trace
+/// schema's outcome column. A logged row is by definition settled, so a
+/// still-Pending status (a CAM forgot to stamp) degrades to Ok rather
+/// than inventing a fifth CSV value.
+inline trace::TxnStatus txn_row_status(const Txn& txn) {
+  switch (txn.status) {
+    case Txn::Status::Error:
+      return trace::TxnStatus::Error;
+    case Txn::Status::Timeout:
+      return trace::TxnStatus::Timeout;
+    case Txn::Status::Aborted:
+      return trace::TxnStatus::Aborted;
+    case Txn::Status::Pending:
+    case Txn::Status::Ok:
+      break;
+  }
+  return trace::TxnStatus::Ok;
+}
 
 /// Abstract interface of a communication architecture model (bus,
 /// crossbar, bridge fabric). One CamIf instance is one arbitrated
@@ -70,6 +93,14 @@ public:
   virtual trace::StatSet& stats() = 0;
   /// Route per-transaction begin/end records into `log` (nullptr stops).
   virtual void set_txn_logger(trace::TxnLogger* log) = 0;
+
+  /// Attach a seeded fault source (fault/fault.hpp): slaves consult it
+  /// per access (error responses, latency spikes) and the grant logic per
+  /// grant (stall bursts). nullptr detaches; the default ignores it, so
+  /// CAMs without failure semantics stay valid. While an injector is
+  /// attached a CAM must disable constant-latency fast paths — injected
+  /// spikes break their fixed-latency contract.
+  virtual void set_fault_injector(fault::Injector* /*inj*/) {}
 
   /// Fraction of elapsed bus cycles spent moving transactions.
   virtual double utilization() const = 0;

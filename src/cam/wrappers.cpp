@@ -154,8 +154,14 @@ ShipMasterWrapper::BusyGuard::BusyGuard(ShipMasterWrapper& w, const char* call)
 
 void ShipMasterWrapper::transport_checked(Txn& txn) {
   ++bus_txns_;
-  cam_.master_port(master_).transport(txn);
-  if (!txn.ok()) {
+  if (retry_via_ != nullptr) {
+    retry_via_->transport(txn);
+  } else {
+    cam_.master_port(master_).transport(txn);
+  }
+  // Timeout still carries valid data (the access completed, late); Error
+  // and Aborted mean the mailbox protocol cannot make progress.
+  if (!txn.data_valid()) {
     throw ProtocolError("SHIP master wrapper " + full_name() +
                         ": bus error at mailbox access");
   }

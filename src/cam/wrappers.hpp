@@ -118,6 +118,12 @@ public:
   std::uint64_t bus_transactions() const { return bus_txns_; }
   std::uint64_t poll_count() const { return polls_; }
 
+  // Route mailbox transactions through an initiator-side shim (a
+  // RetryPolicy) instead of the CAM port directly. nullptr restores the
+  // direct path. The shim must forward to the same master index this
+  // wrapper was wired with.
+  void set_retry(ocp::ocp_tl_master_if* via) { retry_via_ = via; }
+
 private:
   void push_message(const ship::ship_serializable_if& msg, bool is_request);
   void pull_reply();  // fills rx_buf_
@@ -142,6 +148,7 @@ private:
   MailboxLayout remote_;
   Time poll_interval_;
   bool coalesce_;
+  ocp::ocp_tl_master_if* retry_via_ = nullptr;
   Txn bus_txn_;                       // reusable bus descriptor
   std::vector<std::uint8_t> tx_buf_;  // serialization scratch
   std::vector<std::uint8_t> co_buf_;  // coalesced [chunk ++ ctrl] scratch

@@ -32,10 +32,14 @@ public:
     endpoints_[name] = &endpoint;
   }
   // CAM-level mapping only: give this PE a bus master port for direct
-  // memory traffic (SystemGraph::add_memory clients).
-  void bind_memory(cam::CamIf* bus, std::size_t master) {
+  // memory traffic (SystemGraph::add_memory clients). `retry` optionally
+  // interposes an initiator-side failure policy (bound to the same bus
+  // and master index) for the PE's posted window.
+  void bind_memory(cam::CamIf* bus, std::size_t master,
+                   cam::RetryPolicy* retry = nullptr) {
     mem_bus_ = bus;
     mem_master_ = master;
+    mem_retry_ = retry;
   }
 
   ship::ship_if& channel(const std::string& name) override;
@@ -43,6 +47,7 @@ public:
   void idle(Time t) override { wait(t); }
   cam::CamIf* mem_bus() override { return mem_bus_; }
   std::size_t mem_master() const override { return mem_master_; }
+  cam::RetryPolicy* mem_retry() override { return mem_retry_; }
   Simulator& sim() override { return sim_; }
 
 private:
@@ -51,6 +56,7 @@ private:
   std::map<std::string, ship::ship_if*> endpoints_;
   cam::CamIf* mem_bus_ = nullptr;
   std::size_t mem_master_ = 0;
+  cam::RetryPolicy* mem_retry_ = nullptr;
 };
 
 class SwExecContext final : public ExecContext {

@@ -31,11 +31,29 @@ const char* arb_kind_name(ArbKind a) {
     case ArbKind::Priority: return "priority";
     case ArbKind::RoundRobin: return "round-robin";
     case ArbKind::Tdma: return "tdma";
+    case ArbKind::PriorityAging: return "aging";
+    case ArbKind::Bandwidth: return "bandwidth";
   }
   return "?";
 }
 
 // -------------------------------------------------------- MappedSystem --
+
+MappedSystem::FailureTotals MappedSystem::failure_totals() const {
+  FailureTotals t;
+  if (injector_) {
+    t.injected_errors = injector_->injected_errors();
+    t.injected_spikes = injector_->injected_spikes();
+    t.injected_stalls = injector_->injected_stalls();
+  }
+  for (const auto& rp : retries_) {
+    t.errors_seen += rp->errors_seen();
+    t.retries_issued += rp->retries_issued();
+    t.timeouts += rp->timeouts_observed();
+    t.aborts += rp->aborts();
+  }
+  return t;
+}
 
 bool MappedSystem::workload_done() const {
   for (const Process* p : hw_procs_) {
@@ -86,6 +104,22 @@ void MappedSystem::report(std::ostream& out) const {
     out << "  bus utilization                  "
         << const_cast<cam::CamIf*>(cam_.get())->utilization() << "\n";
     const_cast<cam::CamIf*>(cam_.get())->stats().report(out, "bus statistics");
+  }
+  // Failure-semantics section: only printed when the platform actually
+  // carries an injector or retry shims, so fault-free reports stay
+  // byte-identical to the pre-fault builds.
+  if (injector_ || !retries_.empty()) {
+    const FailureTotals t = failure_totals();
+    if (injector_) {
+      out << "  injected faults                  errors=" << t.injected_errors
+          << " spikes=" << t.injected_spikes
+          << " stalls=" << t.injected_stalls << "\n";
+    }
+    if (!retries_.empty()) {
+      out << "  retry policy                     errors=" << t.errors_seen
+          << " retries=" << t.retries_issued << " timeouts=" << t.timeouts
+          << " aborts=" << t.aborts << "\n";
+    }
   }
   if (cpu_) {
     out << "  cpu cycles consumed              " << cpu_->cycles_consumed()
@@ -159,6 +193,10 @@ std::unique_ptr<cam::Arbiter> Mapper::make_arbiter(const Platform& p) {
       std::vector<std::size_t> table{0, 1, 2, 3};
       return std::make_unique<cam::TdmaArbiter>(table, p.tdma_slot_cycles);
     }
+    case ArbKind::PriorityAging:
+      return std::make_unique<cam::AgingPriorityArbiter>(p.aging_cycles);
+    case ArbKind::Bandwidth:
+      return std::make_unique<cam::BandwidthArbiter>(p.qos_shares);
   }
   return std::make_unique<cam::PriorityArbiter>();
 }
@@ -249,6 +287,26 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
 
   ms.cam_ = make_bus(ms.sim_, p);
   ms.cam_->set_txn_logger(&ms.log_);
+  // Failure semantics: attach the seeded injector only when the profile
+  // is active, so fault-free platforms run the identical (fast-path
+  // capable) configuration as before this subsystem existed.
+  if (p.fault.active()) {
+    ms.injector_ = std::make_unique<fault::Injector>(p.fault);
+    ms.cam_->set_fault_injector(ms.injector_.get());
+    ms.mapping_notes_.push_back(
+        "fault injector -> seed " + std::to_string(p.fault.seed) +
+        (p.fault.name.empty() ? std::string() : " (" + p.fault.name + ")"));
+  }
+  const bool with_retry = p.retry.active();
+  auto make_retry = [&](const std::string& name,
+                        std::size_t midx) -> cam::RetryPolicy* {
+    ms.retries_.push_back(std::make_unique<cam::RetryPolicy>(
+        ms.sim_, name, p.retry, p.bus_cycle));
+    cam::RetryPolicy& rp = *ms.retries_.back();
+    rp.bind(ms.cam_->master_port(midx));
+    rp.bind_posted(*ms.cam_, midx);
+    return &rp;
+  };
 
   const bool any_sw = [&] {
     for (ProcessingElement* pe : g.pes()) {
@@ -263,7 +321,14 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
     ms.irq_ = std::make_unique<cpu::IrqController>(ms.sim_, "irq_ctrl");
     ms.rtos_ = std::make_unique<rtos::Rtos>(ms.sim_, "rtos", *ms.cpu_,
                                             p.rtos_cfg);
-    ms.cpu_->bus().bind(ms.cam_->master_port(ms.cam_->add_master("cpu")));
+    const std::size_t cpu_midx = ms.cam_->add_master("cpu");
+    if (with_retry) {
+      // The driver-level MMIO (HW/SW ShipDriver) rides the CPU's bus
+      // port, so one shim in front of it covers the whole SW partition.
+      ms.cpu_->bus().bind(*make_retry("cpu.retry", cpu_midx));
+    } else {
+      ms.cpu_->bus().bind(ms.cam_->master_port(cpu_midx));
+    }
   }
 
   // Execution contexts.
@@ -296,7 +361,10 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
       }
       const std::size_t midx =
           ms.cam_->add_master(mem.name + "." + pe->name());
-      hw_ctx_of.at(pe)->bind_memory(ms.cam_.get(), midx);
+      cam::RetryPolicy* rp =
+          with_retry ? make_retry(mem.name + "." + pe->name() + ".retry", midx)
+                     : nullptr;
+      hw_ctx_of.at(pe)->bind_memory(ms.cam_.get(), midx, rp);
     }
     ms.mapping_notes_.push_back(
         "memory " + mem.name + " -> banked OCP slave (" +
@@ -396,6 +464,7 @@ void Mapper::build_cam(MappedSystem& ms, SystemGraph& g) {
         ms.sim_, spec.name + ".master", *ms.cam_, midx, layout,
         p.poll_interval, p.coalesce_bursts));
     cam::ShipMasterWrapper& mw = *ms.master_wraps_.back();
+    if (with_retry) mw.set_retry(make_retry(spec.name + ".retry", midx));
     endpoint_binder(master_pe, port_of(spec, master_pe), mw);
     endpoint_binder(slave_pe, port_of(spec, slave_pe), sw);
     ms.mapping_notes_.push_back("channel " + spec.name +

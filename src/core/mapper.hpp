@@ -57,6 +57,24 @@ public:
   cam::CamIf* bus() { return cam_.get(); }
   cpu::CpuModel* cpu_model() { return cpu_.get(); }
   rtos::Rtos* os() { return rtos_.get(); }
+  // Failure-semantics plumbing (non-null / non-empty only when the
+  // platform's FaultProfile / RetrySpec are active).
+  fault::Injector* injector() { return injector_.get(); }
+  const std::vector<std::unique_ptr<cam::RetryPolicy>>& retry_policies()
+      const {
+    return retries_;
+  }
+  // Aggregated initiator/injector outcome counters across the system.
+  struct FailureTotals {
+    std::uint64_t injected_errors = 0;
+    std::uint64_t injected_spikes = 0;
+    std::uint64_t injected_stalls = 0;
+    std::uint64_t errors_seen = 0;
+    std::uint64_t retries_issued = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t aborts = 0;
+  };
+  FailureTotals failure_totals() const;
   // Banked memory targets attached for the graph's MemorySpecs (CAM
   // level only; empty at the abstract levels).
   const std::vector<std::unique_ptr<ocp::BankedMemorySlave>>& memories()
@@ -96,6 +114,8 @@ private:
   std::vector<std::unique_ptr<ship::ShipChannel>> channels_;
   std::unique_ptr<Clock> clock_;
   std::unique_ptr<cam::CamIf> cam_;
+  std::unique_ptr<fault::Injector> injector_;
+  std::vector<std::unique_ptr<cam::RetryPolicy>> retries_;
   std::vector<std::unique_ptr<ocp::BankedMemorySlave>> memories_;
   std::vector<std::unique_ptr<cam::ShipSlaveWrapper>> slave_wraps_;
   std::vector<std::unique_ptr<cam::ShipMasterWrapper>> master_wraps_;

@@ -20,6 +20,7 @@
 
 namespace stlm::cam {
 class CamIf;
+class RetryPolicy;
 }
 
 namespace stlm::core {
@@ -47,6 +48,11 @@ public:
   // `master_port(mem_master()).transport(txn)`.
   virtual cam::CamIf* mem_bus() { return nullptr; }
   virtual std::size_t mem_master() const { return 0; }
+  // Initiator-side failure policy for the memory port, when the platform
+  // carries an active RetrySpec. Posted initiators issue through
+  // `mem_retry()->post(txn)` and classify with `settle(txn)` after
+  // done.wait(); nullptr (the default) means issue directly on mem_bus().
+  virtual cam::RetryPolicy* mem_retry() { return nullptr; }
 
   virtual Simulator& sim() = 0;
 };

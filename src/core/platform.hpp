@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "fault/fault.hpp"
 #include "hwsw/driver.hpp"
 #include "kernel/time.hpp"
 #include "rtos/rtos.hpp"
@@ -14,7 +16,13 @@
 namespace stlm::core {
 
 enum class BusKind : std::uint8_t { SharedBus, Plb, Opb, Crossbar };
-enum class ArbKind : std::uint8_t { Priority, RoundRobin, Tdma };
+enum class ArbKind : std::uint8_t {
+  Priority,
+  RoundRobin,
+  Tdma,
+  PriorityAging,  // QoS: static priority + starvation aging
+  Bandwidth,      // QoS: deficit-credit bandwidth reservation
+};
 
 const char* bus_kind_name(BusKind b);
 const char* arb_kind_name(ArbKind a);
@@ -34,6 +42,20 @@ struct Platform {
 
   // TDMA parameters (used when arb == Tdma).
   std::uint64_t tdma_slot_cycles = 16;
+
+  // QoS arbitration parameters. `aging_cycles` (arb == PriorityAging):
+  // a requester starved that many bus cycles preempts the static
+  // priority order. `qos_shares` (arb == Bandwidth): per-master-index
+  // bandwidth shares; masters beyond the table default to share 1.
+  std::uint64_t aging_cycles = 64;
+  std::vector<std::uint32_t> qos_shares;
+
+  // Failure semantics. `fault` seeds a deterministic fault::Injector on
+  // the bus (inactive default = no injector attached, bit-identical to
+  // the fault-free build); `retry` parameterizes the initiator-side
+  // RetryPolicy shims (inactive default = no shims inserted).
+  fault::FaultProfile fault{};
+  fault::RetrySpec retry{};
 
   // SW partition runtime.
   rtos::RtosConfig rtos_cfg{};

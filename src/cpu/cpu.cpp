@@ -19,7 +19,7 @@ std::uint32_t CpuModel::mmio_read32(std::uint64_t addr) {
   PooledTxn t(sim().txn_pool());
   t->begin_read(addr, 4);
   bus_->transport(*t);
-  if (!t->ok()) {
+  if (!t->data_valid()) {
     throw ProtocolError(full_name() + ": bus error reading 0x" +
                         std::to_string(addr));
   }
@@ -45,7 +45,7 @@ void CpuModel::mmio_read_append(std::uint64_t addr, std::uint32_t bytes,
   PooledTxn t(sim().txn_pool());
   t->begin_read(addr, bytes);
   bus_->transport(*t);
-  if (!t->ok()) {
+  if (!t->data_valid()) {
     throw ProtocolError(full_name() + ": bus error reading block at 0x" +
                         std::to_string(addr));
   }
@@ -62,7 +62,7 @@ void CpuModel::mmio_write_span(std::uint64_t addr, const void* p,
   PooledTxn t(sim().txn_pool());
   t->begin_write(addr, p, n);
   bus_->transport(*t);
-  if (!t->ok()) {
+  if (!t->data_valid()) {
     throw ProtocolError(full_name() + ": bus error writing 0x" +
                         std::to_string(addr));
   }

@@ -93,6 +93,35 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   row.mean_queue_ns = dist.mean_queue_ns;
   row.transactions = dist.count;
   row.bytes = dist.bytes;
+  // Failure-semantics columns from the same de-duplicated record set.
+  {
+    std::uint64_t not_ok = 0;
+    std::uint64_t ok_bytes = 0;
+    std::uint64_t slo_missed = 0;
+    const double slo_ns = slo_.to_ns();
+    for (const auto& r : overall) {
+      if (r.status == trace::TxnStatus::Ok) {
+        ok_bytes += r.bytes;
+      } else {
+        ++not_ok;
+      }
+      if (r.retries > 0) ++row.retries;
+      if (slo_ns > 0.0 && r.latency_ns() > slo_ns) ++slo_missed;
+    }
+    if (!overall.empty()) {
+      row.error_rate =
+          static_cast<double>(not_ok) / static_cast<double>(overall.size());
+      row.slo_miss_pct = 100.0 * static_cast<double>(slo_missed) /
+                         static_cast<double>(overall.size());
+    }
+    if (row.sim_time_us > 0.0) {
+      // MB/s of Ok-status payload: bytes / us == MB/s.
+      row.goodput_mbps = static_cast<double>(ok_bytes) / row.sim_time_us;
+    }
+    const auto totals = ms->failure_totals();
+    row.timeouts = totals.timeouts;
+    row.aborted = totals.aborts;
+  }
   for (auto& [id, rows] : per_master) {
     row.worst_master_p99_ns =
         std::max(row.worst_master_p99_ns, trace::latency_dist(rows).p99_ns);
@@ -251,10 +280,14 @@ void Explorer::print_table(std::ostream& os,
      << std::setw(12) << "queue_ns" << std::setw(12) << "wm_p99_ns"
      << std::setw(10) << "bus_util"
      << std::setw(10) << "txns" << std::setw(12) << "bytes"
-     << std::setw(12) << "ctx_sw" << std::setw(10) << "fast_hit" << "\n";
+     << std::setw(12) << "ctx_sw" << std::setw(10) << "fast_hit"
+     << std::setw(10) << "err_rate" << std::setw(10) << "retried"
+     << std::setw(8) << "tmo" << std::setw(8) << "abrt"
+     << std::setw(12) << "goodput_mbs" << std::setw(10) << "slo_miss"
+     << "\n";
   os << std::string(static_cast<std::size_t>(nw) +
                         (with_workload ? static_cast<std::size_t>(ww) : 0) +
-                        160,
+                        218,
                     '-')
      << "\n";
   for (const auto& r : rows) {
@@ -271,7 +304,12 @@ void Explorer::print_table(std::ostream& os,
        << std::setw(10) << std::setprecision(3) << r.bus_utilization
        << std::setw(10) << r.transactions << std::setw(12) << r.bytes
        << std::setw(12) << r.ctx_switches
-       << std::setw(10) << std::setprecision(3) << r.fast_hit_rate << "\n";
+       << std::setw(10) << std::setprecision(3) << r.fast_hit_rate
+       << std::setw(10) << std::setprecision(4) << r.error_rate
+       << std::setw(10) << r.retries
+       << std::setw(8) << r.timeouts << std::setw(8) << r.aborted
+       << std::setw(12) << std::setprecision(1) << r.goodput_mbps
+       << std::setw(10) << std::setprecision(2) << r.slo_miss_pct << "\n";
   }
 }
 
@@ -338,32 +376,49 @@ std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
               // The fast path only engages in atomic mode; a fast split
               // point would duplicate the plain split point.
               if (fast && outstanding > 1) continue;
-              core::Platform p;
-              p.bus = bus;
-              p.bus_cycle = cycle;
-              p.data_width_bytes = width;
-              if (outstanding > 1) {
-                p.split_txns = true;
-                p.max_outstanding = outstanding;
+              for (const fault::FaultProfile& fp : spec.faults) {
+                for (const fault::RetrySpec& rs : spec.retries) {
+                  core::Platform p;
+                  p.bus = bus;
+                  p.bus_cycle = cycle;
+                  p.data_width_bytes = width;
+                  if (outstanding > 1) {
+                    p.split_txns = true;
+                    p.max_outstanding = outstanding;
+                  }
+                  p.fast_targets = fast;
+                  p.fault = fp;
+                  p.retry = rs;
+                  p.name = core::bus_kind_name(bus);
+                  if (arbitrated) {
+                    p.arb = spec.arbs[ai];
+                    p.name += '-';
+                    p.name += core::arb_kind_name(p.arb);
+                  }
+                  p.name += '-';
+                  p.name += std::to_string(cycle / Time::ns(1));
+                  p.name += "ns-";
+                  p.name += std::to_string(width * 8);
+                  p.name += 'b';
+                  if (outstanding > 1) {
+                    p.name += "-split";
+                    p.name += std::to_string(outstanding);
+                  }
+                  if (fast) p.name += "-fast";
+                  // Inactive axis entries (the defaults) leave the name
+                  // untouched so the fault-free grid is bit-identical to
+                  // the pre-failure-axes grid.
+                  if (fp.active()) {
+                    p.name += '-';
+                    p.name += fp.name.empty() ? std::string("fault") : fp.name;
+                  }
+                  if (rs.active()) {
+                    p.name += '-';
+                    p.name += rs.name.empty() ? std::string("retry") : rs.name;
+                  }
+                  cands.push_back(std::move(p));
+                }
               }
-              p.fast_targets = fast;
-              p.name = core::bus_kind_name(bus);
-              if (arbitrated) {
-                p.arb = spec.arbs[ai];
-                p.name += '-';
-                p.name += core::arb_kind_name(p.arb);
-              }
-              p.name += '-';
-              p.name += std::to_string(cycle / Time::ns(1));
-              p.name += "ns-";
-              p.name += std::to_string(width * 8);
-              p.name += 'b';
-              if (outstanding > 1) {
-                p.name += "-split";
-                p.name += std::to_string(outstanding);
-              }
-              if (fast) p.name += "-fast";
-              cands.push_back(std::move(p));
             }
           }
         }

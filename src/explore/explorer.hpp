@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/core.hpp"
+#include "fault/fault.hpp"
 #include "workload/spec.hpp"
 
 namespace stlm::expl {
@@ -60,6 +61,23 @@ struct ExplorationRow {
   // Fast-path completions / total bus transactions for this cell (0 for
   // buses without a fast path, e.g. the crossbar).
   double fast_hit_rate = 0.0;
+  // Failure-semantics columns (all zero on fault-free platforms).
+  // Fraction of logged bus transactions whose final status is not Ok
+  // (error / timeout / aborted).
+  double error_rate = 0.0;
+  // Logged transactions that needed at least one retry to settle.
+  std::uint64_t retries = 0;
+  // Watchdog deadline misses / retry-exhaustion aborts observed by the
+  // platform's RetryPolicy shims (MappedSystem::failure_totals()).
+  std::uint64_t timeouts = 0;
+  std::uint64_t aborted = 0;
+  // Useful delivered bandwidth: bytes of Ok-status transactions per
+  // simulated second, in MB/s. Distinguishes "busy" from "productive"
+  // under injected faults — raw bytes counts errored bursts too.
+  double goodput_mbps = 0.0;
+  // Fraction of logged bus transactions whose latency exceeded the
+  // explorer's SLO threshold (Explorer::set_slo); 0 when no SLO set.
+  double slo_miss_pct = 0.0;
 };
 
 // True when `channel` is a per-master supplementary channel of the bus
@@ -110,6 +128,11 @@ public:
     std::string path;
   };
   void set_trace_target(TraceTarget t) { trace_target_ = std::move(t); }
+
+  // Latency service-level objective: rows report the fraction of bus
+  // transactions slower than this threshold in slo_miss_pct. Zero
+  // (default) disables the column.
+  void set_slo(Time threshold) { slo_ = threshold; }
 
   // Map + simulate one candidate.
   ExplorationRow evaluate(const core::Platform& platform, Time max_time);
@@ -165,6 +188,7 @@ private:
 
   GraphFactory factory_;
   TraceTarget trace_target_;
+  Time slo_ = Time::zero();
 };
 
 // Canonical candidate list covering the CAM library.
@@ -182,6 +206,12 @@ std::vector<core::Platform> default_candidates();
 // named "-fast". The defaults span 108 platforms (68 distinct timing
 // points + 40 fast variants) — the workload the parallel sweep is built
 // to chew through.
+//
+// The failure axes cross every timing point with a fault profile and a
+// retry policy. The defaults hold a single *inactive* entry each, so the
+// default grid is exactly the 108 fault-free platforms above with
+// unchanged names; an active FaultProfile/RetrySpec appends "-<name>" to
+// the platform name and sets Platform::fault / Platform::retry.
 struct GridSpec {
   std::vector<core::BusKind> buses{
       core::BusKind::SharedBus, core::BusKind::Plb, core::BusKind::Opb,
@@ -192,6 +222,8 @@ struct GridSpec {
   std::vector<std::size_t> data_widths{4, 8};
   std::vector<std::size_t> max_outstanding{1, 4};
   std::vector<bool> fast_targets{false, true};
+  std::vector<fault::FaultProfile> faults{{}};
+  std::vector<fault::RetrySpec> retries{{}};
 };
 
 std::vector<core::Platform> grid_candidates(const GridSpec& spec = {});

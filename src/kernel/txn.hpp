@@ -103,8 +103,14 @@ class Txn {
 public:
   /// Transaction kind: addressed read/write, or an opaque message.
   enum class Op : std::uint8_t { Read, Write, Msg };
-  /// Response status; Pending until a target responds.
-  enum class Status : std::uint8_t { Pending, Ok, Error };
+  /// Response status; Pending until a target responds. Targets only ever
+  /// stamp Ok or Error; the two failure-semantics states are derived:
+  ///   * Timeout — the access completed, but after its armed watchdog
+  ///     deadline (promoted from Ok at the CAM completion point, the one
+  ///     place atomic/split engines and both fast paths share);
+  ///   * Aborted — the initiator's RetryPolicy exhausted its retry budget
+  ///     on Error responses and gave up (stamped initiator-side).
+  enum class Status : std::uint8_t { Pending, Ok, Error, Timeout, Aborted };
 
   // 32-bit data path: one beat per 4 payload bytes (OCP basic profile).
   static constexpr std::size_t kWordBytes = 4;
@@ -129,6 +135,10 @@ public:
   Time enqueued = Time::zero();            // set when a layer queues the txn
   std::uint32_t cursor = 0;                // consumer progress (chunked IO)
   std::uint64_t id = 0;                    // unique per begin_*(); for tracing
+  std::uint32_t retries = 0;               // re-issues so far (RetryPolicy)
+  // Set by a RetryPolicy watchdog while the txn is outstanding past its
+  // deadline; the CAM completion point promotes Ok -> Timeout from it.
+  bool deadline_missed = false;
   CompletionEvent done;
 
   // --- phase timestamps (pure bookkeeping; never consulted for timing) ----
@@ -225,7 +235,28 @@ public:
                                                kWordBytes);
   }
   bool ok() const { return status == Status::Ok; }
+  /// True when the response payload is usable: Ok, or Timeout — the
+  /// access completed correctly but after its watchdog deadline.
+  /// Initiators that only care about the data (MMIO helpers, mailbox
+  /// wrappers) test this; SLO accounting tests ok().
+  bool data_valid() const {
+    return status == Status::Ok || status == Status::Timeout;
+  }
   bool is_request() const { return (flags & kFlagRequest) != 0; }
+
+  /// Re-arm a completed descriptor for a retry attempt: the request half
+  /// (op/addr/payload) survives, the response state, completion token and
+  /// phase stamps reset, and the retry counter advances. Unlike begin_*()
+  /// the id is kept — trace rows of every attempt correlate to one
+  /// logical transaction.
+  void rearm_retry() {
+    resp_data.clear();
+    status = Status::Pending;
+    deadline_missed = false;
+    done.reset();
+    reset_phases();
+    ++retries;
+  }
 
   // --- target-side responses (in place, capacity-preserving) -------------
 
@@ -266,6 +297,8 @@ private:
     data.clear();
     resp_data.clear();
     status = Status::Pending;
+    retries = 0;
+    deadline_missed = false;
     done.reset();
     reset_phases();
     id = next_id();
@@ -351,6 +384,8 @@ public:
     t.data.clear();
     t.resp_data.clear();
     t.status = Txn::Status::Pending;
+    t.retries = 0;
+    t.deadline_missed = false;
     t.done.reset();
     t.reset_phases();
     free_.push_back(t);

@@ -148,6 +148,17 @@ void TraceSession::txn_phases(const std::string& track, const Txn& txn,
   record('e', tid, service, txn.t_complete.femtoseconds(), txn.id);
 }
 
+void TraceSession::async_span(const std::string& track,
+                              const std::string& name, std::uint64_t id,
+                              Time begin, Time end) {
+  if (!opts_.txn_spans) return;
+  const std::uint32_t tid = track_of(track);
+  if (!room(2)) return;
+  const std::uint32_t n = intern(name);
+  record('b', tid, n, begin.femtoseconds(), id);
+  record('e', tid, n, end.femtoseconds(), id);
+}
+
 void TraceSession::instant(const std::string& track, const std::string& name,
                            Time now) {
   if (!opts_.instants) return;

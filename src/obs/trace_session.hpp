@@ -75,6 +75,12 @@ public:
   // the descriptor per hop.
   void txn_phases(const std::string& track, const Txn& txn, Time issue);
   void instant(const std::string& track, const std::string& name, Time now);
+  // Retrospective async span (e.g. a retry policy's "watchdog" window,
+  // recorded when the transaction settles): one balanced "b"/"e" pair on
+  // `track`, keyed by `id` like txn_phases — always recorded atomically,
+  // so exported async spans can never be half-dropped at the event cap.
+  void async_span(const std::string& track, const std::string& name,
+                  std::uint64_t id, Time begin, Time end);
 
   // --- inspection / export ----------------------------------------------
   std::size_t event_count() const { return events_.size(); }

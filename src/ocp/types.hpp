@@ -118,7 +118,11 @@ inline Cmd txn_cmd(const Txn& t) {
 inline RespCode txn_resp_code(const Txn& t) {
   switch (t.status) {
     case Txn::Status::Ok: return RespCode::DVA;
+    // Late-but-valid data still carries DVA on the wire; the Timeout
+    // verdict lives in the initiator-side descriptor, not the protocol.
+    case Txn::Status::Timeout: return RespCode::DVA;
     case Txn::Status::Error: return RespCode::Err;
+    case Txn::Status::Aborted: return RespCode::Err;
     case Txn::Status::Pending: return RespCode::Null;
   }
   return RespCode::Null;

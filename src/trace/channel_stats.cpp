@@ -43,6 +43,13 @@ LatencyDist latency_dist(const std::vector<TxnRecord>& records) {
     sum_service += r.service_ns();
     if (l > d.max_ns) d.max_ns = l;
     if (q > d.max_queue_ns) d.max_queue_ns = q;
+    switch (r.status) {
+      case TxnStatus::Error: ++d.errors; break;
+      case TxnStatus::Timeout: ++d.timeouts; break;
+      case TxnStatus::Aborted: ++d.aborted; break;
+      case TxnStatus::Ok: break;
+    }
+    if (r.retries > 0) ++d.retried;
   }
   const auto n = static_cast<double>(d.count);
   d.mean_ns = sum_lat / n;
@@ -82,8 +89,10 @@ void print_channel_table(std::ostream& os,
      << "txns" << std::setw(12) << "bytes" << std::setw(12) << "mean_ns"
      << std::setw(12) << "p50_ns" << std::setw(12) << "p95_ns" << std::setw(12)
      << "p99_ns" << std::setw(12) << "queue_ns" << std::setw(12) << "svc_ns"
+     << std::setw(8) << "err" << std::setw(8) << "tmo" << std::setw(8) << "abrt"
+     << std::setw(8) << "rty"
      << "\n";
-  os << std::string(static_cast<std::size_t>(nw) + 92, '-') << "\n";
+  os << std::string(static_cast<std::size_t>(nw) + 124, '-') << "\n";
   for (const auto& r : rows) {
     const LatencyDist& d = r.dist;
     os << std::left << std::setw(nw) << r.channel << std::right << std::setw(8)
@@ -91,7 +100,9 @@ void print_channel_table(std::ostream& os,
        << std::setprecision(1) << std::setw(12) << d.mean_ns << std::setw(12)
        << d.p50_ns << std::setw(12) << d.p95_ns << std::setw(12) << d.p99_ns
        << std::setw(12) << d.mean_queue_ns << std::setw(12)
-       << d.mean_service_ns << "\n";
+       << d.mean_service_ns << std::setw(8) << d.errors << std::setw(8)
+       << d.timeouts << std::setw(8) << d.aborted << std::setw(8) << d.retried
+       << "\n";
   }
 }
 

@@ -40,6 +40,13 @@ struct LatencyDist {
   double max_queue_ns = 0.0;
   double p95_queue_ns = 0.0;
   double mean_service_ns = 0.0;
+  // Failure-semantics tallies (schema v3 record fields): final-status
+  // counts and how many records settled only after at least one retry.
+  // All zero on channels without failure semantics.
+  std::uint64_t errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t retried = 0;
   // Latency shape over [0, max_ns] (kHistBins fixed-width bins).
   Histogram hist{0.0, 1.0, 1};
 
@@ -59,7 +66,8 @@ struct ChannelStats {
 std::vector<ChannelStats> per_channel_stats(const TxnLogger& log);
 
 // Aligned per-channel table: count, bytes, mean/p50/p95/p99 latency,
-// mean queueing delay, mean service span. Restores stream formatting.
+// mean queueing delay, mean service span, error/timeout/retry tallies.
+// Restores stream formatting.
 void print_channel_table(std::ostream& os,
                          const std::vector<ChannelStats>& rows);
 

@@ -28,6 +28,27 @@ bool txn_kind_from_name(const std::string& name, TxnKind& out) {
   return false;
 }
 
+const char* txn_status_name(TxnStatus s) {
+  switch (s) {
+    case TxnStatus::Ok: return "ok";
+    case TxnStatus::Error: return "error";
+    case TxnStatus::Timeout: return "timeout";
+    case TxnStatus::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+bool txn_status_from_name(const std::string& name, TxnStatus& out) {
+  for (TxnStatus s : {TxnStatus::Ok, TxnStatus::Error, TxnStatus::Timeout,
+                      TxnStatus::Aborted}) {
+    if (name == txn_status_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint32_t TxnLogger::intern(const std::string& channel) {
   if (const auto it = channel_index_.find(channel);
       it != channel_index_.end()) {
@@ -53,10 +74,11 @@ void TxnLogger::record(std::uint32_t channel_id, TxnKind kind,
 
 void TxnLogger::record(std::uint32_t channel_id, TxnKind kind,
                        std::uint64_t txn_id, std::uint64_t bytes, Time start,
-                       Time end, Time grant, Time data) {
+                       Time end, Time grant, Time data, TxnStatus status,
+                       std::uint32_t retries) {
   if (!enabled_) return;
-  records_.push_back(
-      TxnRecord{channel_id, kind, txn_id, bytes, start, end, grant, data});
+  records_.push_back(TxnRecord{channel_id, kind, txn_id, bytes, start, end,
+                               grant, data, status, retries});
 }
 
 void TxnLogger::record(const std::string& channel, TxnKind kind,
@@ -99,8 +121,13 @@ TxnLogger::Summary TxnLogger::summarize() const {
 
 namespace {
 
-// The header line is the format version. v2 carries the phase columns;
-// v1 (pre-phase traces) is still loadable with grant = data = start.
+// The header line is the format version. v3 adds the failure-semantics
+// columns; v2 (phase columns, no status) loads with status = ok and
+// retries = 0; v1 (pre-phase traces) additionally defaults
+// grant = data = start.
+constexpr const char* kCsvHeaderV3 =
+    "channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn,"
+    "status,retries";
 constexpr const char* kCsvHeaderV2 =
     "channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn";
 constexpr const char* kCsvHeaderV1 =
@@ -229,13 +256,14 @@ bool parse_double(const std::string& s, double& out) {
 }  // namespace
 
 void TxnLogger::dump_csv(std::ostream& os) const {
-  os << kCsvHeaderV2 << "\n";
+  os << kCsvHeaderV3 << "\n";
   for (const auto& r : records_) {
     write_csv_field(os, channel_name(r.channel));
     os << "," << txn_kind_name(r.kind) << "," << r.bytes << ","
        << r.start.femtoseconds() << "," << r.grant.femtoseconds() << ","
        << r.data.femtoseconds() << "," << r.end.femtoseconds() << ","
-       << (r.end - r.start).to_ns() << "," << r.txn << "\n";
+       << (r.end - r.start).to_ns() << "," << r.txn << ","
+       << txn_status_name(r.status) << "," << r.retries << "\n";
   }
 }
 
@@ -258,14 +286,15 @@ void TxnLogger::load_csv_impl(std::istream& is) {
   if (!read_csv_record(is, line)) {
     throw SimulationError("TxnLogger::load_csv: empty input (missing header)");
   }
+  const bool v3 = line == kCsvHeaderV3;
   const bool v2 = line == kCsvHeaderV2;
-  if (!v2 && line != kCsvHeaderV1) {
+  if (!v3 && !v2 && line != kCsvHeaderV1) {
     throw SimulationError(
         "TxnLogger::load_csv: unrecognized header '" + line +
-        "' (expected '" + kCsvHeaderV2 + "' or the v1 header '" +
-        kCsvHeaderV1 + "')");
+        "' (expected '" + kCsvHeaderV3 + "', the v2 header '" +
+        kCsvHeaderV2 + "', or the v1 header '" + kCsvHeaderV1 + "')");
   }
-  const std::size_t n_fields = v2 ? 9 : 7;
+  const std::size_t n_fields = v3 ? 11 : (v2 ? 9 : 7);
 
   std::vector<std::string> fields;
   std::string err;
@@ -284,6 +313,7 @@ void TxnLogger::load_csv_impl(std::istream& is) {
       csv_error(line_no, "unknown kind '" + fields[1] + "'");
     }
     // Field layout after (channel, kind, bytes):
+    //   v3: start_fs grant_fs data_fs end_fs latency_ns txn status retries
     //   v2: start_fs grant_fs data_fs end_fs latency_ns txn
     //   v1: start_fs end_fs latency_ns txn   (phases default to start)
     std::uint64_t bytes = 0, start_fs = 0, grant_fs = 0, data_fs = 0,
@@ -295,7 +325,7 @@ void TxnLogger::load_csv_impl(std::istream& is) {
       csv_error(line_no, "bad start_fs '" + fields[3] + "'");
     }
     std::size_t f = 4;
-    if (v2) {
+    if (v3 || v2) {
       if (!parse_u64(fields[4], grant_fs)) {
         csv_error(line_no, "bad grant_fs '" + fields[4] + "'");
       }
@@ -317,6 +347,16 @@ void TxnLogger::load_csv_impl(std::istream& is) {
     if (!parse_u64(fields[f + 2], txn)) {
       csv_error(line_no, "bad txn '" + fields[f + 2] + "'");
     }
+    TxnStatus status = TxnStatus::Ok;
+    std::uint64_t retries = 0;
+    if (v3) {
+      if (!txn_status_from_name(fields[f + 3], status)) {
+        csv_error(line_no, "unknown status '" + fields[f + 3] + "'");
+      }
+      if (!parse_u64(fields[f + 4], retries)) {
+        csv_error(line_no, "bad retries '" + fields[f + 4] + "'");
+      }
+    }
     if (end_fs < start_fs) {
       csv_error(line_no, "end_fs precedes start_fs");
     }
@@ -330,6 +370,8 @@ void TxnLogger::load_csv_impl(std::istream& is) {
     r.data = Time::fs(data_fs);
     r.end = Time::fs(end_fs);
     r.txn = txn;
+    r.status = status;
+    r.retries = static_cast<std::uint32_t>(retries);
     records_.push_back(r);
   }
 }

@@ -33,6 +33,19 @@ const char* txn_kind_name(TxnKind k);
 // Inverse of txn_kind_name. Returns false if `name` is no known kind.
 bool txn_kind_from_name(const std::string& name, TxnKind& out);
 
+// Final transaction outcome (schema v3). Mirrors the completed half of
+// stlm::Txn::Status — a logged row is by definition no longer Pending.
+enum class TxnStatus : std::uint8_t {
+  Ok,
+  Error,    // target (or injector) answered with an error response
+  Timeout,  // completed, but after its armed watchdog deadline
+  Aborted,  // initiator's retry policy exhausted its budget and gave up
+};
+
+const char* txn_status_name(TxnStatus s);
+// Inverse of txn_status_name. Returns false if `name` is no known status.
+bool txn_status_from_name(const std::string& name, TxnStatus& out);
+
 struct TxnRecord {
   std::uint32_t channel;  // interned channel id (see TxnLogger::intern)
   TxnKind kind;
@@ -48,6 +61,11 @@ struct TxnRecord {
   // `end` across records no longer follows the order of `grant`.
   Time grant;
   Time data;
+  // Failure semantics (schema v3): the row's final outcome and how many
+  // re-issues preceded this attempt (0 = first issue). Layers without
+  // failure semantics record Ok/0 by construction.
+  TxnStatus status = TxnStatus::Ok;
+  std::uint32_t retries = 0;
 
   double latency_ns() const { return (end - start).to_ns(); }
   // Queueing delay: issue -> grant (arbitration / outstanding-cap wait).
@@ -79,7 +97,8 @@ public:
               std::uint64_t bytes, Time start, Time end);
   void record(std::uint32_t channel_id, TxnKind kind, std::uint64_t txn_id,
               std::uint64_t bytes, Time start, Time end, Time grant,
-              Time data);
+              Time data, TxnStatus status = TxnStatus::Ok,
+              std::uint32_t retries = 0);
   // Convenience overload for edge/test code; interns per call.
   void record(const std::string& channel, TxnKind kind, std::uint64_t bytes,
               Time start, Time end);
@@ -112,20 +131,24 @@ public:
   };
   Summary summarize() const;
 
-  // CSV schema v2 (one header line, then one line per record):
+  // CSV schema v3 (one header line, then one line per record):
   //
-  //   channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn
+  //   channel,kind,bytes,start_fs,grant_fs,data_fs,end_fs,latency_ns,txn,
+  //   status,retries
   //
   // Timestamps are integer femtoseconds, so dump_csv -> load_csv
   // round-trips records bit-identically including the phase columns;
   // latency_ns is a derived human-readable column that load_csv validates
-  // syntactically but does not store. Channel names containing commas,
-  // quotes, or newlines are RFC4180-quoted.
+  // syntactically but does not store. `status` is a txn_status_name
+  // (ok/error/timeout/aborted), `retries` the attempt's re-issue count.
+  // Channel names containing commas, quotes, or newlines are
+  // RFC4180-quoted.
   //
   // The header line doubles as the format version: load_csv also accepts
-  // the v1 header (channel,kind,bytes,start_fs,end_fs,latency_ns,txn) and
-  // defaults the missing phase columns to grant = data = start, so traces
-  // captured before the phase-accurate schema stay loadable.
+  // the v2 header (without status/retries, defaulted to ok/0) and the v1
+  // header (channel,kind,bytes,start_fs,end_fs,latency_ns,txn; phase
+  // columns defaulted to grant = data = start), so traces captured before
+  // either schema extension stay loadable.
   void dump_csv(std::ostream& os) const;
 
   // Replace this logger's records (and channel table) with the contents
@@ -159,8 +182,11 @@ public:
     log_->record(channel_, kind, txn_id, bytes, start, end);
   }
   void record(TxnKind kind, std::uint64_t txn_id, std::uint64_t bytes,
-              Time start, Time end, Time grant, Time data) const {
-    log_->record(channel_, kind, txn_id, bytes, start, end, grant, data);
+              Time start, Time end, Time grant, Time data,
+              TxnStatus status = TxnStatus::Ok,
+              std::uint32_t retries = 0) const {
+    log_->record(channel_, kind, txn_id, bytes, start, end, grant, data,
+                 status, retries);
   }
 
 private:

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cam/cam_if.hpp"
+#include "cam/retry.hpp"
 #include "core/pe.hpp"
 #include "workload/generators.hpp"
 #include "workload/rng.hpp"
@@ -48,6 +49,7 @@ public:
   void run(core::ExecContext& ctx) override {
     SplitMix64 rng(cfg_.seed);
     cam::CamIf* bus = ctx.mem_bus();
+    cam::RetryPolicy* retry = ctx.mem_retry();
     const std::size_t window = std::max<std::size_t>(cfg_.window, 1);
     std::vector<Txn> txns(window);
     std::vector<std::uint8_t> scratch;
@@ -69,21 +71,32 @@ public:
       Txn& t = txns[i % window];
       // Slot reuse: wait out the descriptor's previous flight. Later
       // slots may complete before earlier ones (OoO) — the window only
-      // bounds the depth, it does not order completions.
-      if (i >= window) t.done.wait(ctx.sim());
+      // bounds the depth, it does not order completions. With a retry
+      // policy attached the drained slot is settled first: error
+      // responses re-issue inline (blocking) before the slot is reused.
+      if (i >= window) {
+        t.done.wait(ctx.sim());
+        if (retry) retry->settle(t);
+      }
       if (is_write) {
         scratch.assign(bytes, static_cast<std::uint8_t>(i * 31 + 7));
         t.begin_write(addr, scratch.data(), scratch.size());
       } else {
         t.begin_read(addr, static_cast<std::uint32_t>(bytes));
       }
-      bus->post(ctx.mem_master(), t);
+      if (retry) {
+        retry->post(t);
+      } else {
+        bus->post(ctx.mem_master(), t);
+      }
     }
     if (bus) {
       const std::uint64_t posted =
           std::min<std::uint64_t>(cfg_.accesses, window);
       for (std::uint64_t k = 0; k < posted; ++k) {
-        txns[static_cast<std::size_t>(k)].done.wait(ctx.sim());
+        Txn& t = txns[static_cast<std::size_t>(k)];
+        t.done.wait(ctx.sim());
+        if (retry) retry->settle(t);
       }
     }
   }

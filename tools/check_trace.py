@@ -12,6 +12,11 @@ Stdlib only (runs in bare CI images). Checks:
     "B" and nothing is left open at the end
   * async events balance: per (cat, id, name) the b/e counts match and
     the running count never goes negative
+  * failure-semantics instants ("fault", "retry", "timeout", "abort"
+    from the fault injector / RetryPolicy) are "i" events, and every
+    "timeout" instant falls inside some completed "watchdog" async span
+    (inclusive: the watchdog fires at the deadline, the span closes at
+    settle time >= the deadline)
   * at least --min-events non-metadata events (an empty trace usually
     means the hooks were compiled out or nothing was attached)
 
@@ -30,6 +35,10 @@ import sys
 
 KNOWN_PHASES = {"B", "E", "b", "e", "i", "M"}
 
+# Instant names emitted by the failure-semantics layer (fault::Injector
+# on the bus track, cam::RetryPolicy on its own track).
+FAULT_INSTANTS = {"fault", "retry", "timeout", "abort"}
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}")
@@ -45,6 +54,9 @@ def check_trace_obj(doc, min_events):
     last_ts = None
     open_spans = {}  # (pid, tid) -> open "B" count
     async_open = {}  # (cat, id, name) -> running b/e count
+    watchdog_begins = {}  # (cat, id) -> stack of open "watchdog" begin ts
+    watchdog_spans = []  # completed (begin_ts, end_ts) watchdog intervals
+    timeout_marks = []  # (event index, ts) of "timeout" instants
     non_meta = 0
     for i, ev in enumerate(events):
         where = f"event #{i}"
@@ -83,17 +95,33 @@ def check_trace_obj(doc, min_events):
             key = (ev.get("cat"), ev["id"], ev.get("name"))
             if ph == "b":
                 async_open[key] = async_open.get(key, 0) + 1
+                if ev.get("name") == "watchdog":
+                    watchdog_begins.setdefault(key[:2], []).append(ts)
             else:
                 if async_open.get(key, 0) <= 0:
                     errors.append(f"{where}: 'e' with no open 'b' for {key}")
                 else:
                     async_open[key] -= 1
+                    if ev.get("name") == "watchdog":
+                        begins = watchdog_begins.get(key[:2])
+                        if begins:
+                            watchdog_spans.append((begins.pop(), ts))
+        elif ph == "i" and ev.get("name") == "timeout":
+            timeout_marks.append((i, ts))
     for track, n in sorted(open_spans.items(), key=str):
         if n:
             errors.append(f"track {track}: {n} unclosed 'B' span(s)")
     for key, n in sorted(async_open.items(), key=str):
         if n:
             errors.append(f"async {key}: {n} unclosed 'b' event(s)")
+    # Every deadline miss must be attributable to an armed watchdog: the
+    # "timeout" instant fires at the deadline, and its policy's
+    # retrospective "watchdog" span [armed, settled] contains it.
+    for i, ts in timeout_marks:
+        if not any(b <= ts <= e for b, e in watchdog_spans):
+            errors.append(
+                f"event #{i}: 'timeout' instant at ts {ts} not inside any "
+                "completed 'watchdog' span")
     if non_meta < min_events:
         errors.append(f"only {non_meta} non-metadata events (need >= {min_events})")
     return errors
@@ -179,6 +207,41 @@ def selftest():
         ("unbalanced async", {"traceEvents": [
             {"name": "q", "ph": "b", "cat": "txn", "id": 1, "pid": 1,
              "tid": 1, "ts": 0.0}]}, 1, 1),
+        ("timeout inside watchdog span", {"traceEvents": [
+            {"name": "watchdog", "ph": "b", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 0.0},
+            {"name": "timeout", "ph": "i", "pid": 1, "tid": 1, "ts": 1.0,
+             "s": "t"},
+            {"name": "watchdog", "ph": "e", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 2.0},
+        ]}, 1, 0),
+        ("timeout at watchdog span boundary", {"traceEvents": [
+            {"name": "watchdog", "ph": "b", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 0.0},
+            {"name": "timeout", "ph": "i", "pid": 1, "tid": 1, "ts": 2.0,
+             "s": "t"},
+            {"name": "watchdog", "ph": "e", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 2.0},
+        ]}, 1, 0),
+        ("timeout without watchdog span", {"traceEvents": [
+            {"name": "timeout", "ph": "i", "pid": 1, "tid": 1, "ts": 1.0,
+             "s": "t"}]}, 1, 1),
+        ("timeout outside watchdog span", {"traceEvents": [
+            {"name": "watchdog", "ph": "b", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 0.0},
+            {"name": "watchdog", "ph": "e", "cat": "txn", "id": 3, "pid": 1,
+             "tid": 1, "ts": 1.0},
+            {"name": "timeout", "ph": "i", "pid": 1, "tid": 1, "ts": 2.0,
+             "s": "t"},
+        ]}, 1, 1),
+        ("fault and retry instants are plain instants", {"traceEvents": [
+            {"name": "fault", "ph": "i", "pid": 1, "tid": 1, "ts": 0.0,
+             "s": "t"},
+            {"name": "retry", "ph": "i", "pid": 1, "tid": 1, "ts": 1.0,
+             "s": "t"},
+            {"name": "abort", "ph": "i", "pid": 1, "tid": 1, "ts": 2.0,
+             "s": "t"},
+        ]}, 1, 0),
     ]
     failures = 0
     for label, doc, min_events, want_errors in cases:
