@@ -209,6 +209,36 @@ void BM_ExploreWorkloadGrid(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 
+// Adaptive Pareto search (src/explore/search.hpp) over the default
+// 108-platform x 5-workload grid — the 540 cells BM_ExploreWorkloadGrid
+// would sweep exhaustively at the full horizon. Rung 0 settles every
+// completing cell exactly at a short horizon, successive halving keeps
+// the Pareto front plus a pad, and only survivors pay the full horizon;
+// the emitted counters record how much full-horizon work the search
+// avoided (full_horizon_evals vs cells) next to its wall cost.
+void BM_SearchFrontier(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  expl::Explorer explorer;
+  const auto seeds = expl::grid_candidates();
+  const auto workloads = expl::workload_candidates();
+  expl::SearchConfig cfg;
+  cfg.n_threads = threads;
+  expl::SearchReport report;
+  for (auto _ : state) {
+    expl::SearchDriver driver(cfg);
+    report = driver.run(explorer, seeds, workloads);
+    if (report.frontier.empty()) state.SkipWithError("empty frontier");
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(report.candidates_seen));
+  state.counters["cells"] = static_cast<double>(report.candidates_seen);
+  state.counters["frontier"] = static_cast<double>(report.frontier.size());
+  state.counters["full_horizon_evals"] =
+      static_cast<double>(report.full_horizon_evals);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 // Exploring at CCATB instead (no CAM structure, SHIP annotation only):
 // even faster, less detailed — the level above in Figure 1.
 void BM_ExploreAtCcatbLevel(benchmark::State& state) {
@@ -284,6 +314,11 @@ BENCHMARK(BM_ExploreSplitGrid)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_ExploreWorkloadGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_SearchFrontier)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

@@ -16,27 +16,6 @@ const char* level_name(AbstractionLevel l) {
   return "?";
 }
 
-const char* bus_kind_name(BusKind b) {
-  switch (b) {
-    case BusKind::SharedBus: return "shared-bus";
-    case BusKind::Plb: return "plb";
-    case BusKind::Opb: return "opb";
-    case BusKind::Crossbar: return "crossbar";
-  }
-  return "?";
-}
-
-const char* arb_kind_name(ArbKind a) {
-  switch (a) {
-    case ArbKind::Priority: return "priority";
-    case ArbKind::RoundRobin: return "round-robin";
-    case ArbKind::Tdma: return "tdma";
-    case ArbKind::PriorityAging: return "aging";
-    case ArbKind::Bandwidth: return "bandwidth";
-  }
-  return "?";
-}
-
 // -------------------------------------------------------- MappedSystem --
 
 MappedSystem::FailureTotals MappedSystem::failure_totals() const {
@@ -76,6 +55,25 @@ bool MappedSystem::run_until_done(Time max_time, Time slice) {
     }
   }
   return workload_done();
+}
+
+bool MappedSystem::run_until_done(Time max_time, const RunBudget& budget,
+                                  Time slice) {
+  aborted_early_ = false;
+  if (!budget.should_abort) return run_until_done(max_time, slice);
+  // Route the budget through the kernel's run guard so an abort always
+  // lands at a settled delta boundary — the slice loop stays byte-for-
+  // byte the unbudgeted one up to the abort point.
+  bool fired = false;
+  sim_.set_run_guard([&](Time now) {
+    if (fired) return true;
+    fired = budget.should_abort(now);
+    return fired;
+  });
+  const bool done = run_until_done(max_time, slice);
+  sim_.clear_run_guard();
+  aborted_early_ = fired && !done;
+  return done;
 }
 
 void MappedSystem::report(std::ostream& out) const {

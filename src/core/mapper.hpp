@@ -21,6 +21,7 @@
 // PE code is untouched across all three levels — only the binding of its
 // ExecContext changes.
 
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -51,7 +52,21 @@ public:
   // tasks terminated) or `max_time` of simulated time passed. Returns
   // true if the workload completed.
   bool run_until_done(Time max_time, Time slice = Time::us(50));
+  // Cooperative abort for adaptive exploration: `should_abort` is polled
+  // by the kernel between settled deltas (see Simulator::set_run_guard),
+  // so it must be a pure function of simulated state — no wall clock, no
+  // global RNG — to preserve the determinism contract. When it fires the
+  // run stops at a clean delta boundary and aborted_early() reports true
+  // (unless the workload happened to finish at that same instant).
+  struct RunBudget {
+    std::function<bool(Time)> should_abort;
+  };
+  bool run_until_done(Time max_time, const RunBudget& budget,
+                      Time slice = Time::us(50));
   bool workload_done() const;
+  // True when the last budgeted run_until_done was stopped by its budget
+  // before the workload completed.
+  bool aborted_early() const { return aborted_early_; }
 
   trace::TxnLogger& txn_log() { return log_; }
   cam::CamIf* bus() { return cam_.get(); }
@@ -109,6 +124,7 @@ private:
   Simulator& sim_;
   Platform plat_;
   AbstractionLevel level_;
+  bool aborted_early_ = false;
   trace::TxnLogger log_;
 
   std::vector<std::unique_ptr<ship::ShipChannel>> channels_;

@@ -95,6 +95,53 @@ struct Platform {
     if (data_width_bytes) return data_width_bytes;
     return bus == BusKind::Plb || bus == BusKind::Crossbar ? 8 : 4;
   }
+
+  bool split_active() const { return split_txns && max_outstanding > 1; }
+
+  // Relative implementation-cost proxy for Pareto exploration: the
+  // platform's raw data-path capability — width (bits) x clock (MHz) —
+  // scaled by structural multipliers. A crossbar replicates the datapath
+  // per route; split mode adds per-slot outstanding-transaction tracking.
+  // Dimensionless (comparisons only); deterministic per Platform, so it
+  // is a legitimate search objective without running a simulation.
+  double cost_proxy() const;
 };
+
+// Knob axes of the exploration space: the ordered value lists a search
+// may step through, one knob at a time. Mirrors the timing axes of
+// expl::GridSpec (see GridSpec::knobs()); failure axes are deliberately
+// absent — mutation explores timing knobs and inherits the parent's
+// fault/retry configuration unchanged.
+struct KnobSpace {
+  std::vector<BusKind> buses;
+  std::vector<ArbKind> arbs;
+  std::vector<Time> bus_cycles;
+  std::vector<std::size_t> data_widths;
+  std::vector<std::size_t> max_outstanding;
+  std::vector<bool> fast_targets;
+};
+
+// Structural validity of one grid point: OPB has no address pipelining
+// (no split points) and the kernel fast path only engages in atomic
+// mode (no fast split points). Shared by grid_candidates() and
+// grid_neighbors() so the two can never disagree on the legal space.
+bool knob_point_valid(BusKind bus, std::size_t outstanding, bool fast);
+
+// Canonical exploration-grid name for a platform's knob settings:
+// "<bus>[-<arb>]-<cycle>ns-<width>b[-split<k>][-fast][-<fault>][-<retry>]".
+// grid_candidates() and grid_neighbors() both name through here, so a
+// mutated neighbor that lands on an existing grid point gets the grid
+// point's exact name (deduplication by name is sound).
+std::string grid_point_name(const Platform& p);
+
+// One-knob-at-a-time neighbors of `p` inside `space`: for every axis
+// whose value list contains p's current setting, the adjacent values
+// (index +/- 1) each yield one candidate, with the remaining knobs held
+// fixed. Invalid combinations (knob_point_valid) are skipped, arbiter
+// steps apply only to arbitrated buses, and each neighbor is renamed via
+// grid_point_name. Deterministic: output order follows axis order, then
+// -1 before +1. Axes where p's value is absent contribute nothing.
+std::vector<Platform> grid_neighbors(const Platform& p,
+                                     const KnobSpace& space);
 
 }  // namespace stlm::core

@@ -2,4 +2,6 @@
 // Umbrella header for the exploration engine.
 
 #include "explore/explorer.hpp"
+#include "explore/pool.hpp"
+#include "explore/search.hpp"
 #include "explore/workload.hpp"

@@ -1,14 +1,12 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <thread>
+#include <sstream>
 
 #include "obs/obs.hpp"
 #include "trace/channel_stats.hpp"
@@ -19,11 +17,13 @@ namespace stlm::expl {
 ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
                                        const std::string& workload_name,
                                        const core::Platform& platform,
-                                       Time max_time) {
+                                       Time max_time,
+                                       const EvalBudget& budget) {
   STLM_ASSERT(factory != nullptr, "Explorer: no workload factory bound");
   ExplorationRow row;
   row.platform = platform.name;
   row.workload = workload_name;
+  row.cost = platform.cost_proxy();
 
   std::vector<std::unique_ptr<core::ProcessingElement>> owned;
   core::SystemGraph graph;
@@ -43,7 +43,17 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   // stlm-lint: allow(determinism-wall-clock): measures host wall time for
   // the row's wall_ms speed metric; never feeds back into simulated state
   const auto wall_start = std::chrono::steady_clock::now();
-  row.completed = ms->run_until_done(max_time);
+  if (budget.should_abort) {
+    core::MappedSystem::RunBudget rb;
+    core::MappedSystem* const sys = ms.get();
+    rb.should_abort = [&budget, sys](Time now) {
+      return budget.should_abort(now, sys->txn_log().size());
+    };
+    row.completed = ms->run_until_done(max_time, rb);
+    row.pruned = ms->aborted_early();
+  } else {
+    row.completed = ms->run_until_done(max_time);
+  }
   // stlm-lint: allow(determinism-wall-clock): second endpoint of the
   // wall_ms measurement above; reporting-only
   const auto wall_end = std::chrono::steady_clock::now();
@@ -96,14 +106,17 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
   // Failure-semantics columns from the same de-duplicated record set.
   {
     std::uint64_t not_ok = 0;
-    std::uint64_t ok_bytes = 0;
+    std::uint64_t valid_bytes = 0;
     std::uint64_t slo_missed = 0;
     const double slo_ns = slo_.to_ns();
     for (const auto& r : overall) {
-      if (r.status == trace::TxnStatus::Ok) {
-        ok_bytes += r.bytes;
-      } else {
-        ++not_ok;
+      if (r.status != trace::TxnStatus::Ok) ++not_ok;
+      // Goodput follows Transaction::data_valid(): Ok plus late-but-
+      // correct Timeout — the watchdog fired but the payload arrived, so
+      // the bytes were delivered (they still count toward error_rate).
+      if (r.status == trace::TxnStatus::Ok ||
+          r.status == trace::TxnStatus::Timeout) {
+        valid_bytes += r.bytes;
       }
       if (r.retries > 0) ++row.retries;
       if (slo_ns > 0.0 && r.latency_ns() > slo_ns) ++slo_missed;
@@ -115,8 +128,8 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
                          static_cast<double>(overall.size());
     }
     if (row.sim_time_us > 0.0) {
-      // MB/s of Ok-status payload: bytes / us == MB/s.
-      row.goodput_mbps = static_cast<double>(ok_bytes) / row.sim_time_us;
+      // MB/s of delivered payload: bytes / us == MB/s.
+      row.goodput_mbps = static_cast<double>(valid_bytes) / row.sim_time_us;
     }
     const auto totals = ms->failure_totals();
     row.timeouts = totals.timeouts;
@@ -151,13 +164,26 @@ ExplorationRow Explorer::evaluate_with(const GraphFactory& factory,
 
 ExplorationRow Explorer::evaluate(const core::Platform& platform,
                                   Time max_time) {
-  return evaluate_with(factory_, "", platform, max_time);
+  return evaluate_with(factory_, "", platform, max_time, {});
 }
 
 ExplorationRow Explorer::evaluate(const core::Platform& platform,
                                   const WorkloadCase& workload,
                                   Time max_time) {
-  return evaluate_with(workload.factory, workload.name, platform, max_time);
+  return evaluate_with(workload.factory, workload.name, platform, max_time,
+                       {});
+}
+
+ExplorationRow Explorer::evaluate(const core::Platform& platform,
+                                  Time max_time, const EvalBudget& budget) {
+  return evaluate_with(factory_, "", platform, max_time, budget);
+}
+
+ExplorationRow Explorer::evaluate(const core::Platform& platform,
+                                  const WorkloadCase& workload, Time max_time,
+                                  const EvalBudget& budget) {
+  return evaluate_with(workload.factory, workload.name, platform, max_time,
+                       budget);
 }
 
 std::vector<ExplorationRow> Explorer::sweep(
@@ -181,52 +207,20 @@ std::vector<ExplorationRow> Explorer::sweep(
 
 void Explorer::run_sharded(std::size_t n, unsigned n_threads,
                            const std::function<void(std::size_t)>& eval) {
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        eval(i);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        // Park the cursor past the end so every worker drains promptly
-        // instead of evaluating candidates whose results will be thrown
-        // away.
-        next.store(n, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  const auto workers =
-      static_cast<unsigned>(std::min<std::size_t>(n_threads, n));
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  std::exception_ptr spawn_error;
-  for (unsigned t = 0; t < workers; ++t) {
-    try {
-      pool.emplace_back(worker);
-    } catch (...) {
-      // Thread creation can fail (EAGAIN under a thread limit). Stop
-      // spawning, let the already-started workers drain the remaining
-      // candidates, and report the failure as an exception rather than
-      // letting ~thread() terminate the process. With zero workers
-      // started there is nobody to finish the sweep — propagate.
-      spawn_error = std::current_exception();
-      break;
-    }
+  // The WorkPool's caller thread always participates, so the sweep
+  // completes even when every helper spawn fails; spawn failures are
+  // surfaced through last_spawn_failures() instead of being swallowed
+  // (the old atomic-cursor loop only reported them when *zero* workers
+  // started — a partial pool silently ran at reduced parallelism).
+  WorkPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(n_threads, n)),
+      thread_factory_);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&eval, i] { eval(i); });
   }
-  for (auto& th : pool) th.join();
-
-  if (pool.empty() && spawn_error) std::rethrow_exception(spawn_error);
-  if (first_error) std::rethrow_exception(first_error);
+  pool.run();
+  last_spawn_failures_ = pool.spawn_failures();
+  if (pool.first_error()) std::rethrow_exception(pool.first_error());
 }
 
 std::vector<ExplorationRow> Explorer::sweep_parallel(
@@ -271,25 +265,26 @@ void Explorer::print_table(std::ostream& os,
   const bool with_workload = wl_w > 0;
   const int nw = static_cast<int>(name_w + 2);
   const int ww = static_cast<int>(std::max<std::size_t>(wl_w, 8) + 2);
-  os << std::left << std::setw(nw) << "platform";
-  if (with_workload) os << std::setw(ww) << "workload";
-  os << std::right << std::setw(6)
-     << "done" << std::setw(14) << "sim_time_us" << std::setw(12) << "wall_ms"
-     << std::setw(14) << "mean_lat_ns" << std::setw(12) << "p50_ns"
-     << std::setw(12) << "p95_ns" << std::setw(12) << "p99_ns"
-     << std::setw(12) << "queue_ns" << std::setw(12) << "wm_p99_ns"
-     << std::setw(10) << "bus_util"
-     << std::setw(10) << "txns" << std::setw(12) << "bytes"
-     << std::setw(12) << "ctx_sw" << std::setw(10) << "fast_hit"
-     << std::setw(10) << "err_rate" << std::setw(10) << "retried"
-     << std::setw(8) << "tmo" << std::setw(8) << "abrt"
-     << std::setw(12) << "goodput_mbs" << std::setw(10) << "slo_miss"
-     << "\n";
-  os << std::string(static_cast<std::size_t>(nw) +
-                        (with_workload ? static_cast<std::size_t>(ww) : 0) +
-                        218,
-                    '-')
-     << "\n";
+  // Render the header into a buffer first so the separator is sized from
+  // what was actually printed — a hard-coded width drifts every time a
+  // column is appended.
+  std::ostringstream header;
+  header << std::left << std::setw(nw) << "platform";
+  if (with_workload) header << std::setw(ww) << "workload";
+  header << std::right << std::setw(6)
+         << "done" << std::setw(14) << "sim_time_us" << std::setw(12)
+         << "wall_ms"
+         << std::setw(14) << "mean_lat_ns" << std::setw(12) << "p50_ns"
+         << std::setw(12) << "p95_ns" << std::setw(12) << "p99_ns"
+         << std::setw(12) << "queue_ns" << std::setw(12) << "wm_p99_ns"
+         << std::setw(10) << "bus_util"
+         << std::setw(10) << "txns" << std::setw(12) << "bytes"
+         << std::setw(12) << "ctx_sw" << std::setw(10) << "fast_hit"
+         << std::setw(10) << "err_rate" << std::setw(10) << "retried"
+         << std::setw(8) << "tmo" << std::setw(8) << "abrt"
+         << std::setw(12) << "goodput_mbs" << std::setw(10) << "slo_miss";
+  os << header.str() << "\n";
+  os << std::string(header.str().size(), '-') << "\n";
   for (const auto& r : rows) {
     os << std::left << std::setw(nw) << r.platform;
     if (with_workload) os << std::setw(ww) << r.workload;
@@ -364,18 +359,16 @@ std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
   std::vector<core::Platform> cands;
   for (core::BusKind bus : spec.buses) {
     const bool arbitrated = bus != core::BusKind::Crossbar;
-    // OPB has no address pipelining: only the atomic point exists.
-    const bool split_capable = bus != core::BusKind::Opb;
     const std::size_t arb_count = arbitrated ? spec.arbs.size() : 1;
     for (std::size_t ai = 0; ai < arb_count; ++ai) {
       for (Time cycle : spec.bus_cycles) {
         for (std::size_t width : spec.data_widths) {
           for (std::size_t outstanding : spec.max_outstanding) {
-            if (outstanding > 1 && !split_capable) continue;
             for (bool fast : spec.fast_targets) {
-              // The fast path only engages in atomic mode; a fast split
-              // point would duplicate the plain split point.
-              if (fast && outstanding > 1) continue;
+              // Validity (OPB never splits, fast is atomic-only) is
+              // shared with grid_neighbors so mutation can never step
+              // outside the sweepable space.
+              if (!core::knob_point_valid(bus, outstanding, fast)) continue;
               for (const fault::FaultProfile& fp : spec.faults) {
                 for (const fault::RetrySpec& rs : spec.retries) {
                   core::Platform p;
@@ -389,33 +382,8 @@ std::vector<core::Platform> grid_candidates(const GridSpec& spec) {
                   p.fast_targets = fast;
                   p.fault = fp;
                   p.retry = rs;
-                  p.name = core::bus_kind_name(bus);
-                  if (arbitrated) {
-                    p.arb = spec.arbs[ai];
-                    p.name += '-';
-                    p.name += core::arb_kind_name(p.arb);
-                  }
-                  p.name += '-';
-                  p.name += std::to_string(cycle / Time::ns(1));
-                  p.name += "ns-";
-                  p.name += std::to_string(width * 8);
-                  p.name += 'b';
-                  if (outstanding > 1) {
-                    p.name += "-split";
-                    p.name += std::to_string(outstanding);
-                  }
-                  if (fast) p.name += "-fast";
-                  // Inactive axis entries (the defaults) leave the name
-                  // untouched so the fault-free grid is bit-identical to
-                  // the pre-failure-axes grid.
-                  if (fp.active()) {
-                    p.name += '-';
-                    p.name += fp.name.empty() ? std::string("fault") : fp.name;
-                  }
-                  if (rs.active()) {
-                    p.name += '-';
-                    p.name += rs.name.empty() ? std::string("retry") : rs.name;
-                  }
+                  if (arbitrated) p.arb = spec.arbs[ai];
+                  p.name = core::grid_point_name(p);
                   cands.push_back(std::move(p));
                 }
               }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/core.hpp"
+#include "explore/pool.hpp"
 #include "fault/fault.hpp"
 #include "workload/spec.hpp"
 
@@ -71,13 +72,30 @@ struct ExplorationRow {
   // platform's RetryPolicy shims (MappedSystem::failure_totals()).
   std::uint64_t timeouts = 0;
   std::uint64_t aborted = 0;
-  // Useful delivered bandwidth: bytes of Ok-status transactions per
-  // simulated second, in MB/s. Distinguishes "busy" from "productive"
-  // under injected faults — raw bytes counts errored bursts too.
+  // Useful delivered bandwidth: bytes of delivered-data transactions per
+  // simulated second, in MB/s. "Delivered" follows Transaction::
+  // data_valid() — Ok plus late-but-correct Timeout — so a watchdog miss
+  // whose payload still arrived counts toward goodput while errored and
+  // aborted bursts do not.
   double goodput_mbps = 0.0;
   // Fraction of logged bus transactions whose latency exceeded the
   // explorer's SLO threshold (Explorer::set_slo); 0 when no SLO set.
   double slo_miss_pct = 0.0;
+  // Platform::cost_proxy() of the cell's platform — recorded on the row
+  // so Pareto extraction over (perf, cost) needs no platform lookup.
+  double cost = 0.0;
+  // True when an EvalBudget stopped this cell's simulation before the
+  // workload finished: the sim columns describe a truncated run and must
+  // not be compared against completed rows.
+  bool pruned = false;
+
+  // Raw delivered bandwidth in MB/s (bytes / us == MB/s); the
+  // maximization objective search drivers minimize the negation of.
+  double throughput_mbps() const {
+    return sim_time_us > 0.0
+               ? static_cast<double>(bytes) / sim_time_us
+               : 0.0;
+  }
 };
 
 // True when `channel` is a per-master supplementary channel of the bus
@@ -134,10 +152,27 @@ public:
   // (default) disables the column.
   void set_slo(Time threshold) { slo_ = threshold; }
 
+  // Mid-simulation early-termination hook for adaptive search: the
+  // predicate is polled by the kernel between settled deltas (see
+  // Simulator::set_run_guard) with the cell's simulated time and logged
+  // transaction count; returning true stops the run and marks the row
+  // pruned. Must be a pure function of its arguments — no wall clock, no
+  // shared mutable state — so budgeted runs keep the determinism
+  // contract. A default-constructed budget (null predicate) is "no
+  // budget".
+  struct EvalBudget {
+    std::function<bool(Time now, std::uint64_t txns_logged)> should_abort;
+  };
+
   // Map + simulate one candidate.
   ExplorationRow evaluate(const core::Platform& platform, Time max_time);
   ExplorationRow evaluate(const core::Platform& platform,
                           const WorkloadCase& workload, Time max_time);
+  ExplorationRow evaluate(const core::Platform& platform, Time max_time,
+                          const EvalBudget& budget);
+  ExplorationRow evaluate(const core::Platform& platform,
+                          const WorkloadCase& workload, Time max_time,
+                          const EvalBudget& budget);
 
   // Sweep a candidate list with the bound factory.
   std::vector<ExplorationRow> sweep(const std::vector<core::Platform>& cands,
@@ -177,18 +212,34 @@ public:
   static void print_table(std::ostream& os,
                           const std::vector<ExplorationRow>& rows);
 
+  // Helper-thread creation failures during the last parallel sweep on
+  // this explorer. Non-zero means the sweep *completed correctly* but at
+  // reduced parallelism (the calling thread always participates, so a
+  // failed spawn can never stall the sweep) — degraded, not wrong, and
+  // no longer silent.
+  unsigned last_spawn_failures() const { return last_spawn_failures_; }
+
+  // Test seam: substitute how sweep workers are created (see
+  // WorkPool::ThreadFactory). Default-constructed = real std::thread.
+  void set_thread_factory(WorkPool::ThreadFactory f) {
+    thread_factory_ = std::move(f);
+  }
+
 private:
   ExplorationRow evaluate_with(const GraphFactory& factory,
                                const std::string& workload_name,
-                               const core::Platform& platform, Time max_time);
-  // Run eval(0..n-1) across a worker pool with the exception semantics
+                               const core::Platform& platform, Time max_time,
+                               const EvalBudget& budget);
+  // Run eval(0..n-1) across a WorkPool with the exception semantics
   // documented on sweep_parallel.
-  static void run_sharded(std::size_t n, unsigned n_threads,
-                          const std::function<void(std::size_t)>& eval);
+  void run_sharded(std::size_t n, unsigned n_threads,
+                   const std::function<void(std::size_t)>& eval);
 
   GraphFactory factory_;
   TraceTarget trace_target_;
   Time slo_ = Time::zero();
+  WorkPool::ThreadFactory thread_factory_;
+  unsigned last_spawn_failures_ = 0;
 };
 
 // Canonical candidate list covering the CAM library.
@@ -224,6 +275,14 @@ struct GridSpec {
   std::vector<bool> fast_targets{false, true};
   std::vector<fault::FaultProfile> faults{{}};
   std::vector<fault::RetrySpec> retries{{}};
+
+  // The timing axes as a core::KnobSpace, for neighbor mutation
+  // (core::grid_neighbors). The failure axes are not knobs — a mutated
+  // neighbor inherits its parent's fault/retry configuration unchanged.
+  core::KnobSpace knobs() const {
+    return {buses, arbs, bus_cycles, data_widths, max_outstanding,
+            fast_targets};
+  }
 };
 
 std::vector<core::Platform> grid_candidates(const GridSpec& spec = {});

@@ -472,3 +472,48 @@ TEST(Explorer, ParallelSweepPropagatesFactoryExceptions) {
   EXPECT_THROW(ex.sweep_parallel(default_candidates(), 10_ms, 4),
                std::runtime_error);
 }
+
+TEST(Explorer, PrintTableSeparatorMatchesHeaderWidth) {
+  // The rule line is computed from the rendered header, so it cannot
+  // drift as columns are appended (it was a hard-coded 218 for a while).
+  auto check = [](const std::vector<ExplorationRow>& rows) {
+    std::ostringstream os;
+    Explorer::print_table(os, rows);
+    std::istringstream in(os.str());
+    std::string header, rule;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, rule));
+    EXPECT_EQ(rule, std::string(header.size(), '-'));
+  };
+  ExplorationRow plain;
+  plain.platform = "a-platform-name-much-longer-than-the-minimum-column";
+  check({plain});
+  ExplorationRow with_wl = plain;
+  with_wl.workload = "bursty";
+  check({with_wl});
+}
+
+TEST(Explorer, GoodputCountsLateButDeliveredTimeoutPayloads) {
+  // Spike-only faults + a tight watchdog: some transactions finish with
+  // Status::Timeout — late, but the payload arrived (data_valid()).
+  // Goodput must count those bytes; with no injected errors, statuses
+  // are Ok or Timeout only, so goodput equals raw throughput exactly.
+  // (The old Ok-only goodput was strictly lower whenever timeouts > 0.)
+  Explorer ex(two_stream_factory(20, 256));
+  Platform p;
+  p.fault.name = "spiky";
+  p.fault.seed = 7;
+  p.fault.spike_rate = 0.3;
+  p.fault.spike_cycles = 40;
+  p.retry.name = "wd";
+  p.retry.timeout = 300_ns;  // tight enough that spiked bursts miss it
+  p.name = "plb-priority-10ns-64b-spiky-wd";
+  const auto row = ex.evaluate(p, 50_ms);
+  ASSERT_TRUE(row.completed);
+  ASSERT_GT(row.timeouts, 0u);
+  EXPECT_GT(row.error_rate, 0.0);  // timeouts still count as not-Ok
+  EXPECT_EQ(row.aborted, 0u);
+  EXPECT_GT(row.goodput_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(row.goodput_mbps,
+                   static_cast<double>(row.bytes) / row.sim_time_us);
+}

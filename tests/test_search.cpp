@@ -1,0 +1,459 @@
+// Tests for adaptive exploration: the Pareto/successive-halving search
+// driver, the work-stealing pool underneath it, the knob-space neighbor
+// enumeration it mutates with, and the run-budget early-termination
+// hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "kernel/kernel.hpp"
+
+using namespace stlm;
+using namespace stlm::core;
+using namespace stlm::expl;
+using namespace stlm::time_literals;
+
+namespace {
+
+Explorer::GraphFactory two_stream_factory(std::uint64_t msgs,
+                                          std::size_t payload) {
+  return [msgs, payload](SystemGraph& g,
+                         std::vector<std::unique_ptr<ProcessingElement>>& o) {
+    auto p0 = std::make_unique<ProducerPe>("p0", msgs, payload, 20);
+    auto p1 = std::make_unique<ProducerPe>("p1", msgs, payload, 20);
+    auto s0 = std::make_unique<SinkPe>("s0", msgs);
+    auto s1 = std::make_unique<SinkPe>("s1", msgs);
+    g.add_pe(*p0);
+    g.add_pe(*p1);
+    g.add_pe(*s0);
+    g.add_pe(*s1);
+    g.connect("ch0", *p0, "out", *s0, "in", 2);
+    g.connect("ch1", *p1, "out", *s1, "in", 2);
+    o.push_back(std::move(p0));
+    o.push_back(std::move(p1));
+    o.push_back(std::move(s0));
+    o.push_back(std::move(s1));
+  };
+}
+
+// Every simulated column — everything except the host-side wall clock.
+void expect_sim_columns_equal(const ExplorationRow& a,
+                              const ExplorationRow& b) {
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.sim_time_us, b.sim_time_us) << a.platform;
+  EXPECT_EQ(a.mean_latency_ns, b.mean_latency_ns) << a.platform;
+  EXPECT_EQ(a.p50_latency_ns, b.p50_latency_ns) << a.platform;
+  EXPECT_EQ(a.p95_latency_ns, b.p95_latency_ns) << a.platform;
+  EXPECT_EQ(a.p99_latency_ns, b.p99_latency_ns) << a.platform;
+  EXPECT_EQ(a.mean_queue_ns, b.mean_queue_ns) << a.platform;
+  EXPECT_EQ(a.worst_master_p99_ns, b.worst_master_p99_ns) << a.platform;
+  EXPECT_EQ(a.bus_utilization, b.bus_utilization) << a.platform;
+  EXPECT_EQ(a.transactions, b.transactions) << a.platform;
+  EXPECT_EQ(a.bytes, b.bytes) << a.platform;
+  EXPECT_EQ(a.ctx_switches, b.ctx_switches) << a.platform;
+  EXPECT_EQ(a.fast_hit_rate, b.fast_hit_rate) << a.platform;
+  EXPECT_EQ(a.error_rate, b.error_rate) << a.platform;
+  EXPECT_EQ(a.retries, b.retries) << a.platform;
+  EXPECT_EQ(a.timeouts, b.timeouts) << a.platform;
+  EXPECT_EQ(a.aborted, b.aborted) << a.platform;
+  EXPECT_EQ(a.goodput_mbps, b.goodput_mbps) << a.platform;
+  EXPECT_EQ(a.slo_miss_pct, b.slo_miss_pct) << a.platform;
+  EXPECT_EQ(a.cost, b.cost) << a.platform;
+}
+
+}  // namespace
+
+// ------------------------------------------------ knob space / naming ----
+
+TEST(KnobSpace, GridPointNameReproducesGridCandidateNames) {
+  for (const auto& p : grid_candidates()) {
+    EXPECT_EQ(p.name, grid_point_name(p));
+  }
+}
+
+TEST(KnobSpace, GridPointNameCoversFailureAxes) {
+  GridSpec spec;
+  fault::FaultProfile fp;
+  fp.name = "noisy";
+  fp.error_rate = 0.01;
+  fault::RetrySpec rs;
+  rs.name = "r3";
+  rs.max_retries = 3;
+  spec.faults = {fp};
+  spec.retries = {rs};
+  for (const auto& p : grid_candidates(spec)) {
+    EXPECT_EQ(p.name, grid_point_name(p));
+    EXPECT_NE(p.name.find("-noisy-r3"), std::string::npos) << p.name;
+  }
+}
+
+TEST(KnobSpace, NeighborsStepOneKnobInAxisOrder) {
+  GridSpec spec;
+  Platform p;  // plb-priority @10ns, width 0 -> native 8B... pin explicitly:
+  p.bus = BusKind::Plb;
+  p.arb = ArbKind::Priority;
+  p.bus_cycle = 10_ns;
+  p.data_width_bytes = 4;
+  p.name = grid_point_name(p);
+  ASSERT_EQ(p.name, "plb-priority-10ns-32b");
+  const auto nb = grid_neighbors(p, spec.knobs());
+  std::vector<std::string> names;
+  names.reserve(nb.size());
+  for (const auto& n : nb) names.push_back(n.name);
+  const std::vector<std::string> expected{
+      "shared-bus-priority-10ns-32b",  // bus axis, -1
+      "opb-priority-10ns-32b",         // bus axis, +1
+      "plb-round-robin-10ns-32b",      // arb axis, +1
+      "plb-priority-20ns-32b",         // cycle axis, +1
+      "plb-priority-10ns-64b",         // width axis, +1
+      "plb-priority-10ns-32b-split4",  // outstanding axis, +1
+      "plb-priority-10ns-32b-fast",    // fast axis, +1
+  };
+  EXPECT_EQ(names, expected);
+}
+
+TEST(KnobSpace, NeighborsRespectValidityRules) {
+  GridSpec spec;
+  Platform opb;
+  opb.bus = BusKind::Opb;
+  opb.arb = ArbKind::Priority;
+  opb.bus_cycle = 10_ns;
+  opb.data_width_bytes = 4;
+  opb.name = grid_point_name(opb);
+  for (const auto& n : grid_neighbors(opb, spec.knobs())) {
+    // No OPB split point may ever be proposed.
+    EXPECT_TRUE(knob_point_valid(
+        n.bus, n.split_active() ? n.max_outstanding : 1, n.fast_targets))
+        << n.name;
+    EXPECT_EQ(n.name.find("opb") != std::string::npos &&
+                  n.name.find("split") != std::string::npos,
+              false)
+        << n.name;
+  }
+  // A fast platform must not propose a fast split neighbor.
+  Platform fast;
+  fast.bus = BusKind::Plb;
+  fast.arb = ArbKind::Priority;
+  fast.bus_cycle = 10_ns;
+  fast.data_width_bytes = 4;
+  fast.fast_targets = true;
+  fast.name = grid_point_name(fast);
+  for (const auto& n : grid_neighbors(fast, spec.knobs())) {
+    EXPECT_FALSE(n.fast_targets && n.split_active()) << n.name;
+  }
+}
+
+TEST(KnobSpace, NeighborsOfGridPointsStayInsideTheGrid) {
+  // With the mutation space set to the grid's own axes, every neighbor
+  // of every grid candidate must *be* a grid candidate with the grid's
+  // exact name — the dedup-by-name invariant mutation relies on.
+  GridSpec spec;
+  const auto grid = grid_candidates(spec);
+  std::set<std::string> names;
+  for (const auto& p : grid) names.insert(p.name);
+  for (const auto& p : grid) {
+    std::set<std::string> local;
+    for (const auto& n : grid_neighbors(p, spec.knobs())) {
+      EXPECT_TRUE(names.count(n.name)) << n.name << " (from " << p.name << ")";
+      EXPECT_NE(n.name, p.name);
+      EXPECT_TRUE(local.insert(n.name).second)
+          << "duplicate neighbor " << n.name;
+    }
+  }
+}
+
+TEST(KnobSpace, CostProxyOrdersStructuralComplexity) {
+  Platform narrow;
+  narrow.bus = BusKind::SharedBus;
+  narrow.bus_cycle = 20_ns;
+  narrow.data_width_bytes = 4;
+  Platform wide = narrow;
+  wide.data_width_bytes = 8;
+  Platform faster = narrow;
+  faster.bus_cycle = 10_ns;
+  Platform xbar = narrow;
+  xbar.bus = BusKind::Crossbar;
+  Platform split = narrow;
+  split.split_txns = true;
+  split.max_outstanding = 4;
+  EXPECT_GT(wide.cost_proxy(), narrow.cost_proxy());
+  EXPECT_GT(faster.cost_proxy(), narrow.cost_proxy());
+  EXPECT_GT(xbar.cost_proxy(), narrow.cost_proxy());
+  EXPECT_GT(split.cost_proxy(), narrow.cost_proxy());
+  // The fast-path knob models simulation speed, not hardware: no cost.
+  Platform fast = narrow;
+  fast.fast_targets = true;
+  EXPECT_EQ(fast.cost_proxy(), narrow.cost_proxy());
+}
+
+// --------------------------------------------------------- work pool ----
+
+TEST(WorkPool, RunsDynamicallySubmittedTasks) {
+  WorkPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &ran] {
+      ++ran;
+      // Tasks discovered mid-drain (mutation proposals) must run too.
+      pool.submit([&ran] { ++ran; });
+    });
+  }
+  pool.run();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(pool.first_error(), nullptr);
+  EXPECT_EQ(pool.spawn_failures(), 0u);
+}
+
+TEST(WorkPool, CompletesWhenEveryHelperSpawnFails) {
+  WorkPool pool(4, [](std::function<void()>) -> std::thread {
+    throw std::runtime_error("no threads today");
+  });
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) pool.submit([&ran] { ++ran; });
+  pool.run();  // the calling thread drains everything itself
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(pool.helpers_requested(), 3u);
+  EXPECT_EQ(pool.spawn_failures(), 3u);
+  EXPECT_EQ(pool.first_error(), nullptr);
+}
+
+TEST(WorkPool, FirstTaskErrorIsHeldAndRemainingWorkDiscarded) {
+  WorkPool pool(1);  // single-threaded: deterministic execution order
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([&ran] { ++ran; });
+  pool.run();
+  ASSERT_NE(pool.first_error(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(pool.first_error()),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);  // discarded after the error
+}
+
+TEST(Explorer, SpawnFailureDegradesParallelSweepLoudly) {
+  // A thread factory that always fails must not lose the sweep *or* the
+  // signal: results match the sequential sweep bit for bit and the
+  // degradation is visible on the explorer.
+  Explorer ex(two_stream_factory(6, 64));
+  const auto cands = default_candidates();
+  const auto seq = ex.sweep(cands, 50_ms);
+  ex.set_thread_factory([](std::function<void()>) -> std::thread {
+    throw std::runtime_error("EAGAIN");
+  });
+  const auto par = ex.sweep_parallel(cands, 50_ms, 4);
+  EXPECT_EQ(ex.last_spawn_failures(), 3u);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    expect_sim_columns_equal(par[i], seq[i]);
+  }
+}
+
+// ------------------------------------------------- run budget / abort ----
+
+TEST(EvalBudget, AbortsMidSimulationAtACleanDeltaBoundary) {
+  Explorer ex(two_stream_factory(64, 256));
+  Platform p;
+  const auto full = ex.evaluate(p, 10_ms);
+  ASSERT_TRUE(full.completed);
+  ASSERT_GT(full.sim_time_us, 20.0);
+
+  Explorer::EvalBudget budget;
+  budget.should_abort = [](Time now, std::uint64_t) { return now >= 10_us; };
+  const auto cut = ex.evaluate(p, 10_ms, budget);
+  EXPECT_TRUE(cut.pruned);
+  EXPECT_FALSE(cut.completed);
+  EXPECT_GE(cut.sim_time_us, 10.0);
+  EXPECT_LT(cut.sim_time_us, full.sim_time_us);
+  EXPECT_LT(cut.transactions, full.transactions);
+}
+
+TEST(EvalBudget, NullAndNeverFiringBudgetsReproduceThePlainRun) {
+  Explorer ex(two_stream_factory(8, 64));
+  Platform p;
+  const auto plain = ex.evaluate(p, 10_ms);
+  const auto null_budget = ex.evaluate(p, 10_ms, Explorer::EvalBudget{});
+  expect_sim_columns_equal(plain, null_budget);
+  Explorer::EvalBudget never;
+  never.should_abort = [](Time, std::uint64_t) { return false; };
+  const auto idle = ex.evaluate(p, 10_ms, never);
+  EXPECT_FALSE(idle.pruned);
+  expect_sim_columns_equal(plain, idle);
+}
+
+TEST(SearchDriver, DominatedCandidateIsAbortedMidRun) {
+  // A fast platform and a much slower one on a single-objective search:
+  // the slow cell survives rung 0 as a pad, is off the front, and at the
+  // full-horizon rung its budgeted re-run must be cut off at
+  // abort_slack x the fast cell's demonstrated completion time.
+  Explorer ex(two_stream_factory(200, 512));
+  Platform fast;
+  fast.name = "fast-plb";
+  Platform slow;
+  slow.name = "slow-opb";
+  slow.bus = BusKind::Opb;
+  slow.bus_cycle = 20_ns;
+  const auto tf = ex.evaluate(fast, 500_ms);
+  const auto ts = ex.evaluate(slow, 500_ms);
+  ASSERT_TRUE(tf.completed);
+  ASSERT_TRUE(ts.completed);
+  ASSERT_GT(ts.sim_time_us, 2.0 * tf.sim_time_us);
+
+  SearchConfig cfg;
+  cfg.objectives = {Objective::Throughput};
+  const double mid_us = 0.5 * (tf.sim_time_us + ts.sim_time_us);
+  cfg.horizons = {Time::us(static_cast<std::uint64_t>(mid_us)), 500_ms};
+  cfg.keep_fraction = 1.0;  // the slow cell survives selection...
+  cfg.pad_fraction = 1.0;
+  cfg.abort_slack = mid_us / tf.sim_time_us;  // ...but not the budget
+  SearchDriver driver(cfg);
+  const auto report = driver.run(ex, {fast, slow});
+
+  ASSERT_EQ(report.rungs.size(), 2u);
+  EXPECT_EQ(report.rungs[0].evaluated, 2u);
+  EXPECT_EQ(report.rungs[1].carried, 1u);   // fast: final at rung 0
+  EXPECT_EQ(report.rungs[1].evaluated, 1u); // slow: re-run under budget
+  EXPECT_EQ(report.rungs[1].aborted, 1u);
+  EXPECT_EQ(report.pruned_cells, 1u);
+  ASSERT_EQ(report.frontier.size(), 1u);
+  EXPECT_EQ(report.frontier[0].platform, "fast-plb");
+  expect_sim_columns_equal(report.frontier[0], tf);
+}
+
+// ------------------------------------------------- search vs. sweep ----
+
+TEST(SearchDriver, RecoversExhaustiveParetoFrontOnTheDefaultGrid) {
+  // The acceptance bar: on the default 108-platform x 5-workload grid
+  // the search must reproduce the exhaustive sweep's Pareto front bit
+  // for bit while running at most half the cells at the full horizon.
+  Explorer ex;
+  const auto plats = grid_candidates();
+  const auto wls = workload::workload_candidates();
+  ASSERT_EQ(plats.size(), 108u);
+  ASSERT_EQ(wls.size(), 5u);
+
+  SearchConfig cfg;  // default horizons / objectives / fractions
+  cfg.n_threads = 4;
+  SearchDriver driver(cfg);
+  const auto report = driver.run(ex, plats, wls);
+
+  const Time full_horizon = cfg.horizons.back();
+  const auto sweep = ex.sweep_parallel(plats, wls, full_horizon, 4);
+
+  // Expected frontier: per-workload Pareto fronts of the exhaustive
+  // rows, groups in workload order, rows sorted by platform name.
+  std::vector<ExplorationRow> expected;
+  for (std::size_t w = 0; w < wls.size(); ++w) {
+    std::vector<ExplorationRow> group;
+    for (std::size_t p = 0; p < plats.size(); ++p) {
+      group.push_back(sweep[p * wls.size() + w]);
+    }
+    std::sort(group.begin(), group.end(),
+              [](const ExplorationRow& a, const ExplorationRow& b) {
+                return a.platform < b.platform;
+              });
+    for (const std::size_t i : pareto_front(group, cfg.objectives)) {
+      expected.push_back(group[i]);
+    }
+  }
+  ASSERT_EQ(report.frontier.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expect_sim_columns_equal(report.frontier[i], expected[i]);
+  }
+  EXPECT_EQ(report.frontier.size(), report.frontier_platforms.size());
+
+  // The carry-forward economy: at most 50% of the 540 cells may pay the
+  // full horizon (here every workload completes inside rung 0, so the
+  // final rung re-simulates nothing at all).
+  EXPECT_LE(report.full_horizon_evals, plats.size() * wls.size() / 2);
+  EXPECT_EQ(report.candidates_seen, plats.size() * wls.size());
+  ASSERT_EQ(report.rungs.size(), cfg.horizons.size());
+  EXPECT_EQ(report.rungs.front().evaluated, plats.size() * wls.size());
+  EXPECT_EQ(report.pruned_cells, 0u);
+}
+
+TEST(SearchDriver, SameSeedSearchesAreByteIdenticalAcrossThreadCounts) {
+  // Mutation on, starting from a handful of seeds: the discovered
+  // candidate set, the report counters, and the printed frontier must
+  // not depend on run or thread count.
+  const GridSpec spec;
+  const auto grid = grid_candidates(spec);
+  const std::vector<Platform> seeds(grid.begin(), grid.begin() + 4);
+  const std::vector<workload::WorkloadCase> wls{
+      workload::workload_candidates()[0]};
+
+  auto search = [&](unsigned n_threads) {
+    Explorer ex;
+    SearchConfig cfg;
+    cfg.space = spec.knobs();
+    cfg.mutation_depth = 2;
+    cfg.mutation_limit = 3;
+    cfg.n_threads = n_threads;
+    SearchDriver driver(cfg);
+    const auto report = driver.run(ex, seeds, wls);
+    std::ostringstream os;
+    SearchDriver::print_frontier(os, report);
+    return std::pair<SearchReport, std::string>(report, os.str());
+  };
+
+  const auto [ra, sa] = search(4);
+  const auto [rb, sb] = search(4);
+  const auto [rc, sc] = search(1);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa, sc);
+  EXPECT_GT(ra.proposed, 0u);
+  EXPECT_GT(ra.candidates_seen, seeds.size());  // mutation discovered work
+  EXPECT_EQ(ra.candidates_seen, rb.candidates_seen);
+  EXPECT_EQ(ra.candidates_seen, rc.candidates_seen);
+  EXPECT_EQ(ra.duplicates, rb.duplicates);
+  EXPECT_EQ(ra.proposed, rb.proposed);
+  ASSERT_EQ(ra.frontier.size(), rc.frontier.size());
+  for (std::size_t i = 0; i < ra.frontier.size(); ++i) {
+    expect_sim_columns_equal(ra.frontier[i], rc.frontier[i]);
+  }
+}
+
+TEST(SearchDriver, PrintFrontierSeparatorMatchesHeaderWidth) {
+  Explorer ex(two_stream_factory(6, 64));
+  SearchConfig cfg;
+  cfg.horizons = {10_ms};
+  SearchDriver driver(cfg);
+  const auto report = driver.run(ex, default_candidates());
+  std::ostringstream os;
+  SearchDriver::print_frontier(os, report);
+  std::istringstream in(os.str());
+  std::string header, rule;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, rule));
+  EXPECT_EQ(rule, std::string(header.size(), '-'));
+}
+
+TEST(SearchDriver, SingleHorizonSearchFrontsAllCandidates) {
+  // One rung == plain sweep + Pareto extraction; every frontier row must
+  // match a direct evaluation bit for bit.
+  Explorer ex(two_stream_factory(8, 128));
+  SearchConfig cfg;
+  cfg.horizons = {50_ms};
+  SearchDriver driver(cfg);
+  const auto cands = default_candidates();
+  const auto report = driver.run(ex, cands);
+  ASSERT_EQ(report.rungs.size(), 1u);
+  EXPECT_EQ(report.rungs[0].evaluated, cands.size());
+  EXPECT_EQ(report.full_horizon_evals, cands.size());
+  ASSERT_GE(report.frontier.size(), 1u);
+  for (std::size_t i = 0; i < report.frontier.size(); ++i) {
+    const auto direct =
+        ex.evaluate(report.frontier_platforms[i], 50_ms);
+    expect_sim_columns_equal(report.frontier[i], direct);
+  }
+}
